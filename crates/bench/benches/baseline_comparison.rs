@@ -1,0 +1,30 @@
+//! §2 fidelity ablation: coarse-grained GridSim/CloudSim-style baseline versus
+//! the CGSim fluid-model core on the same trace (speed side of the trade-off;
+//! the accuracy side is printed by the `baseline_comparison` binary).
+
+use cgsim_baseline::BaselineSimulator;
+use cgsim_bench::scenarios::{run_simulation, scaling_trace};
+use cgsim_platform::presets::wlcg_platform;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_baseline_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_vs_cgsim");
+    group.sample_size(10);
+    let platform = wlcg_platform(10, 9);
+    group.bench_function("coarse_grained_baseline", |b| {
+        b.iter(|| {
+            let trace = scaling_trace(&platform, 500, 13);
+            BaselineSimulator::new().run(&platform, &trace)
+        });
+    });
+    group.bench_function("cgsim_core", |b| {
+        b.iter(|| {
+            let trace = scaling_trace(&platform, 500, 13);
+            run_simulation(&platform, trace, "historical-panda", false)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline_comparison);
+criterion_main!(benches);

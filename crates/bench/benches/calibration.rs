@@ -1,0 +1,19 @@
+//! Fig. 3: cost of the per-site random-search calibration pipeline.
+
+use cgsim_bench::scenarios::calibration_experiment;
+use cgsim_calibrate::OptimizerKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_calibration");
+    group.sample_size(10);
+    for &sites in &[2usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(sites), &sites, |b, &sites| {
+            b.iter(|| calibration_experiment(sites, 60 * sites, OptimizerKind::Random, 8, 7));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_calibration);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Fig. 4(a): simulator wall-clock cost as the per-site job count grows.
+
+use cgsim_bench::scenarios::job_scaling_point;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_job_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4a_job_scaling");
+    group.sample_size(10);
+    for &jobs in &[250usize, 500, 1_000, 2_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            b.iter(|| job_scaling_point(jobs, 1_000, 42));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_job_scaling);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Table 1 / §4.3.2: cost of event-level monitoring — the same run with the
+//! collector enabled versus disabled.
+
+use cgsim_bench::scenarios::{run_simulation, scaling_trace};
+use cgsim_platform::presets::example_platform;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_monitoring_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitoring_overhead");
+    group.sample_size(10);
+    let platform = example_platform();
+    for &(label, enabled) in &[("enabled", true), ("disabled", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let trace = scaling_trace(&platform, 500, 21);
+                run_simulation(&platform, trace, "least-loaded", enabled)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitoring_overhead);
+criterion_main!(benches);

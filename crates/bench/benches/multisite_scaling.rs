@@ -1,0 +1,19 @@
+//! Fig. 4(b): simulator wall-clock cost as the number of sites grows
+//! (200 jobs per site, as in the paper).
+
+use cgsim_bench::scenarios::multisite_scaling_point;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_multisite_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4b_multisite_scaling");
+    group.sample_size(10);
+    for &sites in &[1usize, 5, 10, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(sites), &sites, |b, &sites| {
+            b.iter(|| multisite_scaling_point(sites, 200, 42));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multisite_scaling);
+criterion_main!(benches);

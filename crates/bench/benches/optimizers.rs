@@ -1,0 +1,24 @@
+//! §4.2 optimiser comparison: cost of one per-site calibration with each of
+//! the four methods (brute force, random, Bayesian, CMA-ES) at equal budget.
+
+use cgsim_bench::scenarios::calibration_experiment;
+use cgsim_calibrate::OptimizerKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_optimizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_comparison");
+    group.sample_size(10);
+    for kind in OptimizerKind::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| calibration_experiment(2, 100, kind, 8, 11));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizers);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Plugin-policy ablation: simulator cost under each built-in allocation
+//! policy (the plugin mechanism of §3.3 adds no measurable overhead).
+
+use cgsim_bench::scenarios::{run_simulation, scaling_trace};
+use cgsim_platform::presets::wlcg_platform;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation_policies");
+    group.sample_size(10);
+    let platform = wlcg_platform(10, 5);
+    for policy in [
+        "least-loaded",
+        "round-robin",
+        "random",
+        "fastest-available",
+        "data-aware",
+        "historical-panda",
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, &policy| {
+            b.iter(|| {
+                let trace = scaling_trace(&platform, 500, 33);
+                run_simulation(&platform, trace, policy, false)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Surrogate-model ablation: how expensive is training an ML surrogate on the
+//! event-level dataset, and how much faster is surrogate inference than
+//! re-running the discrete-event simulation (the paper's ML-assisted
+//! simulation motivation, §1)?
+
+use cgsim_bench::scenarios::{run_simulation, scaling_trace};
+use cgsim_monitor::mldataset::build_examples;
+use cgsim_platform::presets::wlcg_platform;
+use cgsim_surrogate::{Dataset, SurrogateKind, SurrogateModel, Target, TrainConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn training_examples() -> Vec<cgsim_monitor::mldataset::MlExample> {
+    let platform = wlcg_platform(10, 11);
+    let trace = scaling_trace(&platform, 1_500, 23);
+    let results = run_simulation(&platform, trace, "least-loaded", true);
+    build_examples(&results.outcomes, &results.events)
+}
+
+fn bench_surrogate_training(c: &mut Criterion) {
+    let examples = training_examples();
+    let dataset = Dataset::from_examples(&examples, Target::Walltime);
+    let mut group = c.benchmark_group("surrogate_training");
+    group.sample_size(10);
+    for kind in SurrogateKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| SurrogateModel::train(kind, &dataset, &TrainConfig::default()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_surrogate_vs_simulation(c: &mut Criterion) {
+    let examples = training_examples();
+    let dataset = Dataset::from_examples(&examples, Target::Walltime);
+    let (train, test) = dataset.split(0.8, 7);
+    let model = SurrogateModel::train(SurrogateKind::Gbdt, &train, &TrainConfig::default());
+    let platform = wlcg_platform(10, 11);
+
+    let mut group = c.benchmark_group("surrogate_vs_simulation");
+    group.sample_size(10);
+    group.bench_function("surrogate_predict_300_jobs", |b| {
+        b.iter(|| model.predict(&test));
+    });
+    group.bench_function("simulate_300_jobs", |b| {
+        b.iter(|| {
+            let trace = scaling_trace(&platform, 300, 31);
+            run_simulation(&platform, trace, "least-loaded", false)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_surrogate_training, bench_surrogate_vs_simulation);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Sweep-parallelism ablation: the calibration and scalability experiments
+//! run many independent simulations; this bench measures the wall-clock gain
+//! of fanning a sweep out over worker threads versus running it serially.
+
+use cgsim_bench::scenarios::scaling_trace;
+use cgsim_core::{run_sweep, ExecutionConfig, SweepPoint};
+use cgsim_platform::presets::wlcg_platform;
+use cgsim_policies::PolicyRegistry;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn sweep_points(points: usize) -> Vec<SweepPoint> {
+    (0..points)
+        .map(|i| {
+            let platform = wlcg_platform(6, i as u64);
+            let trace = scaling_trace(&platform, 300, 100 + i as u64);
+            SweepPoint::new(
+                format!("point-{i}"),
+                platform,
+                trace,
+                ExecutionConfig::default(),
+            )
+        })
+        .collect()
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let registry = PolicyRegistry::with_builtins();
+    let mut group = c.benchmark_group("sweep_parallelism");
+    group.sample_size(10);
+    for &parallel in &[false, true] {
+        let label = if parallel { "parallel" } else { "serial" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &parallel, |b, &parallel| {
+            b.iter(|| run_sweep(sweep_points(8), parallel, &registry).expect("sweep runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! # cgsim-bench — experiment scenarios shared by benches and binaries
+//!
+//! Every table and figure of the paper's evaluation section has (a) a binary
+//! under `src/bin/` that regenerates the numbers and prints the same rows or
+//! series the paper reports, and (b) a Criterion bench measuring the
+//! corresponding simulator cost. Both are thin wrappers around the scenario
+//! functions in [`scenarios`], so the workload definitions cannot drift
+//! between the two.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod scenarios;

@@ -1,0 +1,299 @@
+//! Per-site calibration orchestration (Fig. 3).
+
+use cgsim_des::stats::geometric_mean;
+use cgsim_platform::PlatformSpec;
+use cgsim_workload::Trace;
+use serde::{Deserialize, Serialize};
+
+use crate::objective::SiteWalltimeObjective;
+use crate::optimizer::OptimizerKind;
+
+/// Calibration outcome for one site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteCalibration {
+    /// Site name.
+    pub site: String,
+    /// Number of historical jobs used.
+    pub jobs: usize,
+    /// Relative walltime MAE with the nominal (uncalibrated) speed.
+    pub nominal_error: f64,
+    /// Relative walltime MAE with the calibrated speed.
+    pub calibrated_error: f64,
+    /// The speed multiplier found by the optimiser.
+    pub best_multiplier: f64,
+    /// Objective evaluations spent on this site.
+    pub evaluations: usize,
+}
+
+/// Grid-wide calibration report (the data behind Fig. 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CalibrationReport {
+    /// Per-site calibrations, sorted by site name.
+    pub sites: Vec<SiteCalibration>,
+    /// Geometric mean of the per-site error before calibration.
+    pub geometric_mean_before: f64,
+    /// Geometric mean of the per-site error after calibration.
+    pub geometric_mean_after: f64,
+    /// Optimiser used.
+    pub optimizer: String,
+    /// The platform specification with calibrated speed multipliers applied.
+    pub calibrated_spec: PlatformSpec,
+}
+
+impl CalibrationReport {
+    /// How much the geometric-mean error improved (before / after).
+    pub fn improvement_factor(&self) -> f64 {
+        if self.geometric_mean_after <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.geometric_mean_before / self.geometric_mean_after
+        }
+    }
+
+    /// CSV rendering of the per-site table (the Fig. 3 data series).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "site,jobs,nominal_error,calibrated_error,best_multiplier,evaluations\n",
+        );
+        for s in &self.sites {
+            out.push_str(&format!(
+                "{},{},{:.4},{:.4},{:.4},{}\n",
+                s.site, s.jobs, s.nominal_error, s.calibrated_error, s.best_multiplier, s.evaluations
+            ));
+        }
+        out
+    }
+}
+
+/// Per-site calibration driver.
+#[derive(Debug, Clone)]
+pub struct Calibrator {
+    /// Which optimisation method to use.
+    pub optimizer: OptimizerKind,
+    /// Objective-evaluation budget per site.
+    pub budget_per_site: usize,
+    /// Search bounds for the speed multiplier.
+    pub multiplier_bounds: (f64, f64),
+    /// RNG seed (forked per site).
+    pub seed: u64,
+    /// Calibrate sites on multiple threads.
+    pub parallel: bool,
+}
+
+impl Default for Calibrator {
+    fn default() -> Self {
+        Calibrator {
+            optimizer: OptimizerKind::Random,
+            budget_per_site: 30,
+            multiplier_bounds: (0.2, 3.0),
+            seed: 0xCA11B,
+            parallel: true,
+        }
+    }
+}
+
+impl Calibrator {
+    /// Calibrates every site of `spec` that has historical jobs in `trace`.
+    pub fn calibrate(&self, spec: &PlatformSpec, trace: &Trace) -> CalibrationReport {
+        let site_names: Vec<String> = spec
+            .sites
+            .iter()
+            .map(|s| s.name.clone())
+            .filter(|name| trace.jobs_for_site(name).next().is_some())
+            .collect();
+
+        let calibrate_one = |(i, name): (usize, &String)| -> SiteCalibration {
+            let objective = SiteWalltimeObjective::new(spec, trace, name);
+            let nominal_error = objective.evaluate(1.0);
+            let mut optimizer = self.optimizer.build(self.seed.wrapping_add(i as u64));
+            let bounds = [self.multiplier_bounds];
+            let result = optimizer.optimize(
+                &mut |x: &[f64]| objective.evaluate(x[0]),
+                &bounds,
+                self.budget_per_site,
+            );
+            // Keep the better of nominal and optimised (the optimiser can only
+            // improve the configuration, never regress it).
+            let (best_multiplier, calibrated_error) = if result.best_value <= nominal_error {
+                (result.best_x[0], result.best_value)
+            } else {
+                (1.0, nominal_error)
+            };
+            SiteCalibration {
+                site: name.clone(),
+                jobs: objective.job_count(),
+                nominal_error,
+                calibrated_error,
+                best_multiplier,
+                evaluations: result.evaluations,
+            }
+        };
+
+        let mut sites: Vec<SiteCalibration> = if self.parallel && site_names.len() > 1 {
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(site_names.len());
+            let chunk = site_names.len().div_ceil(threads);
+            let indexed: Vec<(usize, &String)> = site_names.iter().enumerate().collect();
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for chunk_items in indexed.chunks(chunk) {
+                    handles.push(scope.spawn(move |_| {
+                        chunk_items
+                            .iter()
+                            .map(|&(i, name)| calibrate_one((i, name)))
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("calibration worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope")
+        } else {
+            site_names
+                .iter()
+                .enumerate()
+                .map(|(i, name)| calibrate_one((i, name)))
+                .collect()
+        };
+        sites.sort_by(|a, b| a.site.cmp(&b.site));
+
+        // Floor the per-site errors at a small epsilon so the geometric mean
+        // is defined even for perfectly calibrated sites.
+        let before: Vec<f64> = sites.iter().map(|s| s.nominal_error.max(1e-4)).collect();
+        let after: Vec<f64> = sites.iter().map(|s| s.calibrated_error.max(1e-4)).collect();
+        let (gm_before, gm_after) = if sites.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (geometric_mean(&before), geometric_mean(&after))
+        };
+
+        // Apply the calibrated multipliers to a copy of the spec.
+        let mut calibrated_spec = spec.clone();
+        for cal in &sites {
+            if let Some(site) = calibrated_spec
+                .sites
+                .iter_mut()
+                .find(|s| s.name == cal.site)
+            {
+                site.speed_multiplier = cal.best_multiplier;
+            }
+        }
+
+        CalibrationReport {
+            sites,
+            geometric_mean_before: gm_before,
+            geometric_mean_after: gm_after,
+            optimizer: self.optimizer.label().to_string(),
+            calibrated_spec,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgsim_platform::presets::example_platform;
+    use cgsim_workload::{TraceConfig, TraceGenerator};
+
+    fn setup(jobs: usize) -> (PlatformSpec, Trace) {
+        let spec = example_platform();
+        let mut cfg = TraceConfig::with_jobs(jobs, 55);
+        cfg.mean_file_bytes = 1e8;
+        let trace = TraceGenerator::new(cfg).generate(&spec);
+        (spec, trace)
+    }
+
+    #[test]
+    fn calibration_reduces_geometric_mean_error() {
+        let (spec, trace) = setup(240);
+        let calibrator = Calibrator {
+            budget_per_site: 20,
+            parallel: true,
+            ..Calibrator::default()
+        };
+        let report = calibrator.calibrate(&spec, &trace);
+        assert_eq!(report.sites.len(), 4);
+        assert!(
+            report.geometric_mean_after < report.geometric_mean_before,
+            "before {} after {}",
+            report.geometric_mean_before,
+            report.geometric_mean_after
+        );
+        assert!(report.improvement_factor() > 1.5);
+        for site in &report.sites {
+            assert!(site.calibrated_error <= site.nominal_error + 1e-9);
+            assert!(site.jobs > 0);
+            assert!(site.evaluations <= 20);
+        }
+        // The calibrated spec carries the multipliers.
+        assert!(report
+            .calibrated_spec
+            .sites
+            .iter()
+            .any(|s| (s.speed_multiplier - 1.0).abs() > 1e-6));
+        let csv = report.to_csv();
+        assert!(csv.lines().count() == 5);
+        assert!(csv.contains("BNL"));
+    }
+
+    #[test]
+    fn calibrated_multipliers_approach_hidden_truth() {
+        let (spec, trace) = setup(400);
+        let calibrator = Calibrator {
+            budget_per_site: 40,
+            ..Calibrator::default()
+        };
+        let report = calibrator.calibrate(&spec, &trace);
+        let mut close = 0;
+        for site in &report.sites {
+            let hidden = trace.hidden_site_multipliers[&site.site];
+            if (site.best_multiplier - hidden).abs() / hidden < 0.25 {
+                close += 1;
+            }
+        }
+        assert!(
+            close >= 3,
+            "expected most multipliers near the hidden truth; report: {:?}",
+            report
+                .sites
+                .iter()
+                .map(|s| (s.site.clone(), s.best_multiplier))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn serial_and_parallel_calibration_agree() {
+        let (spec, trace) = setup(160);
+        let serial = Calibrator {
+            parallel: false,
+            budget_per_site: 10,
+            ..Calibrator::default()
+        }
+        .calibrate(&spec, &trace);
+        let parallel = Calibrator {
+            parallel: true,
+            budget_per_site: 10,
+            ..Calibrator::default()
+        }
+        .calibrate(&spec, &trace);
+        assert_eq!(serial.sites.len(), parallel.sites.len());
+        for (a, b) in serial.sites.iter().zip(&parallel.sites) {
+            assert_eq!(a.site, b.site);
+            assert!((a.best_multiplier - b.best_multiplier).abs() < 1e-12);
+            assert!((a.calibrated_error - b.calibrated_error).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_trace_produces_empty_report() {
+        let spec = example_platform();
+        let report = Calibrator::default().calibrate(&spec, &Trace::default());
+        assert!(report.sites.is_empty());
+        assert_eq!(report.geometric_mean_before, 0.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Small dense linear algebra used by the optimisers.
+//!
+//! The Bayesian optimiser needs Cholesky factorisation to fit its Gaussian
+//! process; CMA-ES needs the eigendecomposition of its (symmetric) covariance
+//! matrix. Dimensions here are tiny (the calibration itself is per-site and
+//! one-dimensional; the optimisers are exercised up to ~10 dimensions in
+//! tests), so simple O(n³) routines are entirely adequate and keep the crate
+//! dependency-free.
+
+/// A dense, row-major, square-or-rectangular matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a nested array (rows of equal length).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows.concat(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product.
+    pub fn mat_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols);
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
+            .collect()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Cholesky factorisation of a symmetric positive-definite matrix:
+/// returns lower-triangular `L` with `A = L Lᵀ`, or `None` when the matrix is
+/// not (numerically) positive definite.
+pub fn cholesky(a: &Matrix) -> Option<Matrix> {
+    assert_eq!(a.rows(), a.cols(), "Cholesky needs a square matrix");
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `A x = b` given the Cholesky factor `L` of `A` (forward then back
+/// substitution).
+pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    assert_eq!(b.len(), n);
+    // Forward: L y = b
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * y[k];
+        }
+        y[i] = sum / l[(i, i)];
+    }
+    // Backward: Lᵀ x = y
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    x
+}
+
+/// Jacobi eigendecomposition of a symmetric matrix: returns
+/// `(eigenvalues, eigenvectors)` where column `k` of the eigenvector matrix
+/// corresponds to `eigenvalues[k]`.
+pub fn symmetric_eigen(a: &Matrix) -> (Vec<f64>, Matrix) {
+    assert_eq!(a.rows(), a.cols(), "eigendecomposition needs a square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    for _sweep in 0..100 {
+        // Largest off-diagonal magnitude.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if m[(p, q)].abs() < 1e-18 {
+                    continue;
+                }
+                let theta = (m[(q, q)] - m[(p, p)]) / (2.0 * m[(p, q)]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let eigenvalues = (0..n).map(|i| m[(i, i)]).collect();
+    (eigenvalues, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_indexing() {
+        let m = Matrix::identity(3);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 1)], 0.0);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.mat_vec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn cholesky_of_spd_matrix_roundtrips() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 12.0, -16.0],
+            vec![12.0, 37.0, -43.0],
+            vec![-16.0, -43.0, 98.0],
+        ]);
+        let l = cholesky(&a).unwrap();
+        // Reconstruct A = L L^T and compare.
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut sum = 0.0;
+                for k in 0..3 {
+                    sum += l[(i, k)] * l[(j, k)];
+                }
+                assert!((sum - a[(i, j)]).abs() < 1e-9, "mismatch at ({i},{j})");
+            }
+        }
+        // Known factor for this classic example: L = [[2,0,0],[6,1,0],[-8,5,3]].
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 6.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 1.0).abs() < 1e-12);
+        assert!((l[(2, 2)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite_matrix() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        assert!(cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn cholesky_solve_recovers_solution() {
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let x_true = vec![1.5, -2.0];
+        let b = a.mat_vec(&x_true);
+        let l = cholesky(&a).unwrap();
+        let x = cholesky_solve(&l, &b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn eigen_of_diagonal_matrix() {
+        let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 7.0]]);
+        let (mut vals, _) = symmetric_eigen(&a);
+        vals.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((vals[0] - 3.0).abs() < 1e-9);
+        assert!((vals[1] - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric_matrix() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ]);
+        let (vals, vecs) = symmetric_eigen(&a);
+        // A ≈ V diag(vals) V^T
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut sum = 0.0;
+                for k in 0..3 {
+                    sum += vecs[(i, k)] * vals[k] * vecs[(j, k)];
+                }
+                assert!((sum - a[(i, j)]).abs() < 1e-6, "mismatch at ({i},{j})");
+            }
+        }
+        // Eigenvalues of this matrix: 1, 2, 4.
+        let mut sorted = vals.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((sorted[0] - 1.0).abs() < 1e-6);
+        assert!((sorted[2] - 4.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,135 @@
+//! The calibration objective: per-site relative walltime error.
+//!
+//! "We perform site specific calibration by feeding historical jobs into the
+//! simulator and measuring the discrepancy between ground truth execution
+//! time and simulated execution time" (§4.2). The objective below does
+//! exactly that for one site: run the simulator on the site's historical
+//! jobs with the historical-PanDA dispatch policy and a candidate speed
+//! multiplier, then report the relative mean absolute error of the simulated
+//! walltime against the trace's ground truth.
+
+use cgsim_core::{ExecutionConfig, Simulation};
+use cgsim_platform::{Platform, PlatformSpec};
+use cgsim_workload::Trace;
+
+/// Objective function for calibrating one site's CPU speed multiplier.
+pub struct SiteWalltimeObjective {
+    platform_spec: PlatformSpec,
+    site_name: String,
+    site_trace: Trace,
+    execution: ExecutionConfig,
+}
+
+impl SiteWalltimeObjective {
+    /// Builds the objective for `site_name`, filtering the calibration trace
+    /// down to the jobs historically executed at that site.
+    pub fn new(platform_spec: &PlatformSpec, trace: &Trace, site_name: &str) -> Self {
+        let jobs = trace
+            .jobs_for_site(site_name)
+            .cloned()
+            .collect::<Vec<_>>();
+        let mut execution = ExecutionConfig::with_policy("historical-panda");
+        // Calibration compares execution time only; monitoring rows are not
+        // needed and output transfers do not affect site walltime accounting
+        // materially, but we keep them on for fidelity with normal runs.
+        execution.monitoring = cgsim_monitor_config_disabled();
+        SiteWalltimeObjective {
+            platform_spec: platform_spec.clone(),
+            site_name: site_name.to_string(),
+            site_trace: Trace {
+                jobs,
+                hidden_site_multipliers: trace.hidden_site_multipliers.clone(),
+            },
+            execution,
+        }
+    }
+
+    /// Number of historical jobs available for this site.
+    pub fn job_count(&self) -> usize {
+        self.site_trace.len()
+    }
+
+    /// Name of the calibrated site.
+    pub fn site_name(&self) -> &str {
+        &self.site_name
+    }
+
+    /// Evaluates the relative walltime MAE for a candidate speed multiplier.
+    /// Returns 0 when the site has no historical jobs.
+    pub fn evaluate(&self, multiplier: f64) -> f64 {
+        if self.site_trace.is_empty() {
+            return 0.0;
+        }
+        let mut platform = Platform::build(&self.platform_spec)
+            .expect("calibration platform spec was validated by the caller");
+        if let Some(site) = platform.site_by_name(&self.site_name) {
+            platform.set_speed_multiplier(site, multiplier.max(1e-6));
+        }
+        let results = Simulation::builder()
+            .platform(platform)
+            .trace(self.site_trace.clone())
+            .policy_name("historical-panda")
+            .execution(self.execution.clone())
+            .run()
+            .expect("calibration simulation is well-formed");
+        results
+            .walltime_error_by_site()
+            .get(&self.site_name)
+            .map(|e| e.overall)
+            .unwrap_or(0.0)
+    }
+}
+
+fn cgsim_monitor_config_disabled() -> cgsim_monitor::MonitoringConfig {
+    cgsim_monitor::MonitoringConfig::disabled()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgsim_platform::presets::example_platform;
+    use cgsim_workload::{TraceConfig, TraceGenerator};
+
+    fn setup() -> (PlatformSpec, Trace) {
+        let spec = example_platform();
+        let mut cfg = TraceConfig::with_jobs(200, 33);
+        // Keep staging cheap so walltime is compute-dominated (as in ATLAS).
+        cfg.mean_file_bytes = 1e8;
+        let trace = TraceGenerator::new(cfg).generate(&spec);
+        (spec, trace)
+    }
+
+    #[test]
+    fn objective_reports_site_and_job_count() {
+        let (spec, trace) = setup();
+        let obj = SiteWalltimeObjective::new(&spec, &trace, "BNL");
+        assert_eq!(obj.site_name(), "BNL");
+        assert_eq!(obj.job_count(), trace.jobs_for_site("BNL").count());
+        assert!(obj.job_count() > 0);
+    }
+
+    #[test]
+    fn hidden_multiplier_minimises_the_objective() {
+        let (spec, trace) = setup();
+        let obj = SiteWalltimeObjective::new(&spec, &trace, "CERN");
+        let hidden = trace.hidden_site_multipliers["CERN"];
+        let at_hidden = obj.evaluate(hidden);
+        let at_nominal = obj.evaluate(1.0);
+        let far_off = obj.evaluate(hidden * 3.0);
+        assert!(
+            at_hidden < at_nominal || (hidden - 1.0).abs() < 0.1,
+            "error at hidden multiplier {at_hidden} should beat nominal {at_nominal}"
+        );
+        assert!(at_hidden < far_off);
+        // At the hidden multiplier only the generator noise remains.
+        assert!(at_hidden < 0.35, "residual error too large: {at_hidden}");
+    }
+
+    #[test]
+    fn unknown_site_yields_zero_objective() {
+        let (spec, trace) = setup();
+        let obj = SiteWalltimeObjective::new(&spec, &trace, "NOT-A-SITE");
+        assert_eq!(obj.job_count(), 0);
+        assert_eq!(obj.evaluate(1.0), 0.0);
+    }
+}

@@ -1,0 +1,667 @@
+//! The four calibration optimisers of paper §4.2.
+//!
+//! All optimisers minimise a black-box objective `f: R^d -> R` over a
+//! box-constrained domain with a fixed evaluation budget — exactly the
+//! setting of the per-site speed calibration (d = 1 there, but every method
+//! is implemented for general d and unit-tested on standard functions).
+
+use cgsim_des::rng::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::{cholesky, cholesky_solve, symmetric_eigen, Matrix};
+
+/// Result of one optimisation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptResult {
+    /// Best point found.
+    pub best_x: Vec<f64>,
+    /// Objective value at the best point.
+    pub best_value: f64,
+    /// Number of objective evaluations performed.
+    pub evaluations: usize,
+    /// Best-so-far value after each evaluation (for convergence plots).
+    pub history: Vec<f64>,
+}
+
+/// The optimiser abstraction shared by all four methods.
+pub trait Optimizer {
+    /// Human-readable method name.
+    fn name(&self) -> &str;
+
+    /// Minimises `objective` over the box `bounds` using at most `budget`
+    /// evaluations.
+    fn optimize(
+        &mut self,
+        objective: &mut dyn FnMut(&[f64]) -> f64,
+        bounds: &[(f64, f64)],
+        budget: usize,
+    ) -> OptResult;
+}
+
+/// Which optimisation method to use (serialisable configuration value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum OptimizerKind {
+    /// Brute-force grid search.
+    Grid,
+    /// Uniform random sampling (the paper's best performer).
+    #[default]
+    Random,
+    /// Gaussian-process Bayesian optimisation with expected improvement.
+    Bayesian,
+    /// Covariance Matrix Adaptation Evolution Strategy.
+    CmaEs,
+}
+
+impl OptimizerKind {
+    /// Instantiates the corresponding optimiser.
+    pub fn build(self, seed: u64) -> Box<dyn Optimizer> {
+        match self {
+            OptimizerKind::Grid => Box::new(GridSearch::new()),
+            OptimizerKind::Random => Box::new(RandomSearch::new(seed)),
+            OptimizerKind::Bayesian => Box::new(BayesianOptimizer::new(seed)),
+            OptimizerKind::CmaEs => Box::new(CmaEs::new(seed)),
+        }
+    }
+
+    /// All four methods, in the order the paper lists them.
+    pub fn all() -> [OptimizerKind; 4] {
+        [
+            OptimizerKind::Grid,
+            OptimizerKind::Random,
+            OptimizerKind::Bayesian,
+            OptimizerKind::CmaEs,
+        ]
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OptimizerKind::Grid => "brute-force",
+            OptimizerKind::Random => "random-search",
+            OptimizerKind::Bayesian => "bayesian-opt",
+            OptimizerKind::CmaEs => "cma-es",
+        }
+    }
+}
+
+fn clamp_to_bounds(x: &mut [f64], bounds: &[(f64, f64)]) {
+    for (xi, &(lo, hi)) in x.iter_mut().zip(bounds) {
+        *xi = xi.clamp(lo, hi);
+    }
+}
+
+fn track(history: &mut Vec<f64>, value: f64) {
+    let best = history.last().copied().unwrap_or(f64::INFINITY).min(value);
+    history.push(best);
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force grid search
+// ---------------------------------------------------------------------------
+
+/// Exhaustive grid search ("theoretically optimal but computationally
+/// infeasible across 150 sites" — here it is feasible because the search is
+/// per-site and one-dimensional, but it spends its entire budget on a fixed
+/// lattice).
+#[derive(Debug, Default)]
+pub struct GridSearch;
+
+impl GridSearch {
+    /// Creates the optimiser.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Optimizer for GridSearch {
+    fn name(&self) -> &str {
+        "brute-force"
+    }
+
+    fn optimize(
+        &mut self,
+        objective: &mut dyn FnMut(&[f64]) -> f64,
+        bounds: &[(f64, f64)],
+        budget: usize,
+    ) -> OptResult {
+        let d = bounds.len();
+        assert!(d > 0 && budget > 0);
+        // Points per dimension so that total evaluations <= budget.
+        let per_dim = (budget as f64).powf(1.0 / d as f64).floor().max(1.0) as usize;
+        let mut best_x = vec![0.0; d];
+        let mut best_value = f64::INFINITY;
+        let mut history = Vec::new();
+        let total: usize = per_dim.pow(d as u32);
+        let mut evaluations = 0;
+        for flat in 0..total {
+            let mut x = Vec::with_capacity(d);
+            let mut rest = flat;
+            for &(lo, hi) in bounds {
+                let idx = rest % per_dim;
+                rest /= per_dim;
+                let frac = if per_dim == 1 {
+                    0.5
+                } else {
+                    idx as f64 / (per_dim - 1) as f64
+                };
+                x.push(lo + frac * (hi - lo));
+            }
+            let value = objective(&x);
+            evaluations += 1;
+            track(&mut history, value);
+            if value < best_value {
+                best_value = value;
+                best_x = x;
+            }
+        }
+        OptResult {
+            best_x,
+            best_value,
+            evaluations,
+            history,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random search
+// ---------------------------------------------------------------------------
+
+/// Uniform random sampling within the bounds — the method that achieved the
+/// lowest average calibration error in the paper.
+#[derive(Debug)]
+pub struct RandomSearch {
+    rng: Rng,
+}
+
+impl RandomSearch {
+    /// Creates the optimiser with a seed.
+    pub fn new(seed: u64) -> Self {
+        RandomSearch {
+            rng: Rng::new(seed),
+        }
+    }
+}
+
+impl Optimizer for RandomSearch {
+    fn name(&self) -> &str {
+        "random-search"
+    }
+
+    fn optimize(
+        &mut self,
+        objective: &mut dyn FnMut(&[f64]) -> f64,
+        bounds: &[(f64, f64)],
+        budget: usize,
+    ) -> OptResult {
+        assert!(!bounds.is_empty() && budget > 0);
+        let mut best_x = Vec::new();
+        let mut best_value = f64::INFINITY;
+        let mut history = Vec::new();
+        for _ in 0..budget {
+            let x: Vec<f64> = bounds
+                .iter()
+                .map(|&(lo, hi)| self.rng.uniform_range(lo, hi))
+                .collect();
+            let value = objective(&x);
+            track(&mut history, value);
+            if value < best_value {
+                best_value = value;
+                best_x = x;
+            }
+        }
+        OptResult {
+            best_x,
+            best_value,
+            evaluations: budget,
+            history,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bayesian optimisation (GP + expected improvement)
+// ---------------------------------------------------------------------------
+
+/// Gaussian-process Bayesian optimisation with an RBF kernel and expected
+/// improvement acquisition, maximised over a random candidate pool.
+#[derive(Debug)]
+pub struct BayesianOptimizer {
+    rng: Rng,
+    /// Number of initial random samples before the GP is used.
+    pub initial_samples: usize,
+    /// Number of random candidates scored by the acquisition per iteration.
+    pub candidates: usize,
+    /// RBF length-scale as a fraction of each dimension's range.
+    pub length_scale_fraction: f64,
+}
+
+impl BayesianOptimizer {
+    /// Creates the optimiser with a seed and default hyper-parameters.
+    pub fn new(seed: u64) -> Self {
+        BayesianOptimizer {
+            rng: Rng::new(seed),
+            initial_samples: 5,
+            candidates: 256,
+            length_scale_fraction: 0.2,
+        }
+    }
+
+    fn kernel(&self, a: &[f64], b: &[f64], scales: &[f64]) -> f64 {
+        let dist2: f64 = a
+            .iter()
+            .zip(b)
+            .zip(scales)
+            .map(|((x, y), s)| ((x - y) / s).powi(2))
+            .sum();
+        (-0.5 * dist2).exp()
+    }
+}
+
+/// Standard normal PDF.
+fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF (Abramowitz–Stegun approximation).
+fn normal_cdf(z: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.2316419 * z.abs());
+    let poly = t
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    let tail = normal_pdf(z) * poly;
+    if z >= 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+impl Optimizer for BayesianOptimizer {
+    fn name(&self) -> &str {
+        "bayesian-opt"
+    }
+
+    fn optimize(
+        &mut self,
+        objective: &mut dyn FnMut(&[f64]) -> f64,
+        bounds: &[(f64, f64)],
+        budget: usize,
+    ) -> OptResult {
+        assert!(!bounds.is_empty() && budget > 0);
+        let scales: Vec<f64> = bounds
+            .iter()
+            .map(|&(lo, hi)| ((hi - lo) * self.length_scale_fraction).max(1e-9))
+            .collect();
+
+        let mut xs: Vec<Vec<f64>> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        let mut history = Vec::new();
+
+        let init = self.initial_samples.min(budget);
+        for _ in 0..init {
+            let x: Vec<f64> = bounds
+                .iter()
+                .map(|&(lo, hi)| self.rng.uniform_range(lo, hi))
+                .collect();
+            let y = objective(&x);
+            track(&mut history, y);
+            xs.push(x);
+            ys.push(y);
+        }
+
+        while ys.len() < budget {
+            // Fit the GP: K + jitter, alpha = K^-1 (y - mean).
+            let n = xs.len();
+            let mean_y: f64 = ys.iter().sum::<f64>() / n as f64;
+            let mut k = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    k[(i, j)] = self.kernel(&xs[i], &xs[j], &scales);
+                }
+                k[(i, i)] += 1e-6;
+            }
+            let centered: Vec<f64> = ys.iter().map(|y| y - mean_y).collect();
+            let next = match cholesky(&k) {
+                Some(l) => {
+                    let alpha = cholesky_solve(&l, &centered);
+                    let best_y = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+                    // Score random candidates by expected improvement.
+                    let mut best_candidate: Option<(Vec<f64>, f64)> = None;
+                    for _ in 0..self.candidates {
+                        let x: Vec<f64> = bounds
+                            .iter()
+                            .map(|&(lo, hi)| self.rng.uniform_range(lo, hi))
+                            .collect();
+                        let kx: Vec<f64> =
+                            xs.iter().map(|xi| self.kernel(&x, xi, &scales)).collect();
+                        let mu = mean_y
+                            + kx.iter().zip(&alpha).map(|(a, b)| a * b).sum::<f64>();
+                        // Predictive variance: k(x,x) - k_x^T K^-1 k_x.
+                        let v = cholesky_solve(&l, &kx);
+                        let var = (1.0 - kx.iter().zip(&v).map(|(a, b)| a * b).sum::<f64>())
+                            .max(1e-12);
+                        let sigma = var.sqrt();
+                        let z = (best_y - mu) / sigma;
+                        let ei = (best_y - mu) * normal_cdf(z) + sigma * normal_pdf(z);
+                        match &best_candidate {
+                            Some((_, best_ei)) if ei <= *best_ei => {}
+                            _ => best_candidate = Some((x, ei)),
+                        }
+                    }
+                    best_candidate.map(|(x, _)| x).unwrap_or_else(|| {
+                        bounds
+                            .iter()
+                            .map(|&(lo, hi)| self.rng.uniform_range(lo, hi))
+                            .collect()
+                    })
+                }
+                // Numerical trouble: fall back to a random point.
+                None => bounds
+                    .iter()
+                    .map(|&(lo, hi)| self.rng.uniform_range(lo, hi))
+                    .collect(),
+            };
+            let y = objective(&next);
+            track(&mut history, y);
+            xs.push(next);
+            ys.push(y);
+        }
+
+        let (best_idx, best_value) = ys
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("objective returned NaN"))
+            .map(|(i, &v)| (i, v))
+            .expect("at least one evaluation");
+        OptResult {
+            best_x: xs[best_idx].clone(),
+            best_value,
+            evaluations: ys.len(),
+            history,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CMA-ES
+// ---------------------------------------------------------------------------
+
+/// Covariance Matrix Adaptation Evolution Strategy (Hansen 2016), with box
+/// constraints handled by clamping sampled candidates.
+#[derive(Debug)]
+pub struct CmaEs {
+    rng: Rng,
+    /// Initial step size as a fraction of each dimension's range.
+    pub initial_sigma_fraction: f64,
+}
+
+impl CmaEs {
+    /// Creates the optimiser with a seed.
+    pub fn new(seed: u64) -> Self {
+        CmaEs {
+            rng: Rng::new(seed),
+            initial_sigma_fraction: 0.3,
+        }
+    }
+}
+
+impl Optimizer for CmaEs {
+    fn name(&self) -> &str {
+        "cma-es"
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn optimize(
+        &mut self,
+        objective: &mut dyn FnMut(&[f64]) -> f64,
+        bounds: &[(f64, f64)],
+        budget: usize,
+    ) -> OptResult {
+        let n = bounds.len();
+        assert!(n > 0 && budget > 0);
+        let nf = n as f64;
+
+        // Strategy parameters (standard defaults).
+        let lambda = (4.0 + (3.0 * nf.ln()).floor()).max(4.0) as usize;
+        let mu = lambda / 2;
+        let weights_raw: Vec<f64> = (0..mu)
+            .map(|i| ((mu as f64 + 0.5).ln() - ((i + 1) as f64).ln()).max(0.0))
+            .collect();
+        let w_sum: f64 = weights_raw.iter().sum();
+        let weights: Vec<f64> = weights_raw.iter().map(|w| w / w_sum).collect();
+        let mu_eff = 1.0 / weights.iter().map(|w| w * w).sum::<f64>();
+        let cc = (4.0 + mu_eff / nf) / (nf + 4.0 + 2.0 * mu_eff / nf);
+        let cs = (mu_eff + 2.0) / (nf + mu_eff + 5.0);
+        let c1 = 2.0 / ((nf + 1.3).powi(2) + mu_eff);
+        let cmu = (1.0 - c1).min(2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((nf + 2.0).powi(2) + mu_eff));
+        let damps = 1.0 + 2.0 * ((mu_eff - 1.0) / (nf + 1.0)).sqrt().max(0.0) + cs;
+        let chi_n = nf.sqrt() * (1.0 - 1.0 / (4.0 * nf) + 1.0 / (21.0 * nf * nf));
+
+        // Initial state: centre of the box, sigma from the range.
+        let ranges: Vec<f64> = bounds.iter().map(|&(lo, hi)| hi - lo).collect();
+        let mut mean: Vec<f64> = bounds.iter().map(|&(lo, hi)| 0.5 * (lo + hi)).collect();
+        let mut sigma = self.initial_sigma_fraction
+            * (ranges.iter().sum::<f64>() / nf).max(1e-12);
+        let mut cov = Matrix::identity(n);
+        let mut p_c = vec![0.0; n];
+        let mut p_s = vec![0.0; n];
+
+        let mut best_x = mean.clone();
+        let mut best_value = f64::INFINITY;
+        let mut history = Vec::new();
+        let mut evaluations = 0;
+        let mut generation = 0usize;
+
+        while evaluations < budget {
+            // Eigendecomposition C = B D^2 B^T for sampling.
+            let (eigvals, eigvecs) = symmetric_eigen(&cov);
+            let d_sqrt: Vec<f64> = eigvals.iter().map(|&v| v.max(1e-14).sqrt()).collect();
+
+            // Sample lambda candidates.
+            let mut population: Vec<(Vec<f64>, Vec<f64>, f64)> = Vec::with_capacity(lambda);
+            for _ in 0..lambda {
+                if evaluations >= budget {
+                    break;
+                }
+                let z: Vec<f64> = (0..n).map(|_| self.rng.normal_std()).collect();
+                // y = B D z
+                let mut y = vec![0.0; n];
+                for i in 0..n {
+                    for k in 0..n {
+                        y[i] += eigvecs[(i, k)] * d_sqrt[k] * z[k];
+                    }
+                }
+                let mut x: Vec<f64> = (0..n).map(|i| mean[i] + sigma * y[i]).collect();
+                clamp_to_bounds(&mut x, bounds);
+                let value = objective(&x);
+                evaluations += 1;
+                track(&mut history, value);
+                if value < best_value {
+                    best_value = value;
+                    best_x = x.clone();
+                }
+                population.push((x, y, value));
+            }
+            if population.len() < 2 {
+                break;
+            }
+            generation += 1;
+            population.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("objective returned NaN"));
+
+            // Recombination.
+            let top = population.len().min(mu).max(1);
+            let mut new_mean = vec![0.0; n];
+            let mut y_w = vec![0.0; n];
+            for (rank, (x, y, _)) in population.iter().take(top).enumerate() {
+                let w = weights.get(rank).copied().unwrap_or(0.0);
+                for i in 0..n {
+                    new_mean[i] += w * x[i];
+                    y_w[i] += w * y[i];
+                }
+            }
+            mean = new_mean;
+
+            // Step-size path (using C^-1/2 y_w = B D^-1 B^T y_w).
+            let mut c_inv_sqrt_yw = vec![0.0; n];
+            for i in 0..n {
+                for k in 0..n {
+                    // (B D^-1 B^T)_{i,j} = sum_k B_{i,k} d_k^-1 B_{j,k}
+                    let mut acc = 0.0;
+                    for j in 0..n {
+                        acc += eigvecs[(j, k)] * y_w[j];
+                    }
+                    c_inv_sqrt_yw[i] += eigvecs[(i, k)] / d_sqrt[k] * acc;
+                }
+            }
+            for i in 0..n {
+                p_s[i] = (1.0 - cs) * p_s[i]
+                    + (cs * (2.0 - cs) * mu_eff).sqrt() * c_inv_sqrt_yw[i];
+            }
+            let p_s_norm = p_s.iter().map(|v| v * v).sum::<f64>().sqrt();
+            sigma *= ((cs / damps) * (p_s_norm / chi_n - 1.0)).exp();
+            sigma = sigma.clamp(1e-12, ranges.iter().cloned().fold(0.0, f64::max));
+
+            // Covariance path and rank-one / rank-mu update.
+            let hsig = p_s_norm
+                / (1.0 - (1.0 - cs).powi(2 * generation as i32)).sqrt()
+                / chi_n
+                < 1.4 + 2.0 / (nf + 1.0);
+            let hsig_f = if hsig { 1.0 } else { 0.0 };
+            for i in 0..n {
+                p_c[i] = (1.0 - cc) * p_c[i]
+                    + hsig_f * (cc * (2.0 - cc) * mu_eff).sqrt() * y_w[i];
+            }
+            let mut new_cov = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    let rank_one = p_c[i] * p_c[j]
+                        + (1.0 - hsig_f) * cc * (2.0 - cc) * cov[(i, j)];
+                    let mut rank_mu = 0.0;
+                    for (rank, (_, y, _)) in population.iter().take(top).enumerate() {
+                        let w = weights.get(rank).copied().unwrap_or(0.0);
+                        rank_mu += w * y[i] * y[j];
+                    }
+                    new_cov[(i, j)] = (1.0 - c1 - cmu) * cov[(i, j)]
+                        + c1 * rank_one
+                        + cmu * rank_mu;
+                }
+            }
+            cov = new_cov;
+        }
+
+        OptResult {
+            best_x,
+            best_value,
+            evaluations,
+            history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere(x: &[f64]) -> f64 {
+        x.iter().map(|v| (v - 0.7) * (v - 0.7)).sum()
+    }
+
+    fn rosenbrock(x: &[f64]) -> f64 {
+        x.windows(2)
+            .map(|w| 100.0 * (w[1] - w[0] * w[0]).powi(2) + (1.0 - w[0]).powi(2))
+            .sum()
+    }
+
+    fn bounds(d: usize) -> Vec<(f64, f64)> {
+        vec![(-2.0, 2.0); d]
+    }
+
+    #[test]
+    fn grid_search_finds_1d_minimum() {
+        let mut opt = GridSearch::new();
+        let result = opt.optimize(&mut |x| sphere(x), &bounds(1), 200);
+        assert!(result.best_value < 1e-3, "value={}", result.best_value);
+        assert!((result.best_x[0] - 0.7).abs() < 0.05);
+        assert_eq!(result.evaluations, 200);
+    }
+
+    #[test]
+    fn random_search_finds_1d_minimum() {
+        let mut opt = RandomSearch::new(3);
+        let result = opt.optimize(&mut |x| sphere(x), &bounds(1), 200);
+        assert!(result.best_value < 1e-2);
+        assert!((result.best_x[0] - 0.7).abs() < 0.1);
+    }
+
+    #[test]
+    fn bayesian_opt_beats_its_initial_samples() {
+        let mut opt = BayesianOptimizer::new(7);
+        let result = opt.optimize(&mut |x| sphere(x), &bounds(2), 40);
+        assert_eq!(result.evaluations, 40);
+        assert!(result.best_value < 0.05, "value={}", result.best_value);
+        // History is the best-so-far curve: non-increasing.
+        for pair in result.history.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn cmaes_minimises_sphere_in_3d() {
+        let mut opt = CmaEs::new(11);
+        let result = opt.optimize(&mut |x| sphere(x), &bounds(3), 600);
+        assert!(result.best_value < 1e-3, "value={}", result.best_value);
+        for &xi in &result.best_x {
+            assert!((xi - 0.7).abs() < 0.05, "x={xi}");
+        }
+    }
+
+    #[test]
+    fn cmaes_makes_progress_on_rosenbrock() {
+        let mut opt = CmaEs::new(13);
+        let result = opt.optimize(&mut |x| rosenbrock(x), &bounds(2), 800);
+        assert!(result.best_value < 0.5, "value={}", result.best_value);
+    }
+
+    #[test]
+    fn all_optimizers_respect_budget_and_bounds() {
+        let b = vec![(0.5, 1.5)];
+        for kind in OptimizerKind::all() {
+            let mut opt = kind.build(21);
+            let mut evals = 0usize;
+            let result = opt.optimize(
+                &mut |x| {
+                    evals += 1;
+                    assert!(x[0] >= 0.5 - 1e-12 && x[0] <= 1.5 + 1e-12, "{kind:?} out of bounds");
+                    (x[0] - 1.1).powi(2)
+                },
+                &b,
+                60,
+            );
+            assert!(evals <= 60, "{kind:?} exceeded budget: {evals}");
+            assert_eq!(result.evaluations, evals);
+            assert!(result.best_value < 0.05, "{kind:?} value={}", result.best_value);
+            assert!(!opt.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn optimizers_are_deterministic_given_seed() {
+        for kind in [OptimizerKind::Random, OptimizerKind::Bayesian, OptimizerKind::CmaEs] {
+            let run = |seed: u64| {
+                let mut opt = kind.build(seed);
+                opt.optimize(&mut |x| sphere(x), &bounds(2), 30).best_value
+            };
+            assert_eq!(run(5).to_bits(), run(5).to_bits(), "{kind:?} not deterministic");
+        }
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        assert_eq!(OptimizerKind::Grid.label(), "brute-force");
+        assert_eq!(OptimizerKind::Random.label(), "random-search");
+        assert_eq!(OptimizerKind::Bayesian.label(), "bayesian-opt");
+        assert_eq!(OptimizerKind::CmaEs.label(), "cma-es");
+        assert_eq!(OptimizerKind::default(), OptimizerKind::Random);
+    }
+}

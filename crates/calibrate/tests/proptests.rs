@@ -1,0 +1,110 @@
+//! Property-based tests for the optimisers and linear algebra.
+
+use cgsim_calibrate::linalg::{cholesky, cholesky_solve, symmetric_eigen, Matrix};
+use cgsim_calibrate::{Optimizer, OptimizerKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every optimiser respects the evaluation budget, only queries points
+    /// inside the bounds, and reports a best value it actually observed.
+    #[test]
+    fn optimizers_respect_budget_and_bounds(
+        seed in any::<u64>(),
+        lo in -5.0f64..0.0,
+        width in 0.5f64..10.0,
+        target_frac in 0.0f64..1.0,
+        budget in 5usize..60,
+        kind_idx in 0usize..4,
+    ) {
+        let hi = lo + width;
+        let target = lo + target_frac * width;
+        let kind = OptimizerKind::all()[kind_idx];
+        let mut optimizer = kind.build(seed);
+        let mut evaluations = 0usize;
+        let mut observed = Vec::new();
+        let result = optimizer.optimize(
+            &mut |x: &[f64]| {
+                evaluations += 1;
+                assert!(x.len() == 1);
+                assert!(x[0] >= lo - 1e-9 && x[0] <= hi + 1e-9, "query out of bounds");
+                let v = (x[0] - target).powi(2);
+                observed.push(v);
+                v
+            },
+            &[(lo, hi)],
+            budget,
+        );
+        prop_assert!(evaluations <= budget);
+        prop_assert_eq!(result.evaluations, evaluations);
+        prop_assert!(result.best_x[0] >= lo - 1e-9 && result.best_x[0] <= hi + 1e-9);
+        // The reported best equals the minimum observed value.
+        let min_observed = observed.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!((result.best_value - min_observed).abs() < 1e-12);
+        // The best-so-far history is non-increasing and ends at the best value.
+        for pair in result.history.windows(2) {
+            prop_assert!(pair[1] <= pair[0] + 1e-12);
+        }
+        prop_assert!((result.history.last().copied().unwrap() - min_observed).abs() < 1e-12);
+    }
+
+    /// Cholesky solve inverts SPD systems built as A = M Mᵀ + εI.
+    #[test]
+    fn cholesky_solves_random_spd_systems(
+        entries in prop::collection::vec(-2.0f64..2.0, 9),
+        rhs in prop::collection::vec(-5.0f64..5.0, 3),
+    ) {
+        let m = Matrix::from_rows(&[
+            entries[0..3].to_vec(),
+            entries[3..6].to_vec(),
+            entries[6..9].to_vec(),
+        ]);
+        // A = M M^T + I (guaranteed SPD).
+        let mut a = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut sum = 0.0;
+                for k in 0..3 {
+                    sum += m[(i, k)] * m[(j, k)];
+                }
+                a[(i, j)] = sum + if i == j { 1.0 } else { 0.0 };
+            }
+        }
+        let l = cholesky(&a).expect("A is SPD");
+        let x = cholesky_solve(&l, &rhs);
+        let back = a.mat_vec(&x);
+        for (bi, ri) in back.iter().zip(&rhs) {
+            prop_assert!((bi - ri).abs() < 1e-6);
+        }
+    }
+
+    /// Jacobi eigendecomposition reconstructs random symmetric matrices and
+    /// produces orthonormal eigenvectors.
+    #[test]
+    fn eigen_reconstructs_random_symmetric(entries in prop::collection::vec(-3.0f64..3.0, 6)) {
+        // Symmetric 3x3 from 6 free entries.
+        let a = Matrix::from_rows(&[
+            vec![entries[0], entries[1], entries[2]],
+            vec![entries[1], entries[3], entries[4]],
+            vec![entries[2], entries[4], entries[5]],
+        ]);
+        let (vals, vecs) = symmetric_eigen(&a);
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut sum = 0.0;
+                for k in 0..3 {
+                    sum += vecs[(i, k)] * vals[k] * vecs[(j, k)];
+                }
+                prop_assert!((sum - a[(i, j)]).abs() < 1e-5, "reconstruction mismatch");
+                // Orthonormality of eigenvector columns.
+                let mut dot = 0.0;
+                for k in 0..3 {
+                    dot += vecs[(k, i)] * vecs[(k, j)];
+                }
+                let expected = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((dot - expected).abs() < 1e-5, "columns not orthonormal");
+            }
+        }
+    }
+}

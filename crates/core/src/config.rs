@@ -1,0 +1,206 @@
+//! Execution parameters (the third JSON input file).
+
+use cgsim_data::SourceSelection;
+use cgsim_monitor::MonitoringConfig;
+use cgsim_platform::PlatformSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::queue_model::QueueModel;
+
+/// How CPU cores are shared between jobs at a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ComputeMode {
+    /// Jobs get dedicated cores (PanDA batch-slot semantics); jobs queue when
+    /// no cores are free. This is the mode used by all paper experiments.
+    #[default]
+    DedicatedCores,
+    /// Jobs time-share the site's aggregate capacity through the fluid model
+    /// (useful for modelling opportunistic/backfill resources).
+    TimeShared,
+}
+
+/// Execution parameters: everything about a run that is not the platform or
+/// the workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecutionConfig {
+    /// Name of the allocation policy to instantiate from the registry.
+    pub allocation_policy: String,
+    /// Master RNG seed (failure draws, random policies).
+    pub seed: u64,
+    /// Probability that a job fails at the end of its execution.
+    pub failure_probability: f64,
+    /// How many times a failed job is re-submitted before being declared failed.
+    pub max_retries: u32,
+    /// Replica-source selection strategy for input staging.
+    pub source_selection: SourceSelection,
+    /// Name of the data-movement policy to instantiate from the data-policy
+    /// registry (replica-source selection and cache admission). The default
+    /// policy defers source selection to `source_selection` and always caches.
+    #[serde(default = "default_data_movement_policy")]
+    pub data_movement_policy: String,
+    /// Whether finished jobs ship their output back to the main server.
+    pub enable_output_transfers: bool,
+    /// Whether staged task datasets are cached (replicated) at the execution
+    /// site so later jobs of the same task skip the WAN transfer.
+    pub cache_datasets: bool,
+    /// Core sharing mode.
+    pub compute_mode: ComputeMode,
+    /// Scheduling-overhead / contention model applied when a site picks a job
+    /// from its queue (paper §4.2 queue-time modeling). Zero by default.
+    #[serde(default)]
+    pub queue_model: QueueModel,
+    /// Monitoring configuration.
+    pub monitoring: MonitoringConfig,
+    /// Optional virtual-time horizon (seconds); events after it are dropped.
+    pub horizon_s: Option<f64>,
+}
+
+fn default_data_movement_policy() -> String {
+    "default-data-movement".to_string()
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        ExecutionConfig {
+            allocation_policy: "least-loaded".to_string(),
+            seed: 1,
+            failure_probability: 0.0,
+            max_retries: 1,
+            source_selection: SourceSelection::LowestLatency,
+            data_movement_policy: default_data_movement_policy(),
+            enable_output_transfers: true,
+            cache_datasets: true,
+            compute_mode: ComputeMode::DedicatedCores,
+            queue_model: QueueModel::default(),
+            monitoring: MonitoringConfig::default(),
+            horizon_s: None,
+        }
+    }
+}
+
+impl ExecutionConfig {
+    /// Convenience constructor selecting a policy by name.
+    pub fn with_policy(name: impl Into<String>) -> Self {
+        ExecutionConfig {
+            allocation_policy: name.into(),
+            ..ExecutionConfig::default()
+        }
+    }
+
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("execution config serialises")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// The full three-part simulation configuration of the paper's input layer:
+/// infrastructure + network (both inside [`PlatformSpec`]) and execution
+/// parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Platform (infrastructure + network topology).
+    pub platform: PlatformSpec,
+    /// Execution parameters.
+    pub execution: ExecutionConfig,
+}
+
+impl SimulationConfig {
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("simulation config serialises")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Loads a configuration from two JSON files (platform and execution).
+    pub fn load(
+        platform_path: impl AsRef<std::path::Path>,
+        execution_path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<Self> {
+        let platform = PlatformSpec::load(platform_path)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let execution: ExecutionConfig =
+            serde_json::from_str(&std::fs::read_to_string(execution_path)?)?;
+        Ok(SimulationConfig {
+            platform,
+            execution,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgsim_platform::presets::example_platform;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = ExecutionConfig::default();
+        assert_eq!(cfg.allocation_policy, "least-loaded");
+        assert_eq!(cfg.failure_probability, 0.0);
+        assert!(cfg.cache_datasets);
+        assert_eq!(cfg.compute_mode, ComputeMode::DedicatedCores);
+        assert_eq!(cfg.data_movement_policy, "default-data-movement");
+        assert!(cfg.queue_model.is_zero());
+    }
+
+    #[test]
+    fn configs_without_queue_model_or_data_policy_still_parse() {
+        // Configuration files written before the queue-time model and the
+        // data-movement policy existed must keep loading (serde defaults).
+        let mut json: serde_json::Value =
+            serde_json::from_str(&ExecutionConfig::default().to_json()).unwrap();
+        json.as_object_mut().unwrap().remove("queue_model");
+        json.as_object_mut().unwrap().remove("data_movement_policy");
+        let cfg = ExecutionConfig::from_json(&json.to_string()).unwrap();
+        assert!(cfg.queue_model.is_zero());
+        assert_eq!(cfg.data_movement_policy, "default-data-movement");
+    }
+
+    #[test]
+    fn execution_config_json_roundtrip() {
+        let mut cfg = ExecutionConfig::with_policy("round-robin");
+        cfg.failure_probability = 0.05;
+        cfg.horizon_s = Some(1e6);
+        let json = cfg.to_json();
+        let back = ExecutionConfig::from_json(&json).unwrap();
+        assert_eq!(back.allocation_policy, "round-robin");
+        assert_eq!(back.failure_probability, 0.05);
+        assert_eq!(back.horizon_s, Some(1e6));
+    }
+
+    #[test]
+    fn simulation_config_roundtrip_and_file_load() {
+        let config = SimulationConfig {
+            platform: example_platform(),
+            execution: ExecutionConfig::default(),
+        };
+        let back = SimulationConfig::from_json(&config.to_json()).unwrap();
+        assert_eq!(back.platform.sites.len(), 4);
+
+        let dir = std::env::temp_dir().join("cgsim-config-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let platform_path = dir.join("platform.json");
+        let exec_path = dir.join("execution.json");
+        config.platform.save(&platform_path).unwrap();
+        std::fs::write(&exec_path, config.execution.to_json()).unwrap();
+        let loaded = SimulationConfig::load(&platform_path, &exec_path).unwrap();
+        assert_eq!(loaded.platform.sites.len(), 4);
+        assert_eq!(loaded.execution.allocation_policy, "least-loaded");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_gracefully() {
+        // Missing required field -> error, not panic.
+        assert!(ExecutionConfig::from_json("{\"bogus\": 1}").is_err());
+    }
+}

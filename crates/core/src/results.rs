@@ -1,0 +1,291 @@
+//! Simulation results and derived analyses.
+
+use std::collections::BTreeMap;
+
+use cgsim_des::stats::relative_mae;
+use cgsim_monitor::dashboard::SitePanel;
+use cgsim_monitor::{EventRecord, JobOutcome, MetricsReport, TableStore};
+use cgsim_workload::JobKind;
+use serde::{Deserialize, Serialize};
+
+/// Relative walltime error of one site, split by job class (the per-site
+/// quantity plotted in the paper's Fig. 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SiteWalltimeError {
+    /// Relative MAE over single-core jobs (`None` when the site ran none).
+    pub single_core: Option<f64>,
+    /// Relative MAE over multi-core jobs (`None` when the site ran none).
+    pub multi_core: Option<f64>,
+    /// Relative MAE over all jobs with ground truth.
+    pub overall: f64,
+    /// Number of jobs with ground truth used.
+    pub jobs: usize,
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulationResults {
+    /// Per-job outcomes.
+    pub outcomes: Vec<JobOutcome>,
+    /// Event-level monitoring dataset (Table 1 rows).
+    pub events: Vec<EventRecord>,
+    /// Aggregated operational metrics.
+    pub metrics: MetricsReport,
+    /// Virtual time at which the last event was processed (seconds).
+    pub makespan_s: f64,
+    /// Number of discrete events processed by the engine.
+    pub engine_events: u64,
+    /// Wall-clock runtime of the simulation itself (seconds) — the quantity
+    /// reported by the scalability experiments (Fig. 4).
+    pub wall_clock_s: f64,
+    /// Final per-site dashboard panels.
+    pub site_panels: Vec<SitePanel>,
+    /// Name of the allocation policy used.
+    pub policy: String,
+}
+
+impl SimulationResults {
+    /// Per-site relative walltime error against the trace ground truth.
+    pub fn walltime_error_by_site(&self) -> BTreeMap<String, SiteWalltimeError> {
+        let mut grouped: BTreeMap<String, Vec<&JobOutcome>> = BTreeMap::new();
+        for o in &self.outcomes {
+            if o.hist_walltime.is_some() {
+                grouped.entry(o.site.clone()).or_default().push(o);
+            }
+        }
+        grouped
+            .into_iter()
+            .map(|(site, jobs)| {
+                let split = |kind: JobKind| {
+                    let (sim, truth): (Vec<f64>, Vec<f64>) = jobs
+                        .iter()
+                        .filter(|o| o.kind == kind)
+                        .map(|o| (o.walltime, o.hist_walltime.expect("filtered")))
+                        .unzip();
+                    if sim.is_empty() {
+                        None
+                    } else {
+                        Some(relative_mae(&sim, &truth))
+                    }
+                };
+                let (sim_all, truth_all): (Vec<f64>, Vec<f64>) = jobs
+                    .iter()
+                    .map(|o| (o.walltime, o.hist_walltime.expect("filtered")))
+                    .unzip();
+                (
+                    site,
+                    SiteWalltimeError {
+                        single_core: split(JobKind::SingleCore),
+                        multi_core: split(JobKind::MultiCore),
+                        overall: relative_mae(&sim_all, &truth_all),
+                        jobs: jobs.len(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Geometric mean of the per-site overall relative walltime error — the
+    /// headline calibration number of Fig. 3 (76 % before, 17 % after).
+    pub fn geometric_mean_walltime_error(&self) -> Option<f64> {
+        let per_site = self.walltime_error_by_site();
+        let errors: Vec<f64> = per_site
+            .values()
+            .map(|e| e.overall.max(1e-6))
+            .collect();
+        if errors.is_empty() {
+            None
+        } else {
+            Some(cgsim_des::stats::geometric_mean(&errors))
+        }
+    }
+
+    /// Exports the run into the table store (the paper's SQLite/CSV output
+    /// layer): `events`, `jobs` and `site_summary` tables.
+    pub fn to_table_store(&self) -> TableStore {
+        let mut store = TableStore::new();
+        {
+            let t = store.table(
+                "events",
+                &[
+                    "event_id",
+                    "time_s",
+                    "job_id",
+                    "state",
+                    "site",
+                    "available_cores",
+                    "pending_jobs",
+                    "assigned_jobs",
+                    "finished_jobs",
+                ],
+            );
+            for e in &self.events {
+                t.push_row(vec![
+                    e.event_id.into(),
+                    e.time_s.into(),
+                    e.job_id.0.into(),
+                    e.state.label().into(),
+                    e.site.clone().into(),
+                    e.available_cores.into(),
+                    e.pending_jobs.into(),
+                    e.assigned_jobs.into(),
+                    e.finished_jobs.into(),
+                ]);
+            }
+        }
+        {
+            let t = store.table(
+                "jobs",
+                &[
+                    "job_id",
+                    "kind",
+                    "cores",
+                    "site",
+                    "submit_time",
+                    "queue_time",
+                    "walltime",
+                    "final_state",
+                    "staged_bytes",
+                ],
+            );
+            for o in &self.outcomes {
+                t.push_row(vec![
+                    o.id.0.into(),
+                    o.kind.label().into(),
+                    (o.cores as u64).into(),
+                    o.site.clone().into(),
+                    o.submit_time.into(),
+                    o.queue_time.into(),
+                    o.walltime.into(),
+                    o.final_state.label().into(),
+                    o.staged_bytes.into(),
+                ]);
+            }
+        }
+        {
+            let t = store.table(
+                "site_summary",
+                &[
+                    "site",
+                    "finished_jobs",
+                    "failed_jobs",
+                    "failure_rate",
+                    "mean_queue_time",
+                    "mean_walltime",
+                    "core_seconds",
+                ],
+            );
+            for (name, m) in &self.metrics.per_site {
+                t.push_row(vec![
+                    name.clone().into(),
+                    m.finished_jobs.into(),
+                    m.failed_jobs.into(),
+                    m.failure_rate.into(),
+                    m.queue_time.as_ref().map(|s| s.mean).unwrap_or(0.0).into(),
+                    m.walltime.as_ref().map(|s| s.mean).unwrap_or(0.0).into(),
+                    m.core_seconds.into(),
+                ]);
+            }
+        }
+        store
+    }
+
+    /// Renders the final dashboard as ASCII.
+    pub fn ascii_dashboard(&self) -> String {
+        cgsim_monitor::dashboard::ascii_dashboard(self.makespan_s, &self.site_panels)
+    }
+
+    /// Renders the final dashboard as a self-contained HTML page.
+    pub fn html_dashboard(&self) -> String {
+        cgsim_monitor::dashboard::html_dashboard(self.makespan_s, &self.site_panels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgsim_workload::{JobId, JobState};
+
+    fn outcome(id: u64, site: &str, kind: JobKind, sim: f64, truth: f64) -> JobOutcome {
+        JobOutcome {
+            id: JobId(id),
+            kind,
+            cores: if kind == JobKind::MultiCore { 8 } else { 1 },
+            work_hs23: sim * 10.0,
+            site: site.into(),
+            submit_time: 0.0,
+            assign_time: 1.0,
+            start_time: 2.0,
+            end_time: 2.0 + sim,
+            final_state: JobState::Finished,
+            staged_bytes: 100,
+            walltime: sim,
+            queue_time: 2.0,
+            hist_walltime: Some(truth),
+            hist_queue_time: Some(1.0),
+        }
+    }
+
+    fn results(outcomes: Vec<JobOutcome>) -> SimulationResults {
+        let metrics = MetricsReport::from_outcomes(&outcomes);
+        SimulationResults {
+            outcomes,
+            events: Vec::new(),
+            metrics,
+            makespan_s: 100.0,
+            engine_events: 10,
+            wall_clock_s: 0.01,
+            site_panels: Vec::new(),
+            policy: "test".into(),
+        }
+    }
+
+    #[test]
+    fn walltime_error_splits_by_site_and_kind() {
+        let r = results(vec![
+            outcome(1, "A", JobKind::SingleCore, 110.0, 100.0), // 10% error
+            outcome(2, "A", JobKind::MultiCore, 80.0, 100.0),   // 20% error
+            outcome(3, "B", JobKind::SingleCore, 100.0, 100.0), // exact
+        ]);
+        let errs = r.walltime_error_by_site();
+        assert_eq!(errs.len(), 2);
+        let a = &errs["A"];
+        assert!((a.single_core.unwrap() - 0.1).abs() < 1e-9);
+        assert!((a.multi_core.unwrap() - 0.2).abs() < 1e-9);
+        assert!((a.overall - 0.15).abs() < 1e-9);
+        assert_eq!(a.jobs, 2);
+        let b = &errs["B"];
+        assert_eq!(b.multi_core, None);
+        assert!(b.overall < 1e-9);
+    }
+
+    #[test]
+    fn geometric_mean_error_aggregates_sites() {
+        let r = results(vec![
+            outcome(1, "A", JobKind::SingleCore, 200.0, 100.0), // 100% error
+            outcome(2, "B", JobKind::SingleCore, 101.0, 100.0), // 1% error
+        ]);
+        let gm = r.geometric_mean_walltime_error().unwrap();
+        assert!((gm - (1.0f64 * 0.01).sqrt()).abs() < 1e-9);
+        assert!(results(vec![]).geometric_mean_walltime_error().is_none());
+    }
+
+    #[test]
+    fn table_store_export_contains_all_tables() {
+        let r = results(vec![outcome(1, "A", JobKind::SingleCore, 10.0, 10.0)]);
+        let store = r.to_table_store();
+        assert_eq!(
+            store.table_names(),
+            vec!["events", "jobs", "site_summary"]
+        );
+        assert_eq!(store.get("jobs").unwrap().len(), 1);
+        assert_eq!(store.get("site_summary").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn dashboards_render() {
+        let r = results(vec![outcome(1, "A", JobKind::SingleCore, 10.0, 10.0)]);
+        assert!(r.ascii_dashboard().contains("CGSim dashboard"));
+        assert!(r.html_dashboard().contains("<!DOCTYPE html>"));
+    }
+}

@@ -1,0 +1,1249 @@
+//! The event-driven grid simulation (main server + site receivers).
+
+use std::collections::{HashMap, VecDeque};
+
+use cgsim_data::transfer::plan_staging;
+use cgsim_data::{LruCache, ReplicaCatalog};
+use cgsim_des::fluid::{ActivityId, FluidModel, ResourceId};
+use cgsim_des::rng::Rng;
+use cgsim_des::{Context, Engine, EventHandler, EventKey, SimTime};
+use cgsim_monitor::dashboard::SitePanel;
+use cgsim_monitor::{JobOutcome, MetricsReport, MonitoringCollector};
+use cgsim_platform::{NodeId, Platform, PlatformSpec, SiteId};
+use cgsim_policies::{
+    AllocationPolicy, CachePolicy, DataMovementPolicy, DataPolicyRegistry, GridInfo, GridView,
+    PolicyRegistry, SiteLoad,
+};
+use cgsim_workload::{ideal_walltime, JobRecord, JobState, Trace};
+
+use crate::config::{ComputeMode, ExecutionConfig};
+use crate::results::SimulationResults;
+
+/// Errors raised while building or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimulationError {
+    /// The platform specification failed to validate/build.
+    Platform(String),
+    /// The requested allocation policy is not registered.
+    UnknownPolicy(String),
+    /// The requested data-movement policy is not registered.
+    UnknownDataPolicy(String),
+    /// The simulation was built without a required component.
+    MissingComponent(&'static str),
+}
+
+impl std::fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimulationError::Platform(msg) => write!(f, "platform error: {msg}"),
+            SimulationError::UnknownPolicy(name) => write!(f, "unknown allocation policy: {name}"),
+            SimulationError::UnknownDataPolicy(name) => {
+                write!(f, "unknown data-movement policy: {name}")
+            }
+            SimulationError::MissingComponent(what) => {
+                write!(f, "simulation builder is missing: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimulationError {}
+
+/// Discrete events of the grid simulation.
+#[derive(Debug, Clone, PartialEq)]
+enum GridEvent {
+    /// A job (by index into the trace) reaches its submission time.
+    Submit(usize),
+    /// The fluid network/CPU model predicts its next activity completion.
+    FluidAdvance,
+    /// A dedicated-core execution finishes (job index).
+    ExecutionDone(usize),
+    /// The scheduling/pilot overhead of a picked job elapses (job index); the
+    /// job then starts staging its input (queue-time model, §4.2).
+    PilotStart(usize),
+}
+
+/// Which phase of a job an in-flight fluid activity belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Input,
+    Execute,
+    Output,
+}
+
+/// Mutable per-job simulation state.
+#[derive(Debug, Clone)]
+struct JobRuntime {
+    record: JobRecord,
+    state: JobState,
+    site: Option<SiteId>,
+    retries: u32,
+    submit_time: f64,
+    assign_time: f64,
+    start_time: f64,
+    end_time: f64,
+    staged_bytes: u64,
+}
+
+/// Mutable per-site simulation state (the receiver actor).
+#[derive(Debug, Clone, Default)]
+struct SiteState {
+    available_cores: u64,
+    queue: VecDeque<usize>,
+    running: Vec<usize>,
+}
+
+/// The simulation model driven by the DES engine.
+struct GridModel {
+    platform: Platform,
+    execution: ExecutionConfig,
+    policy: Box<dyn AllocationPolicy>,
+    data_policy: Box<dyn DataMovementPolicy>,
+    jobs: Vec<JobRuntime>,
+    sites: Vec<SiteState>,
+    pending: VecDeque<usize>,
+    rng: Rng,
+    // Fluid model state.
+    fluid: FluidModel,
+    link_resources: Vec<ResourceId>,
+    cpu_resources: Vec<ResourceId>,
+    activity_map: HashMap<ActivityId, (usize, Phase)>,
+    last_fluid_sync: SimTime,
+    fluid_event: Option<EventKey>,
+    // Data management state.
+    catalog: ReplicaCatalog,
+    caches: Vec<LruCache>,
+    task_datasets: HashMap<u64, cgsim_data::DatasetId>,
+    // Monitoring.
+    collector: MonitoringCollector,
+}
+
+impl GridModel {
+    fn new(
+        platform: Platform,
+        trace: &Trace,
+        policy: Box<dyn AllocationPolicy>,
+        data_policy: Box<dyn DataMovementPolicy>,
+        execution: ExecutionConfig,
+    ) -> Self {
+        let mut fluid = FluidModel::new();
+        let link_resources: Vec<ResourceId> = platform
+            .links()
+            .iter()
+            .map(|l| fluid.add_resource(l.bandwidth_bps.max(1.0)))
+            .collect();
+        let cpu_resources: Vec<ResourceId> = platform
+            .sites()
+            .iter()
+            .map(|s| {
+                let capacity = (s.total_cores as f64 * platform.effective_speed(s.id)).max(1.0);
+                fluid.add_resource(capacity)
+            })
+            .collect();
+        let sites = platform
+            .sites()
+            .iter()
+            .map(|s| SiteState {
+                available_cores: s.total_cores,
+                queue: VecDeque::new(),
+                running: Vec::new(),
+            })
+            .collect();
+        let caches = platform
+            .sites()
+            .iter()
+            .map(|s| LruCache::new((s.storage_tb * 0.1 * 1e12) as u64))
+            .collect();
+        let site_names = platform.sites().iter().map(|s| s.name.clone()).collect();
+        let collector = MonitoringCollector::new(site_names, execution.monitoring.clone());
+
+        let jobs = trace
+            .jobs
+            .iter()
+            .map(|record| JobRuntime {
+                record: record.clone(),
+                state: JobState::Pending,
+                site: None,
+                retries: 0,
+                submit_time: record.submit_time,
+                assign_time: 0.0,
+                start_time: 0.0,
+                end_time: 0.0,
+                staged_bytes: 0,
+            })
+            .collect();
+
+        GridModel {
+            rng: Rng::new(execution.seed),
+            platform,
+            execution,
+            policy,
+            data_policy,
+            jobs,
+            sites,
+            pending: VecDeque::new(),
+            fluid,
+            link_resources,
+            cpu_resources,
+            activity_map: HashMap::new(),
+            last_fluid_sync: SimTime::ZERO,
+            fluid_event: None,
+            catalog: ReplicaCatalog::new(),
+            caches,
+            task_datasets: HashMap::new(),
+            collector,
+        }
+    }
+
+    // ----- monitoring helpers -------------------------------------------------
+
+    fn record(&mut self, now: SimTime, idx: usize, state: JobState) {
+        let job_id = self.jobs[idx].record.id;
+        let (site_index, avail, queued) = match self.jobs[idx].site {
+            Some(site) => (
+                Some(site.index()),
+                self.sites[site.index()].available_cores,
+                self.sites[site.index()].queue.len() as u64,
+            ),
+            None => (None, 0, self.pending.len() as u64),
+        };
+        self.collector
+            .record_transition(now.as_secs(), job_id, state, site_index, avail, queued);
+    }
+
+    // ----- data management helpers --------------------------------------------
+
+    fn task_dataset(&mut self, idx: usize) -> cgsim_data::DatasetId {
+        let record = &self.jobs[idx].record;
+        let task = record.task_id.0;
+        let files = record.input_files;
+        let bytes = record.input_bytes;
+        if let Some(&ds) = self.task_datasets.get(&task) {
+            return ds;
+        }
+        let ds = self
+            .catalog
+            .register(&format!("task-{task}-input"), files, bytes, NodeId::MainServer);
+        self.task_datasets.insert(task, ds);
+        ds
+    }
+
+    // ----- fluid model helpers -------------------------------------------------
+
+    /// Advances the fluid model to `now` and returns the (job, phase) pairs
+    /// whose activity completed.
+    fn advance_fluid(&mut self, now: SimTime) -> Vec<(usize, Phase)> {
+        let dt = now.saturating_sub(self.last_fluid_sync);
+        self.last_fluid_sync = now;
+        let finished = self.fluid.advance(dt);
+        finished
+            .into_iter()
+            .filter_map(|aid| self.activity_map.remove(&aid))
+            .collect()
+    }
+
+    /// (Re)schedules the next fluid completion event.
+    fn reschedule_fluid(&mut self, ctx: &mut Context<'_, GridEvent>) {
+        if let Some(key) = self.fluid_event.take() {
+            ctx.cancel(key);
+        }
+        if let Some(dt) = self.fluid.time_to_next_completion() {
+            self.fluid_event = Some(ctx.schedule_in(dt, GridEvent::FluidAdvance));
+        }
+    }
+
+    fn route_resources(&self, from: NodeId, to: NodeId) -> Vec<ResourceId> {
+        self.platform
+            .route(from, to)
+            .links
+            .iter()
+            .map(|l| self.link_resources[l.index()])
+            .collect()
+    }
+
+    // ----- dispatch (main server / sender actor) -------------------------------
+
+    fn grid_view(&mut self, now: SimTime, idx: usize) -> GridView {
+        let dataset = self.task_dataset(idx);
+        let sites = self
+            .platform
+            .sites()
+            .iter()
+            .map(|s| {
+                let state = &self.sites[s.id.index()];
+                let has_replica = self.catalog.has_replica(dataset, NodeId::Site(s.id))
+                    || self.caches[s.id.index()].contains(dataset);
+                SiteLoad {
+                    site: s.id,
+                    available_cores: state.available_cores,
+                    queued_jobs: state.queue.len() as u64,
+                    running_jobs: state.running.len() as u64,
+                    finished_jobs: self.collector.site_counters(s.id.index()).finished,
+                    has_input_replica: has_replica,
+                }
+            })
+            .collect();
+        GridView {
+            now_s: now.as_secs(),
+            sites,
+            pending_jobs: self.pending.len() as u64,
+        }
+    }
+
+    /// Asks the allocation policy for a site; dispatches or parks the job.
+    fn dispatch(&mut self, idx: usize, ctx: &mut Context<'_, GridEvent>) {
+        let now = ctx.now();
+        let view = self.grid_view(now, idx);
+        let decision = self.policy.assign_job(&self.jobs[idx].record, &view);
+        match decision {
+            Some(site) if site.index() < self.sites.len() => {
+                self.jobs[idx].site = Some(site);
+                self.jobs[idx].assign_time = now.as_secs();
+                self.jobs[idx].state = JobState::Assigned;
+                self.record(now, idx, JobState::Assigned);
+                self.sites[site.index()].queue.push_back(idx);
+                self.try_start_site(site, ctx);
+            }
+            _ => {
+                self.jobs[idx].site = None;
+                self.jobs[idx].state = JobState::Pending;
+                self.record(now, idx, JobState::Pending);
+                self.pending.push_back(idx);
+            }
+        }
+    }
+
+    /// Re-examines the pending list (called whenever resources free up).
+    fn drain_pending(&mut self, ctx: &mut Context<'_, GridEvent>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let waiting: Vec<usize> = self.pending.drain(..).collect();
+        for idx in waiting {
+            self.dispatch(idx, ctx);
+        }
+    }
+
+    // ----- site receiver actor --------------------------------------------------
+
+    /// Starts queued jobs at `site` while cores are available (FIFO). Each
+    /// picked job first pays the site's scheduling/pilot overhead (the
+    /// queue-time model of §4.2) with its cores already reserved, then begins
+    /// staging its input.
+    fn try_start_site(&mut self, site: SiteId, ctx: &mut Context<'_, GridEvent>) {
+        loop {
+            let Some(&front) = self.sites[site.index()].queue.front() else {
+                break;
+            };
+            let needed = self.jobs[front].record.cores as u64;
+            if self.sites[site.index()].available_cores < needed {
+                break;
+            }
+            self.sites[site.index()].queue.pop_front();
+            self.sites[site.index()].available_cores -= needed;
+            self.sites[site.index()].running.push(front);
+
+            let total_cores = self.platform.site(site).total_cores.max(1);
+            let busy_fraction =
+                1.0 - self.sites[site.index()].available_cores as f64 / total_cores as f64;
+            let delay = self.execution.queue_model.dispatch_delay(
+                self.sites[site.index()].queue.len() as u64,
+                busy_fraction,
+            );
+            if delay > 0.0 {
+                ctx.schedule_in(SimTime::from_secs(delay), GridEvent::PilotStart(front));
+            } else {
+                self.start_staging(front, site, ctx);
+            }
+        }
+    }
+
+    /// Begins input staging for a job whose cores were just allocated.
+    fn start_staging(&mut self, idx: usize, site: SiteId, ctx: &mut Context<'_, GridEvent>) {
+        let now = ctx.now();
+        self.jobs[idx].start_time = now.as_secs();
+        let dataset = self.task_dataset(idx);
+        let destination = NodeId::Site(site);
+
+        // Cache lookup counts as a hit even when the catalog also knows about
+        // the replica, keeping cache statistics meaningful.
+        let cache_hit = self.caches[site.index()].lookup(dataset);
+        if cache_hit || self.catalog.has_replica(dataset, destination) {
+            self.begin_execution(idx, site, ctx);
+            return;
+        }
+
+        // The data-movement policy may override the replica source; otherwise
+        // the configured source-selection strategy plans the transfer.
+        let candidates: Vec<NodeId> = self.catalog.replicas(dataset).collect();
+        let source = match self
+            .data_policy
+            .select_source(&self.jobs[idx].record, site, &candidates)
+        {
+            Some(chosen) if chosen == destination => {
+                self.begin_execution(idx, site, ctx);
+                return;
+            }
+            Some(chosen) => chosen,
+            None => {
+                let plan = plan_staging(
+                    &[dataset],
+                    destination,
+                    &self.catalog,
+                    &self.platform,
+                    self.execution.source_selection,
+                );
+                if plan.is_local() {
+                    self.begin_execution(idx, site, ctx);
+                    return;
+                }
+                plan.transfers[0].from
+            }
+        };
+
+        self.jobs[idx].state = JobState::Staging;
+        self.record(now, idx, JobState::Staging);
+        let bytes = self.jobs[idx].record.input_bytes;
+        self.jobs[idx].staged_bytes += bytes;
+        let resources = self.route_resources(source, destination);
+        // Latency is added as a constant amount of "extra bytes" at the
+        // bottleneck rate; for WAN transfers of GB-scale inputs it is
+        // negligible, which matches the fluid approximation of SimGrid.
+        let completed = self.advance_fluid(now);
+        let activity = self.fluid.add_activity(bytes as f64, &resources);
+        self.activity_map.insert(activity, (idx, Phase::Input));
+        self.handle_completed_activities(completed, ctx);
+        self.reschedule_fluid(ctx);
+    }
+
+    /// Starts the execution phase (cores already held).
+    fn begin_execution(&mut self, idx: usize, site: SiteId, ctx: &mut Context<'_, GridEvent>) {
+        let now = ctx.now();
+        self.jobs[idx].state = JobState::Running;
+        self.record(now, idx, JobState::Running);
+
+        // Cache / replicate the input at the execution site for later jobs of
+        // the same task, subject to the data-movement policy's admission
+        // decision.
+        if self.execution.cache_datasets
+            && self
+                .data_policy
+                .cache_decision(&self.jobs[idx].record, site)
+                == CachePolicy::CacheAtSite
+        {
+            let dataset = self.task_dataset(idx);
+            let bytes = self.catalog.dataset(dataset).bytes;
+            self.caches[site.index()].insert(dataset, bytes);
+            self.catalog.add_replica(dataset, NodeId::Site(site));
+        }
+
+        let record = &self.jobs[idx].record;
+        match self.execution.compute_mode {
+            ComputeMode::DedicatedCores => {
+                let speed = self.platform.effective_speed(site);
+                let walltime = ideal_walltime(record.work_hs23, record.cores, speed);
+                ctx.schedule_in(SimTime::from_secs(walltime), GridEvent::ExecutionDone(idx));
+            }
+            ComputeMode::TimeShared => {
+                let resource = self.cpu_resources[site.index()];
+                let weight = record.cores as f64;
+                let amount =
+                    record.work_hs23 / cgsim_workload::parallel_efficiency(record.cores);
+                let now_t = ctx.now();
+                let completed = self.advance_fluid(now_t);
+                let activity = self
+                    .fluid
+                    .add_weighted_activity(amount, &[resource], weight);
+                self.activity_map.insert(activity, (idx, Phase::Execute));
+                self.handle_completed_activities(completed, ctx);
+                self.reschedule_fluid(ctx);
+            }
+        }
+    }
+
+    /// Handles the end of the execution phase (failure draw, output stage-out).
+    fn finish_execution(&mut self, idx: usize, ctx: &mut Context<'_, GridEvent>) {
+        let site = self.jobs[idx].site.expect("running job has a site");
+        let failed = self.rng.chance(self.execution.failure_probability);
+        if failed {
+            if self.jobs[idx].retries < self.execution.max_retries {
+                // Release resources and resubmit to the main server.
+                self.jobs[idx].retries += 1;
+                self.release_cores(idx, site);
+                let now = ctx.now();
+                self.jobs[idx].site = None;
+                self.jobs[idx].state = JobState::Pending;
+                self.record(now, idx, JobState::Pending);
+                self.dispatch(idx, ctx);
+                self.after_release(site, ctx);
+                return;
+            }
+            self.finalize(idx, JobState::Failed, ctx);
+            return;
+        }
+        let record = &self.jobs[idx].record;
+        if self.execution.enable_output_transfers && record.output_bytes > 0 {
+            let bytes = record.output_bytes;
+            let destination = NodeId::MainServer;
+            let source = NodeId::Site(site);
+            let resources = self.route_resources(source, destination);
+            let now = ctx.now();
+            let completed = self.advance_fluid(now);
+            let activity = self.fluid.add_activity(bytes as f64, &resources);
+            self.activity_map.insert(activity, (idx, Phase::Output));
+            self.handle_completed_activities(completed, ctx);
+            self.reschedule_fluid(ctx);
+        } else {
+            self.finalize(idx, JobState::Finished, ctx);
+        }
+    }
+
+    fn release_cores(&mut self, idx: usize, site: SiteId) {
+        let cores = self.jobs[idx].record.cores as u64;
+        let state = &mut self.sites[site.index()];
+        state.available_cores += cores;
+        state.running.retain(|&j| j != idx);
+    }
+
+    /// Records the terminal state, outcome, and frees resources.
+    fn finalize(&mut self, idx: usize, state: JobState, ctx: &mut Context<'_, GridEvent>) {
+        let now = ctx.now();
+        let site = self.jobs[idx].site.expect("terminal job has a site");
+        self.release_cores(idx, site);
+        self.jobs[idx].state = state;
+        self.jobs[idx].end_time = now.as_secs();
+        self.record(now, idx, state);
+
+        let job = &self.jobs[idx];
+        let site_name = self.platform.site(site).name.clone();
+        let outcome = JobOutcome {
+            id: job.record.id,
+            kind: job.record.kind,
+            cores: job.record.cores,
+            work_hs23: job.record.work_hs23,
+            site: site_name,
+            submit_time: job.submit_time,
+            assign_time: job.assign_time,
+            start_time: job.start_time,
+            end_time: job.end_time,
+            final_state: state,
+            staged_bytes: job.staged_bytes,
+            walltime: job.end_time - job.start_time,
+            queue_time: job.start_time - job.submit_time,
+            hist_walltime: job.record.hist_walltime,
+            hist_queue_time: job.record.hist_queue_time,
+        };
+        self.collector.record_outcome(outcome);
+
+        let view = self.grid_view(now, idx);
+        let record = self.jobs[idx].record.clone();
+        self.policy.on_job_completed(&record, site, &view);
+
+        self.after_release(site, ctx);
+    }
+
+    /// Called after any resource release: start queued work and reconsider
+    /// the pending list (paper §3.2).
+    fn after_release(&mut self, site: SiteId, ctx: &mut Context<'_, GridEvent>) {
+        self.try_start_site(site, ctx);
+        self.drain_pending(ctx);
+    }
+
+    fn handle_completed_activities(
+        &mut self,
+        completed: Vec<(usize, Phase)>,
+        ctx: &mut Context<'_, GridEvent>,
+    ) {
+        for (idx, phase) in completed {
+            match phase {
+                Phase::Input => {
+                    let site = self.jobs[idx].site.expect("staging job has a site");
+                    self.begin_execution(idx, site, ctx);
+                }
+                Phase::Execute => {
+                    self.finish_execution(idx, ctx);
+                }
+                Phase::Output => {
+                    self.finalize(idx, JobState::Finished, ctx);
+                }
+            }
+        }
+    }
+
+    /// Builds the final per-site dashboard panels.
+    fn site_panels(&self) -> Vec<SitePanel> {
+        self.platform
+            .sites()
+            .iter()
+            .map(|s| {
+                let state = &self.sites[s.id.index()];
+                let counters = self.collector.site_counters(s.id.index());
+                SitePanel {
+                    site: s.name.clone(),
+                    total_cores: s.total_cores,
+                    busy_cores: s.total_cores - state.available_cores,
+                    queued_jobs: state.queue.len() as u64,
+                    running_jobs: state.running.len() as u64,
+                    finished_jobs: counters.finished,
+                    running_sample: state
+                        .running
+                        .iter()
+                        .take(10)
+                        .map(|&j| (self.jobs[j].record.id.0, self.jobs[j].record.cores))
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+}
+
+impl EventHandler<GridEvent> for GridModel {
+    fn handle(&mut self, ctx: &mut Context<'_, GridEvent>, event: GridEvent) {
+        match event {
+            GridEvent::Submit(idx) => {
+                let now = ctx.now();
+                self.jobs[idx].submit_time = now.as_secs();
+                self.record(now, idx, JobState::Pending);
+                self.dispatch(idx, ctx);
+            }
+            GridEvent::FluidAdvance => {
+                self.fluid_event = None;
+                let now = ctx.now();
+                let completed = self.advance_fluid(now);
+                self.handle_completed_activities(completed, ctx);
+                self.reschedule_fluid(ctx);
+            }
+            GridEvent::ExecutionDone(idx) => {
+                self.finish_execution(idx, ctx);
+            }
+            GridEvent::PilotStart(idx) => {
+                let site = self.jobs[idx]
+                    .site
+                    .expect("job waiting for its pilot has a site");
+                self.start_staging(idx, site, ctx);
+            }
+        }
+    }
+}
+
+/// Builder for [`Simulation`].
+pub struct SimulationBuilder {
+    platform: Option<Platform>,
+    trace: Option<Trace>,
+    policy: Option<Box<dyn AllocationPolicy>>,
+    policy_name: Option<String>,
+    registry: PolicyRegistry,
+    data_policy: Option<Box<dyn DataMovementPolicy>>,
+    data_registry: DataPolicyRegistry,
+    execution: ExecutionConfig,
+}
+
+impl Default for SimulationBuilder {
+    fn default() -> Self {
+        SimulationBuilder {
+            platform: None,
+            trace: None,
+            policy: None,
+            policy_name: None,
+            registry: PolicyRegistry::with_builtins(),
+            data_policy: None,
+            data_registry: DataPolicyRegistry::with_builtins(),
+            execution: ExecutionConfig::default(),
+        }
+    }
+}
+
+impl SimulationBuilder {
+    /// Uses an already-built platform.
+    pub fn platform(mut self, platform: Platform) -> Self {
+        self.platform = Some(platform);
+        self
+    }
+
+    /// Builds the platform from a specification.
+    pub fn platform_spec(mut self, spec: &PlatformSpec) -> Result<Self, SimulationError> {
+        let platform =
+            Platform::build(spec).map_err(|e| SimulationError::Platform(e.to_string()))?;
+        self.platform = Some(platform);
+        Ok(self)
+    }
+
+    /// Sets the workload trace.
+    pub fn trace(mut self, trace: Trace) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Uses a custom allocation-policy instance (a "plugin").
+    pub fn policy(mut self, policy: Box<dyn AllocationPolicy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Selects an allocation policy by registry name (overrides the name in
+    /// the execution config).
+    pub fn policy_name(mut self, name: impl Into<String>) -> Self {
+        self.policy_name = Some(name.into());
+        self
+    }
+
+    /// Replaces the policy registry (to expose user-registered plugins).
+    pub fn registry(mut self, registry: PolicyRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Uses a custom data-movement policy instance (replica-source selection
+    /// and cache admission).
+    pub fn data_policy(mut self, policy: Box<dyn DataMovementPolicy>) -> Self {
+        self.data_policy = Some(policy);
+        self
+    }
+
+    /// Replaces the data-movement policy registry (to expose user-registered
+    /// data plugins referenced by name in the execution configuration).
+    pub fn data_registry(mut self, registry: DataPolicyRegistry) -> Self {
+        self.data_registry = registry;
+        self
+    }
+
+    /// Sets the execution configuration.
+    pub fn execution(mut self, execution: ExecutionConfig) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// Builds the simulation.
+    pub fn build(self) -> Result<Simulation, SimulationError> {
+        let platform = self
+            .platform
+            .ok_or(SimulationError::MissingComponent("platform"))?;
+        let trace = self
+            .trace
+            .ok_or(SimulationError::MissingComponent("trace"))?;
+        let policy = match self.policy {
+            Some(p) => p,
+            None => {
+                let name = self
+                    .policy_name
+                    .clone()
+                    .unwrap_or_else(|| self.execution.allocation_policy.clone());
+                self.registry
+                    .create(&name, self.execution.seed)
+                    .ok_or(SimulationError::UnknownPolicy(name))?
+            }
+        };
+        let data_policy = match self.data_policy {
+            Some(p) => p,
+            None => {
+                let name = self.execution.data_movement_policy.clone();
+                self.data_registry
+                    .create(&name, self.execution.seed)
+                    .ok_or(SimulationError::UnknownDataPolicy(name))?
+            }
+        };
+        Ok(Simulation {
+            platform,
+            trace,
+            policy,
+            data_policy,
+            execution: self.execution,
+        })
+    }
+
+    /// Builds and immediately runs the simulation.
+    pub fn run(self) -> Result<SimulationResults, SimulationError> {
+        Ok(self.build()?.run())
+    }
+}
+
+/// A fully configured simulation, ready to run.
+pub struct Simulation {
+    platform: Platform,
+    trace: Trace,
+    policy: Box<dyn AllocationPolicy>,
+    data_policy: Box<dyn DataMovementPolicy>,
+    execution: ExecutionConfig,
+}
+
+impl Simulation {
+    /// Starts building a simulation.
+    pub fn builder() -> SimulationBuilder {
+        SimulationBuilder::default()
+    }
+
+    /// Executes the simulation to completion and returns the results.
+    pub fn run(mut self) -> SimulationResults {
+        let started = std::time::Instant::now();
+        let policy_name = self.policy.name().to_string();
+
+        // Hand the static grid description to the policy (the paper's
+        // getResourceInformation hook).
+        let info = GridInfo::from_platform(&self.platform);
+        self.policy.get_resource_information(&info);
+
+        let mut engine: Engine<GridEvent> = Engine::new();
+        if let Some(horizon) = self.execution.horizon_s {
+            engine = engine.with_horizon(SimTime::from_secs(horizon));
+        }
+        for (idx, job) in self.trace.jobs.iter().enumerate() {
+            engine.schedule_at(SimTime::from_secs(job.submit_time), GridEvent::Submit(idx));
+        }
+
+        let mut model = GridModel::new(
+            self.platform,
+            &self.trace,
+            self.policy,
+            self.data_policy,
+            self.execution,
+        );
+        let report = engine.run(&mut model);
+
+        let site_panels = model.site_panels();
+        let (events, outcomes) = model.collector.into_parts();
+        let metrics = MetricsReport::from_outcomes(&outcomes);
+        SimulationResults {
+            outcomes,
+            events,
+            metrics,
+            makespan_s: report.end_time.as_secs(),
+            engine_events: report.events_processed,
+            wall_clock_s: started.elapsed().as_secs_f64(),
+            site_panels,
+            policy: policy_name,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgsim_platform::presets::{example_platform, single_site_platform};
+    use cgsim_workload::{JobKind, TraceConfig, TraceGenerator};
+
+    fn run_with(policy: &str, jobs: usize, seed: u64) -> SimulationResults {
+        let platform = example_platform();
+        let trace = TraceGenerator::new(TraceConfig::with_jobs(jobs, seed)).generate(&platform);
+        Simulation::builder()
+            .platform_spec(&platform)
+            .unwrap()
+            .trace(trace)
+            .policy_name(policy)
+            .execution(ExecutionConfig::default())
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn all_jobs_reach_a_terminal_state() {
+        let results = run_with("least-loaded", 200, 11);
+        assert_eq!(results.outcomes.len(), 200);
+        assert!(results.outcomes.iter().all(|o| o.final_state.is_terminal()));
+        assert_eq!(results.metrics.total_jobs, 200);
+        assert_eq!(results.metrics.failed_jobs, 0);
+        assert!(results.makespan_s > 0.0);
+        assert!(results.engine_events >= 200);
+    }
+
+    #[test]
+    fn timing_invariants_hold_for_every_job() {
+        let results = run_with("least-loaded", 150, 3);
+        for o in &results.outcomes {
+            assert!(o.assign_time >= o.submit_time - 1e-9, "{o:?}");
+            assert!(o.start_time >= o.assign_time - 1e-9, "{o:?}");
+            assert!(o.end_time >= o.start_time, "{o:?}");
+            assert!(o.walltime > 0.0);
+            assert!(o.queue_time >= 0.0);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = run_with("least-loaded", 100, 7);
+        let b = run_with("least-loaded", 100, 7);
+        assert_eq!(a.outcomes.len(), b.outcomes.len());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.site, y.site);
+            assert!((x.walltime - y.walltime).abs() < 1e-9);
+            assert!((x.end_time - y.end_time).abs() < 1e-9);
+        }
+        assert_eq!(a.engine_events, b.engine_events);
+    }
+
+    #[test]
+    fn different_policies_produce_different_schedules() {
+        let a = run_with("least-loaded", 300, 5);
+        let b = run_with("round-robin", 300, 5);
+        let sites_a: Vec<_> = a.outcomes.iter().map(|o| o.site.clone()).collect();
+        let sites_b: Vec<_> = b.outcomes.iter().map(|o| o.site.clone()).collect();
+        assert_ne!(sites_a, sites_b);
+        assert_eq!(a.policy, "least-loaded");
+        assert_eq!(b.policy, "round-robin");
+    }
+
+    #[test]
+    fn historical_policy_respects_trace_assignments() {
+        let platform = example_platform();
+        let trace = TraceGenerator::new(TraceConfig::with_jobs(120, 2)).generate(&platform);
+        let expected: Vec<_> = trace.jobs.iter().map(|j| j.hist_site.clone()).collect();
+        let results = Simulation::builder()
+            .platform_spec(&platform)
+            .unwrap()
+            .trace(trace)
+            .policy_name("historical-panda")
+            .execution(ExecutionConfig::default())
+            .run()
+            .unwrap();
+        // Outcomes are not necessarily in submit order; join by job id.
+        let by_id: std::collections::HashMap<_, _> = results
+            .outcomes
+            .iter()
+            .map(|o| (o.id, o.site.clone()))
+            .collect();
+        let platform_trace =
+            TraceGenerator::new(TraceConfig::with_jobs(120, 2)).generate(&platform);
+        for (job, hist) in platform_trace.jobs.iter().zip(expected) {
+            assert_eq!(by_id[&job.id], hist);
+        }
+    }
+
+    #[test]
+    fn event_dataset_has_table1_shape() {
+        let results = run_with("least-loaded", 50, 13);
+        assert!(!results.events.is_empty());
+        // Every terminal job produced a finished event with its site set.
+        let finished_events = results
+            .events
+            .iter()
+            .filter(|e| e.state == JobState::Finished)
+            .count();
+        assert_eq!(finished_events, 50);
+        for e in &results.events {
+            if e.state == JobState::Finished {
+                assert!(!e.site.is_empty());
+                assert!(e.assigned_jobs >= e.finished_jobs);
+            }
+        }
+    }
+
+    #[test]
+    fn failure_injection_and_retries() {
+        let platform = example_platform();
+        let trace = TraceGenerator::new(TraceConfig::with_jobs(200, 21)).generate(&platform);
+        let mut exec = ExecutionConfig::default();
+        exec.failure_probability = 0.3;
+        exec.max_retries = 0;
+        let results = Simulation::builder()
+            .platform_spec(&platform)
+            .unwrap()
+            .trace(trace)
+            .policy_name("least-loaded")
+            .execution(exec)
+            .run()
+            .unwrap();
+        assert!(results.metrics.failed_jobs > 20);
+        assert!(results.metrics.failure_rate > 0.1);
+        assert!(results.metrics.failure_rate < 0.6);
+        // With retries allowed, the failure rate drops substantially.
+        let platform2 = example_platform();
+        let trace2 = TraceGenerator::new(TraceConfig::with_jobs(200, 21)).generate(&platform2);
+        let mut exec2 = ExecutionConfig::default();
+        exec2.failure_probability = 0.3;
+        exec2.max_retries = 3;
+        let retried = Simulation::builder()
+            .platform_spec(&platform2)
+            .unwrap()
+            .trace(trace2)
+            .policy_name("least-loaded")
+            .execution(exec2)
+            .run()
+            .unwrap();
+        assert!(retried.metrics.failure_rate < results.metrics.failure_rate);
+        assert_eq!(retried.outcomes.len(), 200);
+    }
+
+    #[test]
+    fn single_site_contention_causes_queueing() {
+        // 40 cores, many concurrent single-core jobs -> some must queue.
+        let platform = single_site_platform(40, 10.0);
+        let mut cfg = TraceConfig::with_jobs(200, 4);
+        cfg.submission_window_s = 0.0; // all at t=0
+        cfg.multicore_fraction = 0.0;
+        let trace = TraceGenerator::new(cfg).generate(&platform);
+        let results = Simulation::builder()
+            .platform_spec(&platform)
+            .unwrap()
+            .trace(trace)
+            .policy_name("least-loaded")
+            .execution(ExecutionConfig::default())
+            .run()
+            .unwrap();
+        let queued = results
+            .outcomes
+            .iter()
+            .filter(|o| o.queue_time > 1.0)
+            .count();
+        assert!(queued > 100, "expected significant queueing, got {queued}");
+        // Utilisation of the single site should be high.
+        assert!(results.metrics.cpu_utilisation(40) > 0.5);
+    }
+
+    #[test]
+    fn dataset_caching_reduces_staged_bytes() {
+        let platform = example_platform();
+        let trace = TraceGenerator::new(TraceConfig::with_jobs(150, 17)).generate(&platform);
+        let mut cached_exec = ExecutionConfig::default();
+        cached_exec.cache_datasets = true;
+        let mut uncached_exec = ExecutionConfig::default();
+        uncached_exec.cache_datasets = false;
+        let cached = Simulation::builder()
+            .platform_spec(&platform)
+            .unwrap()
+            .trace(trace.clone())
+            .policy_name("historical-panda")
+            .execution(cached_exec)
+            .run()
+            .unwrap();
+        let uncached = Simulation::builder()
+            .platform_spec(&platform)
+            .unwrap()
+            .trace(trace)
+            .policy_name("historical-panda")
+            .execution(uncached_exec)
+            .run()
+            .unwrap();
+        assert!(cached.metrics.staged_bytes < uncached.metrics.staged_bytes);
+    }
+
+    #[test]
+    fn time_shared_mode_completes_all_jobs() {
+        let platform = single_site_platform(64, 10.0);
+        let mut cfg = TraceConfig::with_jobs(80, 6);
+        cfg.multicore_fraction = 0.5;
+        let trace = TraceGenerator::new(cfg).generate(&platform);
+        let mut exec = ExecutionConfig::default();
+        exec.compute_mode = ComputeMode::TimeShared;
+        let results = Simulation::builder()
+            .platform_spec(&platform)
+            .unwrap()
+            .trace(trace)
+            .policy_name("least-loaded")
+            .execution(exec)
+            .run()
+            .unwrap();
+        assert_eq!(results.outcomes.len(), 80);
+        assert!(results.outcomes.iter().all(|o| o.succeeded()));
+    }
+
+    #[test]
+    fn custom_plugin_policy_is_honoured() {
+        struct PinToSite(SiteId);
+        impl AllocationPolicy for PinToSite {
+            fn name(&self) -> &str {
+                "pin"
+            }
+            fn assign_job(&mut self, _job: &JobRecord, _view: &GridView) -> Option<SiteId> {
+                Some(self.0)
+            }
+        }
+        let platform_spec = example_platform();
+        let platform = Platform::build(&platform_spec).unwrap();
+        let bnl = platform.site_by_name("BNL").unwrap();
+        let trace =
+            TraceGenerator::new(TraceConfig::with_jobs(60, 19)).generate(&platform_spec);
+        let results = Simulation::builder()
+            .platform(platform)
+            .trace(trace)
+            .policy(Box::new(PinToSite(bnl)))
+            .execution(ExecutionConfig::default())
+            .run()
+            .unwrap();
+        assert!(results.outcomes.iter().all(|o| o.site == "BNL"));
+        assert_eq!(results.policy, "pin");
+    }
+
+    #[test]
+    fn builder_reports_missing_components_and_unknown_policies() {
+        let err = Simulation::builder().run().unwrap_err();
+        assert!(matches!(err, SimulationError::MissingComponent("platform")));
+        let platform = example_platform();
+        let trace = TraceGenerator::new(TraceConfig::with_jobs(5, 1)).generate(&platform);
+        let err = Simulation::builder()
+            .platform_spec(&platform)
+            .unwrap()
+            .trace(trace)
+            .policy_name("does-not-exist")
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimulationError::UnknownPolicy(_)));
+        assert!(err.to_string().contains("does-not-exist"));
+    }
+
+    #[test]
+    fn horizon_truncates_the_run() {
+        let platform = example_platform();
+        let trace = TraceGenerator::new(TraceConfig::with_jobs(200, 23)).generate(&platform);
+        let mut exec = ExecutionConfig::default();
+        exec.horizon_s = Some(60.0);
+        let results = Simulation::builder()
+            .platform_spec(&platform)
+            .unwrap()
+            .trace(trace)
+            .policy_name("least-loaded")
+            .execution(exec)
+            .run()
+            .unwrap();
+        assert!(results.outcomes.len() < 200);
+        assert!(results.makespan_s <= 60.0 + 1e-6);
+    }
+
+    #[test]
+    fn monitoring_can_be_disabled() {
+        let platform = example_platform();
+        let trace = TraceGenerator::new(TraceConfig::with_jobs(40, 29)).generate(&platform);
+        let mut exec = ExecutionConfig::default();
+        exec.monitoring = cgsim_monitor::MonitoringConfig::disabled();
+        let results = Simulation::builder()
+            .platform_spec(&platform)
+            .unwrap()
+            .trace(trace)
+            .policy_name("least-loaded")
+            .execution(exec)
+            .run()
+            .unwrap();
+        assert!(results.events.is_empty());
+        assert_eq!(results.outcomes.len(), 40);
+    }
+
+    #[test]
+    fn queue_model_overhead_delays_job_starts() {
+        let platform = example_platform();
+        let trace = TraceGenerator::new(TraceConfig::with_jobs(120, 37)).generate(&platform);
+        let baseline = Simulation::builder()
+            .platform_spec(&platform)
+            .unwrap()
+            .trace(trace.clone())
+            .policy_name("least-loaded")
+            .execution(ExecutionConfig::default())
+            .run()
+            .unwrap();
+        let mut exec = ExecutionConfig::default();
+        exec.queue_model = crate::queue_model::QueueModel::constant(300.0);
+        let delayed = Simulation::builder()
+            .platform_spec(&platform)
+            .unwrap()
+            .trace(trace)
+            .policy_name("least-loaded")
+            .execution(exec)
+            .run()
+            .unwrap();
+        let mean = |r: &SimulationResults| {
+            r.metrics.queue_time.as_ref().map(|s| s.mean).unwrap_or(0.0)
+        };
+        // Every job pays the 300 s pilot overhead on top of whatever core
+        // contention it already saw.
+        assert!(
+            mean(&delayed) >= mean(&baseline) + 299.0,
+            "queue model ignored: baseline {} vs delayed {}",
+            mean(&baseline),
+            mean(&delayed)
+        );
+        assert_eq!(delayed.outcomes.len(), 120);
+        assert!(delayed.outcomes.iter().all(|o| o.final_state.is_terminal()));
+    }
+
+    #[test]
+    fn never_cache_data_policy_stages_more_bytes() {
+        let platform = example_platform();
+        let trace = TraceGenerator::new(TraceConfig::with_jobs(150, 43)).generate(&platform);
+        let mut never_exec = ExecutionConfig::default();
+        never_exec.data_movement_policy = "never-cache".to_string();
+        let never = Simulation::builder()
+            .platform_spec(&platform)
+            .unwrap()
+            .trace(trace.clone())
+            .policy_name("historical-panda")
+            .execution(never_exec)
+            .run()
+            .unwrap();
+        let default = Simulation::builder()
+            .platform_spec(&platform)
+            .unwrap()
+            .trace(trace)
+            .policy_name("historical-panda")
+            .execution(ExecutionConfig::default())
+            .run()
+            .unwrap();
+        // Without cache admission every job of a task re-stages its input.
+        assert!(
+            never.metrics.staged_bytes > default.metrics.staged_bytes,
+            "never-cache {} vs default {}",
+            never.metrics.staged_bytes,
+            default.metrics.staged_bytes
+        );
+    }
+
+    #[test]
+    fn unknown_data_policy_is_reported() {
+        let platform = example_platform();
+        let trace = TraceGenerator::new(TraceConfig::with_jobs(5, 3)).generate(&platform);
+        let mut exec = ExecutionConfig::default();
+        exec.data_movement_policy = "no-such-data-policy".to_string();
+        let err = Simulation::builder()
+            .platform_spec(&platform)
+            .unwrap()
+            .trace(trace)
+            .execution(exec)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimulationError::UnknownDataPolicy(_)));
+        assert!(err.to_string().contains("no-such-data-policy"));
+    }
+
+    #[test]
+    fn custom_data_policy_instance_is_honoured() {
+        use cgsim_policies::{CachePolicy, DataMovementPolicy};
+        struct NoCache;
+        impl DataMovementPolicy for NoCache {
+            fn name(&self) -> &str {
+                "test-no-cache"
+            }
+            fn cache_decision(&mut self, _job: &JobRecord, _site: SiteId) -> CachePolicy {
+                CachePolicy::NoCache
+            }
+        }
+        let platform = example_platform();
+        let trace = TraceGenerator::new(TraceConfig::with_jobs(100, 47)).generate(&platform);
+        let custom = Simulation::builder()
+            .platform_spec(&platform)
+            .unwrap()
+            .trace(trace.clone())
+            .policy_name("historical-panda")
+            .data_policy(Box::new(NoCache))
+            .execution(ExecutionConfig::default())
+            .run()
+            .unwrap();
+        let default = Simulation::builder()
+            .platform_spec(&platform)
+            .unwrap()
+            .trace(trace)
+            .policy_name("historical-panda")
+            .execution(ExecutionConfig::default())
+            .run()
+            .unwrap();
+        assert!(custom.metrics.staged_bytes >= default.metrics.staged_bytes);
+    }
+
+    #[test]
+    fn multicore_jobs_use_more_cores_of_the_site() {
+        let results = run_with("least-loaded", 100, 31);
+        assert!(results
+            .outcomes
+            .iter()
+            .any(|o| o.kind == JobKind::MultiCore && o.cores == 8));
+        // Dashboard panels reflect the platform.
+        assert_eq!(results.site_panels.len(), 4);
+        assert!(results.site_panels.iter().all(|p| p.busy_cores == 0));
+    }
+}

@@ -1,0 +1,268 @@
+//! Parameter sweeps: run many independent simulations, optionally in parallel.
+//!
+//! Every experiment in the paper's evaluation is a sweep — job counts for
+//! Fig. 4(a), site counts for Fig. 4(b), candidate speed multipliers during
+//! calibration. This module packages the bookkeeping (and the thread fan-out)
+//! behind one call so benches, examples and the CLI do not re-implement it.
+//! Each sweep point is an independent simulation with its own platform,
+//! trace and execution configuration; results come back in the order the
+//! points were supplied regardless of which thread ran them.
+
+use cgsim_platform::PlatformSpec;
+use cgsim_policies::PolicyRegistry;
+use cgsim_workload::Trace;
+
+use crate::config::ExecutionConfig;
+use crate::results::SimulationResults;
+use crate::simulation::{Simulation, SimulationError};
+
+/// One independent simulation in a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Label identifying the point (e.g. `"jobs=2000"` or `"sites=10"`).
+    pub label: String,
+    /// Platform to simulate.
+    pub platform: PlatformSpec,
+    /// Workload trace.
+    pub trace: Trace,
+    /// Execution configuration (its `allocation_policy` selects the policy).
+    pub execution: ExecutionConfig,
+}
+
+impl SweepPoint {
+    /// Creates a sweep point.
+    pub fn new(
+        label: impl Into<String>,
+        platform: PlatformSpec,
+        trace: Trace,
+        execution: ExecutionConfig,
+    ) -> Self {
+        SweepPoint {
+            label: label.into(),
+            platform,
+            trace,
+            execution,
+        }
+    }
+}
+
+/// The result of one sweep point.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The point's label.
+    pub label: String,
+    /// The simulation results.
+    pub results: SimulationResults,
+}
+
+/// Runs every sweep point and returns the outcomes in input order.
+///
+/// With `parallel = true` the points are distributed over
+/// `available_parallelism` worker threads (each simulation is still strictly
+/// sequential and deterministic, so the outcomes are identical to a serial
+/// run — only wall-clock time changes).
+pub fn run_sweep(
+    points: Vec<SweepPoint>,
+    parallel: bool,
+    registry: &PolicyRegistry,
+) -> Result<Vec<SweepOutcome>, SimulationError> {
+    let run_one = |point: SweepPoint| -> Result<SweepOutcome, SimulationError> {
+        let policy = registry
+            .create(&point.execution.allocation_policy, point.execution.seed)
+            .ok_or_else(|| {
+                SimulationError::UnknownPolicy(point.execution.allocation_policy.clone())
+            })?;
+        let results = Simulation::builder()
+            .platform_spec(&point.platform)?
+            .trace(point.trace)
+            .policy(policy)
+            .execution(point.execution)
+            .run()?;
+        Ok(SweepOutcome {
+            label: point.label,
+            results,
+        })
+    };
+
+    if !parallel || points.len() <= 1 {
+        return points.into_iter().map(run_one).collect();
+    }
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(points.len());
+    let chunk = points.len().div_ceil(threads);
+    let indexed: Vec<(usize, SweepPoint)> = points.into_iter().enumerate().collect();
+    let mut outcomes: Vec<Option<Result<SweepOutcome, SimulationError>>> = Vec::new();
+    outcomes.resize_with(indexed.len(), || None);
+
+    let chunks: Vec<Vec<(usize, SweepPoint)>> = indexed
+        .chunks(chunk)
+        .map(|c| c.to_vec())
+        .collect();
+    let collected: Vec<Vec<(usize, Result<SweepOutcome, SimulationError>)>> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk_points| {
+                    scope.spawn(move |_| {
+                        chunk_points
+                            .into_iter()
+                            .map(|(i, p)| (i, run_one(p)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+
+    for chunk_results in collected {
+        for (i, result) in chunk_results {
+            outcomes[i] = Some(result);
+        }
+    }
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("every sweep point produced a result"))
+        .collect()
+}
+
+/// Summary row of a sweep outcome (used by the scalability benches and the
+/// CLI `sweep` command).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SweepRow {
+    /// Point label.
+    pub label: String,
+    /// Number of jobs simulated.
+    pub jobs: u64,
+    /// Virtual makespan (seconds).
+    pub makespan_s: f64,
+    /// Engine events processed.
+    pub engine_events: u64,
+    /// Simulator wall-clock time (seconds).
+    pub wall_clock_s: f64,
+    /// Mean queue time (seconds).
+    pub mean_queue_time_s: f64,
+    /// Failure rate.
+    pub failure_rate: f64,
+}
+
+impl SweepRow {
+    /// Builds the summary row of one outcome.
+    pub fn from_outcome(outcome: &SweepOutcome) -> Self {
+        let m = &outcome.results.metrics;
+        SweepRow {
+            label: outcome.label.clone(),
+            jobs: m.total_jobs,
+            makespan_s: m.makespan_s,
+            engine_events: outcome.results.engine_events,
+            wall_clock_s: outcome.results.wall_clock_s,
+            mean_queue_time_s: m.queue_time.as_ref().map(|s| s.mean).unwrap_or(0.0),
+            failure_rate: m.failure_rate,
+        }
+    }
+
+    /// CSV header matching [`SweepRow::to_csv_row`].
+    pub const CSV_HEADER: &'static str =
+        "label,jobs,makespan_s,engine_events,wall_clock_s,mean_queue_time_s,failure_rate";
+
+    /// One CSV row.
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{:.3},{},{:.4},{:.3},{:.4}",
+            self.label,
+            self.jobs,
+            self.makespan_s,
+            self.engine_events,
+            self.wall_clock_s,
+            self.mean_queue_time_s,
+            self.failure_rate
+        )
+    }
+}
+
+/// Renders sweep outcomes as a CSV table.
+pub fn sweep_csv(outcomes: &[SweepOutcome]) -> String {
+    let mut out = String::from(SweepRow::CSV_HEADER);
+    out.push('\n');
+    for o in outcomes {
+        out.push_str(&SweepRow::from_outcome(o).to_csv_row());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgsim_platform::presets::{example_platform, wlcg_platform};
+    use cgsim_workload::{TraceConfig, TraceGenerator};
+
+    fn points(n: usize) -> Vec<SweepPoint> {
+        (0..n)
+            .map(|i| {
+                let platform = if i % 2 == 0 {
+                    example_platform()
+                } else {
+                    wlcg_platform(6, i as u64)
+                };
+                let trace = TraceGenerator::new(TraceConfig::with_jobs(60 + 10 * i, i as u64))
+                    .generate(&platform);
+                SweepPoint::new(
+                    format!("point-{i}"),
+                    platform,
+                    trace,
+                    ExecutionConfig::default(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serial_and_parallel_sweeps_agree_exactly() {
+        let registry = PolicyRegistry::with_builtins();
+        let serial = run_sweep(points(5), false, &registry).unwrap();
+        let parallel = run_sweep(points(5), true, &registry).unwrap();
+        assert_eq!(serial.len(), 5);
+        assert_eq!(parallel.len(), 5);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.results.metrics.total_jobs, b.results.metrics.total_jobs);
+            assert!((a.results.makespan_s - b.results.makespan_s).abs() < 1e-9);
+            assert_eq!(a.results.engine_events, b.results.engine_events);
+        }
+    }
+
+    #[test]
+    fn outcomes_keep_input_order() {
+        let registry = PolicyRegistry::with_builtins();
+        let outcomes = run_sweep(points(4), true, &registry).unwrap();
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.label, format!("point-{i}"));
+        }
+        let csv = sweep_csv(&outcomes);
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.starts_with("label,jobs"));
+        assert!(csv.contains("point-3"));
+    }
+
+    #[test]
+    fn unknown_policy_fails_the_sweep() {
+        let registry = PolicyRegistry::with_builtins();
+        let mut pts = points(1);
+        pts[0].execution.allocation_policy = "does-not-exist".into();
+        let err = run_sweep(pts, false, &registry).unwrap_err();
+        assert!(matches!(err, SimulationError::UnknownPolicy(_)));
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let registry = PolicyRegistry::with_builtins();
+        assert!(run_sweep(Vec::new(), true, &registry).unwrap().is_empty());
+    }
+}

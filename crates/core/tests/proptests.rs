@@ -1,0 +1,141 @@
+//! Property-based tests of whole-simulation invariants.
+//!
+//! Case counts are kept small because each case runs a full (small)
+//! simulation, but the configurations are drawn randomly: job mixes, site
+//! counts, policies, failure rates and compute modes.
+
+use cgsim_core::{ComputeMode, ExecutionConfig, Simulation};
+use cgsim_platform::presets::wlcg_platform;
+use cgsim_workload::{JobState, TraceConfig, TraceGenerator};
+use proptest::prelude::*;
+
+fn policies() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec![
+        "least-loaded",
+        "round-robin",
+        "random",
+        "fastest-available",
+        "data-aware",
+        "historical-panda",
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every simulated job terminates, resources are fully released, and the
+    /// per-job timeline is ordered — regardless of policy, failure rate,
+    /// compute mode or workload mix.
+    #[test]
+    fn simulation_invariants_hold(
+        jobs in 5usize..60,
+        sites in 1usize..8,
+        seed in any::<u64>(),
+        policy in policies(),
+        failure in 0.0f64..0.5,
+        retries in 0u32..3,
+        multicore in 0.0f64..1.0,
+        time_shared in any::<bool>(),
+    ) {
+        let platform = wlcg_platform(sites, seed ^ 0x1234);
+        let mut cfg = TraceConfig::with_jobs(jobs, seed);
+        cfg.multicore_fraction = multicore;
+        let trace = TraceGenerator::new(cfg).generate(&platform);
+
+        let mut execution = ExecutionConfig::with_policy(policy);
+        execution.seed = seed;
+        execution.failure_probability = failure;
+        execution.max_retries = retries;
+        execution.compute_mode = if time_shared {
+            ComputeMode::TimeShared
+        } else {
+            ComputeMode::DedicatedCores
+        };
+
+        let results = Simulation::builder()
+            .platform_spec(&platform)
+            .unwrap()
+            .trace(trace)
+            .policy_name(policy)
+            .execution(execution)
+            .run()
+            .unwrap();
+
+        // Every job reached a terminal state exactly once.
+        prop_assert_eq!(results.outcomes.len(), jobs);
+        let ids: std::collections::HashSet<_> = results.outcomes.iter().map(|o| o.id).collect();
+        prop_assert_eq!(ids.len(), jobs);
+        for o in &results.outcomes {
+            prop_assert!(o.final_state.is_terminal());
+            prop_assert!(o.assign_time >= o.submit_time - 1e-9);
+            prop_assert!(o.start_time >= o.assign_time - 1e-9);
+            prop_assert!(o.end_time >= o.start_time - 1e-9);
+            prop_assert!(o.walltime >= 0.0);
+            prop_assert!(o.queue_time >= -1e-9);
+            prop_assert!(o.end_time <= results.makespan_s + 1e-6);
+        }
+
+        // All cores returned: the final dashboard shows zero busy cores and
+        // empty queues.
+        for panel in &results.site_panels {
+            prop_assert_eq!(panel.busy_cores, 0, "site {} still busy", panel.site.clone());
+            prop_assert_eq!(panel.queued_jobs, 0);
+            prop_assert_eq!(panel.running_jobs, 0);
+        }
+
+        // Metrics agree with outcomes.
+        prop_assert_eq!(results.metrics.total_jobs as usize, jobs);
+        prop_assert_eq!(
+            (results.metrics.finished_jobs + results.metrics.failed_jobs) as usize,
+            jobs
+        );
+        if failure == 0.0 {
+            prop_assert_eq!(results.metrics.failed_jobs, 0);
+        }
+
+        // Event stream: ids strictly increasing, finished counter never
+        // exceeds the assigned counter.
+        for pair in results.events.windows(2) {
+            prop_assert!(pair[0].event_id < pair[1].event_id);
+            prop_assert!(pair[0].time_s <= pair[1].time_s + 1e-9);
+        }
+        for e in &results.events {
+            if e.state == JobState::Finished {
+                prop_assert!(e.finished_jobs <= e.assigned_jobs);
+            }
+        }
+    }
+
+    /// Re-running the exact same configuration yields bit-identical walltimes
+    /// (full-pipeline determinism).
+    #[test]
+    fn simulation_is_reproducible(
+        jobs in 5usize..40,
+        sites in 1usize..5,
+        seed in any::<u64>(),
+        policy in policies(),
+    ) {
+        let run = || {
+            let platform = wlcg_platform(sites, seed);
+            let trace = TraceGenerator::new(TraceConfig::with_jobs(jobs, seed)).generate(&platform);
+            let mut execution = ExecutionConfig::with_policy(policy);
+            execution.seed = seed;
+            Simulation::builder()
+                .platform_spec(&platform)
+                .unwrap()
+                .trace(trace)
+                .policy_name(policy)
+                .execution(execution)
+                .run()
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.engine_events, b.engine_events);
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(&x.site, &y.site);
+            prop_assert_eq!(x.walltime.to_bits(), y.walltime.to_bits());
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! XRootD-style LRU dataset cache.
+//!
+//! DCSim (the closest prior HEP simulator) models XRootD-like data caching;
+//! CGSim-RS provides the same capability so data-movement policies can trade
+//! wide-area transfers for site-local cache hits. The cache is a byte-bounded
+//! LRU keyed by dataset.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::DatasetId;
+
+/// Hit/miss statistics of a cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Number of lookups that found the dataset cached.
+    pub hits: u64,
+    /// Number of lookups that missed.
+    pub misses: u64,
+    /// Number of datasets evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (0 when the cache was never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A byte-bounded LRU cache of datasets.
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity_bytes: u64,
+    used_bytes: u64,
+    /// Most recently used at the back.
+    entries: VecDeque<(DatasetId, u64)>,
+    stats: CacheStats,
+}
+
+impl LruCache {
+    /// Creates an empty cache with the given capacity.
+    pub fn new(capacity_bytes: u64) -> Self {
+        LruCache {
+            capacity_bytes,
+            used_bytes: 0,
+            entries: VecDeque::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Number of cached datasets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up a dataset, recording a hit or miss and refreshing recency on
+    /// a hit.
+    pub fn lookup(&mut self, dataset: DatasetId) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&(d, _)| d == dataset) {
+            let entry = self.entries.remove(pos).expect("position is valid");
+            self.entries.push_back(entry);
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// True if the dataset is cached, without touching recency or statistics.
+    pub fn contains(&self, dataset: DatasetId) -> bool {
+        self.entries.iter().any(|&(d, _)| d == dataset)
+    }
+
+    /// Inserts a dataset of the given size, evicting least-recently-used
+    /// entries as needed. Datasets larger than the whole cache are not
+    /// admitted. Returns the evicted datasets.
+    pub fn insert(&mut self, dataset: DatasetId, bytes: u64) -> Vec<DatasetId> {
+        let mut evicted = Vec::new();
+        if bytes > self.capacity_bytes {
+            return evicted;
+        }
+        if self.contains(dataset) {
+            return evicted;
+        }
+        while self.used_bytes + bytes > self.capacity_bytes {
+            let Some((victim, victim_bytes)) = self.entries.pop_front() else {
+                break;
+            };
+            self.used_bytes -= victim_bytes;
+            self.stats.evictions += 1;
+            evicted.push(victim);
+        }
+        self.entries.push_back((dataset, bytes));
+        self.used_bytes += bytes;
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(i: usize) -> DatasetId {
+        DatasetId::new(i)
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut cache = LruCache::new(100);
+        assert!(!cache.lookup(ds(1)));
+        cache.insert(ds(1), 40);
+        assert!(cache.lookup(ds(1)));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = LruCache::new(100);
+        cache.insert(ds(1), 40);
+        cache.insert(ds(2), 40);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.lookup(ds(1)));
+        let evicted = cache.insert(ds(3), 40);
+        assert_eq!(evicted, vec![ds(2)]);
+        assert!(cache.contains(ds(1)));
+        assert!(cache.contains(ds(3)));
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.used_bytes() <= cache.capacity_bytes());
+    }
+
+    #[test]
+    fn oversized_datasets_are_not_admitted() {
+        let mut cache = LruCache::new(10);
+        let evicted = cache.insert(ds(1), 100);
+        assert!(evicted.is_empty());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let mut cache = LruCache::new(100);
+        cache.insert(ds(1), 40);
+        cache.insert(ds(1), 40);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.used_bytes(), 40);
+    }
+
+    #[test]
+    fn empty_cache_hit_rate_is_zero() {
+        let cache = LruCache::new(10);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+}

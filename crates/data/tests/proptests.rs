@@ -1,0 +1,49 @@
+//! Property-based tests for the data-management substrate.
+
+use cgsim_data::catalog::DatasetId;
+use cgsim_data::{LruCache, StorageElement};
+use proptest::prelude::*;
+
+proptest! {
+    /// The LRU cache never exceeds its capacity and its statistics stay
+    /// consistent, under arbitrary interleavings of inserts and lookups.
+    #[test]
+    fn lru_cache_invariants(
+        capacity in 1u64..10_000,
+        ops in prop::collection::vec((0usize..50, 1u64..5_000, any::<bool>()), 0..200),
+    ) {
+        let mut cache = LruCache::new(capacity);
+        for (id, bytes, is_insert) in ops {
+            let ds = DatasetId::new(id);
+            if is_insert {
+                cache.insert(ds, bytes);
+            } else {
+                cache.lookup(ds);
+            }
+            prop_assert!(cache.used_bytes() <= cache.capacity_bytes());
+            let stats = cache.stats();
+            prop_assert!(stats.hit_rate() >= 0.0 && stats.hit_rate() <= 1.0);
+        }
+    }
+
+    /// Storage accounting never goes negative and never exceeds capacity.
+    #[test]
+    fn storage_element_accounting(
+        capacity in 0u64..1_000_000,
+        ops in prop::collection::vec((0u64..100_000, any::<bool>()), 0..200),
+    ) {
+        let mut se = StorageElement::new("prop", capacity);
+        for (bytes, reserve) in ops {
+            if reserve {
+                let ok = se.reserve(bytes);
+                if ok {
+                    prop_assert!(se.used_bytes <= capacity);
+                }
+            } else {
+                se.release(bytes);
+            }
+            prop_assert!(se.used_bytes <= capacity);
+            prop_assert!(se.utilization() >= 0.0 && se.utilization() <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! The discrete-event engine driving an [`EventHandler`].
+//!
+//! The engine owns the virtual clock and the event queue. A simulation model
+//! (in CGSim-RS: the grid simulation in `cgsim-core`) implements
+//! [`EventHandler`] and receives each event together with a [`Context`] that
+//! lets it schedule follow-up events, cancel pending ones, and request an
+//! early stop.
+//!
+//! This mirrors the structure of SimGrid's engine loop: the model never
+//! blocks, it only reacts to events and posts new ones, so the loop is a plain
+//! `while let Some(event) = queue.pop()`.
+
+use crate::event::{EventKey, EventQueue};
+use crate::time::SimTime;
+
+/// Trait implemented by simulation models.
+pub trait EventHandler<E> {
+    /// Handles a single event at the context's current time.
+    fn handle(&mut self, ctx: &mut Context<'_, E>, event: E);
+}
+
+/// Why an [`Engine::run`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained completely.
+    QueueExhausted,
+    /// The handler called [`Context::request_stop`].
+    StopRequested,
+    /// The configured time horizon was reached.
+    HorizonReached,
+    /// The configured event budget was exhausted.
+    EventBudgetExhausted,
+}
+
+/// Summary of a completed engine run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunReport {
+    /// Number of events delivered to the handler.
+    pub events_processed: u64,
+    /// Virtual time at which the run ended.
+    pub end_time: SimTime,
+    /// Why the run ended.
+    pub stop_reason: StopReason,
+}
+
+/// Scheduling facade handed to the event handler for each event.
+pub struct Context<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    stop_requested: bool,
+}
+
+impl<'a, E> Context<'a, E> {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules an event `delay` after the current time.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) -> EventKey {
+        self.queue.schedule(self.now + delay, event)
+    }
+
+    /// Schedules an event at an absolute time (clamped to now if in the past).
+    #[inline]
+    pub fn schedule_at(&mut self, time: SimTime, event: E) -> EventKey {
+        self.queue.schedule(time.max(self.now), event)
+    }
+
+    /// Cancels a pending event.
+    #[inline]
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        self.queue.cancel(key)
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests that the engine stop after the current event.
+    #[inline]
+    pub fn request_stop(&mut self) {
+        self.stop_requested = true;
+    }
+}
+
+/// The discrete-event engine: virtual clock + event queue + run loop.
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    processed: u64,
+    horizon: Option<SimTime>,
+    event_budget: Option<u64>,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates a fresh engine with the clock at zero.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            processed: 0,
+            horizon: None,
+            event_budget: None,
+        }
+    }
+
+    /// Sets a virtual-time horizon; the run stops before delivering any event
+    /// scheduled strictly after the horizon.
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Sets a maximum number of events to process in a single `run` call.
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = Some(budget);
+        self
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events processed so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Direct access to the queue (used by setup code before `run`).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<E> {
+        &mut self.queue
+    }
+
+    /// Schedules an event at an absolute virtual time.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) -> EventKey {
+        self.queue.schedule(time, event)
+    }
+
+    /// Schedules an event relative to the current virtual time.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) -> EventKey {
+        self.queue.schedule(self.now + delay, event)
+    }
+
+    /// Number of live events pending in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Delivers a single event to `handler`. Returns `None` when the queue is
+    /// empty, otherwise whether the handler requested a stop.
+    pub fn step<H: EventHandler<E>>(&mut self, handler: &mut H) -> Option<bool> {
+        let scheduled = self.queue.pop()?;
+        debug_assert!(
+            scheduled.time >= self.now,
+            "event queue produced an event in the past"
+        );
+        self.now = scheduled.time.max(self.now);
+        self.processed += 1;
+        let mut ctx = Context {
+            now: self.now,
+            queue: &mut self.queue,
+            stop_requested: false,
+        };
+        handler.handle(&mut ctx, scheduled.event);
+        Some(ctx.stop_requested)
+    }
+
+    /// Runs until the queue drains, the handler requests a stop, or a
+    /// configured horizon / event budget is hit.
+    pub fn run<H: EventHandler<E>>(&mut self, handler: &mut H) -> RunReport {
+        let start_processed = self.processed;
+        let stop_reason = loop {
+            if let Some(budget) = self.event_budget {
+                if self.processed - start_processed >= budget {
+                    break StopReason::EventBudgetExhausted;
+                }
+            }
+            if let Some(horizon) = self.horizon {
+                match self.queue.peek_time() {
+                    Some(t) if t > horizon => break StopReason::HorizonReached,
+                    None => break StopReason::QueueExhausted,
+                    _ => {}
+                }
+            }
+            match self.step(handler) {
+                None => break StopReason::QueueExhausted,
+                Some(true) => break StopReason::StopRequested,
+                Some(false) => {}
+            }
+        };
+        RunReport {
+            events_processed: self.processed - start_processed,
+            end_time: self.now,
+            stop_reason,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Ev {
+        Tick,
+        Chain(u32),
+        Stop,
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        times: Vec<f64>,
+        chains: u32,
+    }
+
+    impl EventHandler<Ev> for Recorder {
+        fn handle(&mut self, ctx: &mut Context<'_, Ev>, event: Ev) {
+            self.times.push(ctx.now().as_secs());
+            match event {
+                Ev::Tick => {}
+                Ev::Chain(n) => {
+                    self.chains += 1;
+                    if n > 0 {
+                        ctx.schedule_in(SimTime::from_secs(2.0), Ev::Chain(n - 1));
+                    }
+                }
+                Ev::Stop => ctx.request_stop(),
+            }
+        }
+    }
+
+    #[test]
+    fn runs_until_queue_exhausted() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_secs(1.0), Ev::Tick);
+        engine.schedule_at(SimTime::from_secs(5.0), Ev::Tick);
+        let mut rec = Recorder::default();
+        let report = engine.run(&mut rec);
+        assert_eq!(report.stop_reason, StopReason::QueueExhausted);
+        assert_eq!(report.events_processed, 2);
+        assert_eq!(rec.times, vec![1.0, 5.0]);
+        assert_eq!(engine.now(), SimTime::from_secs(5.0));
+    }
+
+    #[test]
+    fn chained_events_advance_clock() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::ZERO, Ev::Chain(3));
+        let mut rec = Recorder::default();
+        engine.run(&mut rec);
+        assert_eq!(rec.chains, 4);
+        assert_eq!(engine.now(), SimTime::from_secs(6.0));
+    }
+
+    #[test]
+    fn stop_request_halts_run() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_secs(1.0), Ev::Stop);
+        engine.schedule_at(SimTime::from_secs(2.0), Ev::Tick);
+        let mut rec = Recorder::default();
+        let report = engine.run(&mut rec);
+        assert_eq!(report.stop_reason, StopReason::StopRequested);
+        assert_eq!(report.events_processed, 1);
+        assert_eq!(engine.pending_events(), 1);
+    }
+
+    #[test]
+    fn horizon_stops_before_future_events() {
+        let mut engine = Engine::new().with_horizon(SimTime::from_secs(3.0));
+        engine.schedule_at(SimTime::from_secs(1.0), Ev::Tick);
+        engine.schedule_at(SimTime::from_secs(10.0), Ev::Tick);
+        let mut rec = Recorder::default();
+        let report = engine.run(&mut rec);
+        assert_eq!(report.stop_reason, StopReason::HorizonReached);
+        assert_eq!(rec.times, vec![1.0]);
+    }
+
+    #[test]
+    fn event_budget_is_respected() {
+        let mut engine = Engine::new().with_event_budget(2);
+        for i in 0..5 {
+            engine.schedule_at(SimTime::from_secs(i as f64), Ev::Tick);
+        }
+        let mut rec = Recorder::default();
+        let report = engine.run(&mut rec);
+        assert_eq!(report.stop_reason, StopReason::EventBudgetExhausted);
+        assert_eq!(report.events_processed, 2);
+    }
+
+    #[test]
+    fn step_returns_none_on_empty_queue() {
+        let mut engine: Engine<Ev> = Engine::new();
+        let mut rec = Recorder::default();
+        assert!(engine.step(&mut rec).is_none());
+    }
+}

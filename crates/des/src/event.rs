@@ -1,0 +1,252 @@
+//! Time-ordered event queue.
+//!
+//! The queue is a binary heap keyed by `(SimTime, sequence number)`. The
+//! sequence number makes the order of simultaneous events deterministic
+//! (insertion order), which in turn makes whole simulations reproducible —
+//! one of the requirements for the calibration experiments, where the same
+//! trace must produce the same walltimes on every evaluation of a candidate
+//! parameter vector.
+//!
+//! Events can be cancelled through the [`EventKey`] returned by
+//! [`EventQueue::schedule`]; cancellation is lazy (a tombstone set), so it is
+//! O(log n) amortised and does not disturb the heap.
+
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::SimTime;
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventKey(u64);
+
+impl EventKey {
+    /// Raw sequence number (mostly useful in logs and tests).
+    pub fn sequence(self) -> u64 {
+        self.0
+    }
+}
+
+/// An event plus the time it is scheduled for.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Monotonic sequence number used to break ties deterministically.
+    pub key: EventKey,
+    /// The payload.
+    pub event: E,
+}
+
+/// Internal heap entry ordered so the `BinaryHeap` (a max-heap) pops the
+/// earliest time / lowest sequence first.
+struct HeapEntry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: smallest (time, seq) should be the heap maximum.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic, cancellable, time-ordered event queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    scheduled_total: u64,
+    cancelled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+            cancelled_total: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+            cancelled_total: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `time` and returns a cancellation key.
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventKey {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(HeapEntry { time, seq, event });
+        EventKey(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending (i.e. had not been popped or cancelled before).
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        if key.0 >= self.next_seq {
+            return false;
+        }
+        let inserted = self.cancelled.insert(key.0);
+        if inserted {
+            self.cancelled_total += 1;
+        }
+        inserted
+    }
+
+    /// Removes and returns the next (earliest) non-cancelled event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            return Some(ScheduledEvent {
+                time: entry.time,
+                key: EventKey(entry.seq),
+                event: entry.event,
+            });
+        }
+        None
+    }
+
+    /// Returns the time of the next non-cancelled event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop cancelled entries lazily so the peek is accurate.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Number of events currently pending (including not-yet-skipped
+    /// cancelled entries' complement, i.e. this is the *live* count).
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Total number of events ever cancelled on this queue.
+    pub fn cancelled_total(&self) -> u64 {
+        self.cancelled_total
+    }
+
+    /// Removes every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3.0), "c");
+        q.schedule(SimTime::from_secs(1.0), "a");
+        q.schedule(SimTime::from_secs(2.0), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5.0);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let k1 = q.schedule(SimTime::from_secs(1.0), "a");
+        q.schedule(SimTime::from_secs(2.0), "b");
+        assert!(q.cancel(k1));
+        assert!(!q.cancel(k1), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_key_is_noop() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        assert!(!q.cancel(EventKey(99)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let k = q.schedule(SimTime::from_secs(1.0), "a");
+        q.schedule(SimTime::from_secs(2.0), "b");
+        q.cancel(k);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2.0)));
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut q = EventQueue::new();
+        let k = q.schedule(SimTime::ZERO, 1);
+        q.schedule(SimTime::ZERO, 2);
+        q.cancel(k);
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.cancelled_total(), 1);
+        assert_eq!(q.len(), 1);
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

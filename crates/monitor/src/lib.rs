@@ -1,0 +1,39 @@
+//! # cgsim-monitor — monitoring, event-level datasets, metrics and dashboards
+//!
+//! CGSim's output layer "collects and stores results in SQLite databases,
+//! supports CSV exports for statistical analysis, and provides a real-time
+//! dashboard for monitoring and performance evaluation" (paper §3.1), and
+//! §4.3.2 describes the event-level dataset captured at every timestep
+//! (Table 1). This crate reproduces that output layer:
+//!
+//! * [`event`] — the event-level record schema of Table 1 (event id, job id,
+//!   state, site, available cores, pending / assigned / finished job counts)
+//!   and the per-job outcome record used for metric computation,
+//! * [`collector`] — the monitoring collector the simulation core feeds on
+//!   every job transition; it maintains per-site counters and the
+//!   event-level dataset,
+//! * [`metrics`] — queue time, walltime, CPU efficiency, throughput and
+//!   failure-rate summaries (the operational metrics listed in §1),
+//! * [`store`] — a lightweight named-table store with CSV/JSONL export (the
+//!   SQLite substitution; see DESIGN.md),
+//! * [`dashboard`] — ASCII and self-contained HTML/SVG renderings of the
+//!   per-site node-pressure view of Fig. 5,
+//! * [`mldataset`] — flattened, ML-ready feature rows generated from the
+//!   event-level dataset (the "automatic dataset generation for ML training"
+//!   feature).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod collector;
+pub mod dashboard;
+pub mod event;
+pub mod metrics;
+pub mod mldataset;
+pub mod store;
+pub mod timeseries;
+
+pub use collector::{MonitoringCollector, MonitoringConfig, SiteCounters};
+pub use event::{EventRecord, JobOutcome};
+pub use metrics::{MetricsReport, SiteMetrics};
+pub use store::{TableStore, Value};

@@ -1,0 +1,166 @@
+//! ML-ready dataset export.
+//!
+//! CGSim "automatically generates an event-level statistics dataset from each
+//! run that can be directly used to train machine learning models" (§1); the
+//! companion work trains AI surrogate models on exactly this kind of data.
+//! This module flattens the event-level records and per-job outcomes into
+//! numeric feature rows suitable for supervised training (e.g. predicting
+//! walltime or queue time from job and site features).
+
+use cgsim_workload::JobKind;
+use serde::{Deserialize, Serialize};
+
+use crate::event::{EventRecord, JobOutcome};
+
+/// One training example: numeric features plus the regression targets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlExample {
+    /// Job id (kept for joining, not a feature).
+    pub job_id: u64,
+    /// 1.0 for multi-core jobs, 0.0 for single-core.
+    pub is_multicore: f64,
+    /// Cores requested.
+    pub cores: f64,
+    /// Computational requirement in HS23-seconds (the dominant walltime
+    /// feature — PanDA records expose the same quantity to the production
+    /// surrogate models).
+    pub work_hs23: f64,
+    /// Bytes staged over the network.
+    pub staged_bytes: f64,
+    /// Site available-core count at assignment time (0 when unknown).
+    pub site_available_cores_at_assign: f64,
+    /// Site queue depth at assignment time (0 when unknown).
+    pub site_queue_at_assign: f64,
+    /// Submission time within the run (s).
+    pub submit_time: f64,
+    /// Target: simulated queue time (s).
+    pub target_queue_time: f64,
+    /// Target: simulated walltime (s).
+    pub target_walltime: f64,
+}
+
+/// Builds ML examples by joining job outcomes with the event-level dataset
+/// (the `Assigned` event provides the site-state features).
+pub fn build_examples(outcomes: &[JobOutcome], events: &[EventRecord]) -> Vec<MlExample> {
+    use std::collections::HashMap;
+    let mut assign_state: HashMap<u64, (u64, u64)> = HashMap::new();
+    for e in events {
+        if e.state == cgsim_workload::JobState::Assigned {
+            assign_state.insert(e.job_id.0, (e.available_cores, e.pending_jobs));
+        }
+    }
+    outcomes
+        .iter()
+        .map(|o| {
+            let (avail, queue) = assign_state.get(&o.id.0).copied().unwrap_or((0, 0));
+            MlExample {
+                job_id: o.id.0,
+                is_multicore: if o.kind == JobKind::MultiCore { 1.0 } else { 0.0 },
+                cores: o.cores as f64,
+                work_hs23: o.work_hs23,
+                staged_bytes: o.staged_bytes as f64,
+                site_available_cores_at_assign: avail as f64,
+                site_queue_at_assign: queue as f64,
+                submit_time: o.submit_time,
+                target_queue_time: o.queue_time,
+                target_walltime: o.walltime,
+            }
+        })
+        .collect()
+}
+
+/// CSV header for [`to_csv`].
+pub const CSV_HEADER: &str = "job_id,is_multicore,cores,work_hs23,staged_bytes,site_available_cores_at_assign,site_queue_at_assign,submit_time,target_queue_time,target_walltime";
+
+/// Renders examples as CSV (header + one row per example).
+pub fn to_csv(examples: &[MlExample]) -> String {
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for e in examples {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{}\n",
+            e.job_id,
+            e.is_multicore,
+            e.cores,
+            e.work_hs23,
+            e.staged_bytes,
+            e.site_available_cores_at_assign,
+            e.site_queue_at_assign,
+            e.submit_time,
+            e.target_queue_time,
+            e.target_walltime
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgsim_workload::{JobId, JobState};
+
+    fn outcome(id: u64) -> JobOutcome {
+        JobOutcome {
+            id: JobId(id),
+            kind: JobKind::MultiCore,
+            cores: 8,
+            work_hs23: 68_000.0,
+            site: "BNL".into(),
+            submit_time: 100.0,
+            assign_time: 110.0,
+            start_time: 150.0,
+            end_time: 1000.0,
+            final_state: JobState::Finished,
+            staged_bytes: 5_000,
+            walltime: 850.0,
+            queue_time: 50.0,
+            hist_walltime: None,
+            hist_queue_time: None,
+        }
+    }
+
+    fn assign_event(id: u64) -> EventRecord {
+        EventRecord {
+            event_id: 1,
+            time_s: 110.0,
+            job_id: JobId(id),
+            state: JobState::Assigned,
+            site: "BNL".into(),
+            available_cores: 420,
+            pending_jobs: 7,
+            assigned_jobs: 1,
+            finished_jobs: 0,
+        }
+    }
+
+    #[test]
+    fn examples_join_outcomes_with_assign_events() {
+        let examples = build_examples(&[outcome(9)], &[assign_event(9)]);
+        assert_eq!(examples.len(), 1);
+        let e = &examples[0];
+        assert_eq!(e.job_id, 9);
+        assert_eq!(e.is_multicore, 1.0);
+        assert_eq!(e.work_hs23, 68_000.0);
+        assert_eq!(e.site_available_cores_at_assign, 420.0);
+        assert_eq!(e.site_queue_at_assign, 7.0);
+        assert_eq!(e.target_walltime, 850.0);
+    }
+
+    #[test]
+    fn missing_assign_event_defaults_to_zero_features() {
+        let examples = build_examples(&[outcome(9)], &[]);
+        assert_eq!(examples[0].site_available_cores_at_assign, 0.0);
+    }
+
+    #[test]
+    fn csv_has_header_and_matching_columns() {
+        let examples = build_examples(&[outcome(1), outcome(2)], &[assign_event(1)]);
+        let csv = to_csv(&examples);
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[1].split(',').count(),
+            CSV_HEADER.split(',').count()
+        );
+    }
+}

@@ -1,0 +1,275 @@
+//! Lightweight named-table store (the SQLite substitution).
+//!
+//! CGSim stores run results in SQLite databases and exports CSV for
+//! statistical analysis. To keep CGSim-RS dependency-free we substitute an
+//! in-memory named-table store with the same role: typed columns, appendable
+//! rows, simple filtering, and CSV / JSON-lines persistence. DESIGN.md
+//! records the substitution.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+/// A single cell value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Integer cell.
+    Int(i64),
+    /// Floating-point cell.
+    Float(f64),
+    /// Text cell.
+    Text(String),
+}
+
+impl Value {
+    /// Renders the value for CSV output.
+    pub fn to_csv_field(&self) -> String {
+        match self {
+            Value::Int(v) => v.to_string(),
+            Value::Float(v) => format!("{v}"),
+            Value::Text(v) => {
+                if v.contains(',') || v.contains('"') {
+                    format!("\"{}\"", v.replace('"', "\"\""))
+                } else {
+                    v.clone()
+                }
+            }
+        }
+    }
+
+    /// The float content, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Text(_) => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+/// One table: a header plus rows.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Table {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Rows; every row has `columns.len()` cells.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given columns.
+    pub fn new(columns: &[&str]) -> Self {
+        Table {
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row length does not match the column count.
+    pub fn push_row(&mut self, row: Vec<Value>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width does not match table schema"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Values of a numeric column as f64 (non-numeric cells are skipped).
+    pub fn numeric_column(&self, name: &str) -> Vec<f64> {
+        let Some(idx) = self.column_index(name) else {
+            return Vec::new();
+        };
+        self.rows
+            .iter()
+            .filter_map(|r| r[idx].as_f64())
+            .collect()
+    }
+
+    /// Rows for which `predicate` returns true for the value in `column`.
+    pub fn filter_rows<'a>(
+        &'a self,
+        column: &str,
+        predicate: impl Fn(&Value) -> bool + 'a,
+    ) -> Vec<&'a Vec<Value>> {
+        let Some(idx) = self.column_index(column) else {
+            return Vec::new();
+        };
+        self.rows.iter().filter(|r| predicate(&r[idx])).collect()
+    }
+
+    /// Renders the table as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.columns.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            let fields: Vec<String> = row.iter().map(Value::to_csv_field).collect();
+            out.push_str(&fields.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A named collection of tables (one simulation run's output database).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TableStore {
+    tables: BTreeMap<String, Table>,
+}
+
+impl TableStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates (or returns the existing) table `name` with the given schema.
+    pub fn table(&mut self, name: &str, columns: &[&str]) -> &mut Table {
+        self.tables
+            .entry(name.to_string())
+            .or_insert_with(|| Table::new(columns))
+    }
+
+    /// Gets a table by name.
+    pub fn get(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Writes every table as `<dir>/<name>.csv`.
+    pub fn save_csv_dir(&self, dir: impl AsRef<Path>) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        for (name, table) in &self.tables {
+            let mut file = std::fs::File::create(dir.join(format!("{name}.csv")))?;
+            file.write_all(table.to_csv().as_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Serialises the whole store as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("store serialisation cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new(&["site", "jobs", "mean_walltime"]);
+        t.push_row(vec!["CERN".into(), 120u64.into(), 3600.5.into()]);
+        t.push_row(vec!["BNL".into(), 80u64.into(), 2800.0.into()]);
+        t
+    }
+
+    #[test]
+    fn rows_and_columns_are_tracked() {
+        let t = sample_table();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.column_index("jobs"), Some(1));
+        assert_eq!(t.column_index("nope"), None);
+        assert_eq!(t.numeric_column("mean_walltime"), vec![3600.5, 2800.0]);
+        assert!(t.numeric_column("site").is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.push_row(vec![1i64.into()]);
+    }
+
+    #[test]
+    fn filter_rows_by_predicate() {
+        let t = sample_table();
+        let big = t.filter_rows("jobs", |v| v.as_f64().unwrap_or(0.0) > 100.0);
+        assert_eq!(big.len(), 1);
+        assert_eq!(big[0][0], Value::Text("CERN".into()));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new(&["name"]);
+        t.push_row(vec!["a,b".into()]);
+        t.push_row(vec!["say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn store_creates_and_persists_tables() {
+        let mut store = TableStore::new();
+        store
+            .table("site_summary", &["site", "jobs", "mean_walltime"])
+            .push_row(vec!["CERN".into(), 1u64.into(), 10.0.into()]);
+        store
+            .table("events", &["event_id", "state"])
+            .push_row(vec![1u64.into(), "finished".into()]);
+        assert_eq!(store.table_names(), vec!["events", "site_summary"]);
+        assert_eq!(store.get("events").unwrap().len(), 1);
+        assert!(store.get("missing").is_none());
+
+        let dir = std::env::temp_dir().join("cgsim-store-test");
+        store.save_csv_dir(&dir).unwrap();
+        let text = std::fs::read_to_string(dir.join("site_summary.csv")).unwrap();
+        assert!(text.starts_with("site,jobs,mean_walltime"));
+        std::fs::remove_dir_all(dir).ok();
+
+        let json = store.to_json();
+        assert!(json.contains("site_summary"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Time-series resampling of the event-level dataset.
+//!
+//! The real-time dashboard and the ML-assisted surrogate models both consume
+//! the simulation state as regularly sampled series (e.g. running jobs and
+//! node pressure per site per minute) rather than as raw event rows. This
+//! module bins the event-level dataset onto a fixed time grid.
+
+use std::collections::BTreeMap;
+
+use cgsim_workload::JobState;
+use serde::{Deserialize, Serialize};
+
+use crate::event::EventRecord;
+
+/// One resampled series for one site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteSeries {
+    /// Site name.
+    pub site: String,
+    /// Start time of each bin (seconds).
+    pub time_s: Vec<f64>,
+    /// Available cores at the last event within (or before) each bin.
+    pub available_cores: Vec<u64>,
+    /// Site queue depth at the last event within (or before) each bin.
+    pub queued_jobs: Vec<u64>,
+    /// Cumulative finished jobs at the end of each bin.
+    pub finished_jobs: Vec<u64>,
+    /// Number of job-state events that fell into each bin.
+    pub events_in_bin: Vec<u64>,
+}
+
+/// Resamples the event-level dataset onto a fixed grid of `bin_s`-second
+/// bins, carrying the last observation forward for state-like quantities.
+pub fn resample(events: &[EventRecord], bin_s: f64) -> Vec<SiteSeries> {
+    assert!(bin_s > 0.0, "bin width must be positive");
+    if events.is_empty() {
+        return Vec::new();
+    }
+    let horizon = events.iter().map(|e| e.time_s).fold(0.0f64, f64::max);
+    let bins = (horizon / bin_s).floor() as usize + 1;
+
+    // Group events per site (ignore main-server rows with an empty site).
+    let mut per_site: BTreeMap<&str, Vec<&EventRecord>> = BTreeMap::new();
+    for e in events {
+        if !e.site.is_empty() {
+            per_site.entry(e.site.as_str()).or_default().push(e);
+        }
+    }
+
+    per_site
+        .into_iter()
+        .map(|(site, site_events)| {
+            let mut series = SiteSeries {
+                site: site.to_string(),
+                time_s: (0..bins).map(|i| i as f64 * bin_s).collect(),
+                available_cores: vec![0; bins],
+                queued_jobs: vec![0; bins],
+                finished_jobs: vec![0; bins],
+                events_in_bin: vec![0; bins],
+            };
+            let mut cursor = 0usize;
+            let mut last = (0u64, 0u64, 0u64);
+            for bin in 0..bins {
+                let bin_end = (bin + 1) as f64 * bin_s;
+                while cursor < site_events.len() && site_events[cursor].time_s < bin_end {
+                    let e = site_events[cursor];
+                    last = (e.available_cores, e.pending_jobs, e.finished_jobs);
+                    series.events_in_bin[bin] += 1;
+                    cursor += 1;
+                }
+                series.available_cores[bin] = last.0;
+                series.queued_jobs[bin] = last.1;
+                series.finished_jobs[bin] = last.2;
+            }
+            series
+        })
+        .collect()
+}
+
+/// Renders the resampled series as CSV (long format: one row per site per bin).
+pub fn to_csv(series: &[SiteSeries]) -> String {
+    let mut out =
+        String::from("site,time_s,available_cores,queued_jobs,finished_jobs,events_in_bin\n");
+    for s in series {
+        for i in 0..s.time_s.len() {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                s.site,
+                s.time_s[i],
+                s.available_cores[i],
+                s.queued_jobs[i],
+                s.finished_jobs[i],
+                s.events_in_bin[i]
+            ));
+        }
+    }
+    out
+}
+
+/// Counts the job-state transitions per state over the whole event stream
+/// (a quick sanity view of the lifecycle funnel).
+pub fn state_histogram(events: &[EventRecord]) -> BTreeMap<JobState, u64> {
+    let mut histogram = BTreeMap::new();
+    for e in events {
+        *histogram.entry(e.state).or_insert(0) += 1;
+    }
+    histogram
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgsim_workload::JobId;
+
+    fn event(time_s: f64, site: &str, state: JobState, avail: u64, finished: u64) -> EventRecord {
+        EventRecord {
+            event_id: (time_s * 10.0) as u64,
+            time_s,
+            job_id: JobId(1),
+            state,
+            site: site.to_string(),
+            available_cores: avail,
+            pending_jobs: 1,
+            assigned_jobs: finished + 1,
+            finished_jobs: finished,
+        }
+    }
+
+    #[test]
+    fn resample_carries_last_observation_forward() {
+        let events = vec![
+            event(5.0, "A", JobState::Running, 90, 0),
+            event(65.0, "A", JobState::Finished, 100, 1),
+            event(10.0, "B", JobState::Running, 40, 0),
+        ];
+        let series = resample(&events, 60.0);
+        assert_eq!(series.len(), 2);
+        let a = series.iter().find(|s| s.site == "A").unwrap();
+        assert_eq!(a.time_s.len(), 2);
+        assert_eq!(a.available_cores, vec![90, 100]);
+        assert_eq!(a.finished_jobs, vec![0, 1]);
+        assert_eq!(a.events_in_bin, vec![1, 1]);
+        let b = series.iter().find(|s| s.site == "B").unwrap();
+        // B has no events after t=10, so its state is carried forward.
+        assert_eq!(b.available_cores, vec![40, 40]);
+        assert_eq!(b.events_in_bin, vec![1, 0]);
+    }
+
+    #[test]
+    fn empty_events_give_empty_series() {
+        assert!(resample(&[], 60.0).is_empty());
+    }
+
+    #[test]
+    fn csv_has_one_row_per_site_per_bin() {
+        let events = vec![
+            event(5.0, "A", JobState::Running, 90, 0),
+            event(125.0, "A", JobState::Finished, 100, 1),
+        ];
+        let series = resample(&events, 60.0);
+        let csv = to_csv(&series);
+        // 3 bins x 1 site + header.
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.starts_with("site,time_s"));
+    }
+
+    #[test]
+    fn state_histogram_counts_transitions() {
+        let events = vec![
+            event(1.0, "A", JobState::Running, 1, 0),
+            event(2.0, "A", JobState::Running, 1, 0),
+            event(3.0, "A", JobState::Finished, 1, 1),
+        ];
+        let histogram = state_histogram(&events);
+        assert_eq!(histogram[&JobState::Running], 2);
+        assert_eq!(histogram[&JobState::Finished], 1);
+        assert!(!histogram.contains_key(&JobState::Failed));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bin_width_is_rejected() {
+        resample(&[], 0.0);
+    }
+}

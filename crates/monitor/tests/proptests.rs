@@ -1,0 +1,106 @@
+//! Property-based tests for the monitoring layer.
+
+use cgsim_monitor::{MetricsReport, MonitoringCollector, MonitoringConfig};
+use cgsim_monitor::event::JobOutcome;
+use cgsim_workload::{JobId, JobKind, JobState};
+use proptest::prelude::*;
+
+fn arb_outcome() -> impl Strategy<Value = JobOutcome> {
+    (
+        any::<u64>(),
+        0usize..5,
+        1u32..9,
+        0.0f64..1e5,
+        0.0f64..1e4,
+        0.0f64..1e5,
+        any::<bool>(),
+    )
+        .prop_map(|(id, site, cores, submit, queue, wall, failed)| {
+            let start = submit + queue;
+            let end = start + wall;
+            JobOutcome {
+                id: JobId(id),
+                kind: if cores > 1 {
+                    JobKind::MultiCore
+                } else {
+                    JobKind::SingleCore
+                },
+                cores,
+                work_hs23: wall * cores as f64,
+                site: format!("SITE-{site}"),
+                submit_time: submit,
+                assign_time: submit,
+                start_time: start,
+                end_time: end,
+                final_state: if failed {
+                    JobState::Failed
+                } else {
+                    JobState::Finished
+                },
+                staged_bytes: 1_000,
+                walltime: wall,
+                queue_time: queue,
+                hist_walltime: None,
+                hist_queue_time: None,
+            }
+        })
+}
+
+proptest! {
+    /// The metrics report is internally consistent for arbitrary outcome sets.
+    #[test]
+    fn metrics_report_is_consistent(outcomes in prop::collection::vec(arb_outcome(), 0..200)) {
+        let report = MetricsReport::from_outcomes(&outcomes);
+        prop_assert_eq!(report.total_jobs as usize, outcomes.len());
+        prop_assert_eq!(report.finished_jobs + report.failed_jobs, report.total_jobs);
+        prop_assert!(report.failure_rate >= 0.0 && report.failure_rate <= 1.0);
+        prop_assert!(report.makespan_s >= 0.0);
+        let per_site_total: u64 = report
+            .per_site
+            .values()
+            .map(|s| s.finished_jobs + s.failed_jobs)
+            .sum();
+        prop_assert_eq!(per_site_total, report.total_jobs);
+        prop_assert!(report.cpu_utilisation(10_000) >= 0.0);
+        prop_assert!(report.cpu_utilisation(10_000) <= 1.0);
+    }
+
+    /// The collector's counters always match the transitions it was fed, and
+    /// sampling only thins the event rows, never the counters.
+    #[test]
+    fn collector_counters_match_transitions(
+        transitions in prop::collection::vec((0usize..3, 0u8..5), 0..300),
+        stride in 1u64..10,
+    ) {
+        let mut collector = MonitoringCollector::new(
+            vec!["A".into(), "B".into(), "C".into()],
+            MonitoringConfig { enabled: true, sample_stride: stride },
+        );
+        let mut expected_finished = [0u64; 3];
+        let mut expected_assigned = [0u64; 3];
+        for (i, (site, state_code)) in transitions.iter().enumerate() {
+            let state = match state_code {
+                0 => JobState::Pending,
+                1 => JobState::Assigned,
+                2 => JobState::Running,
+                3 => JobState::Finished,
+                _ => JobState::Failed,
+            };
+            if state == JobState::Assigned {
+                expected_assigned[*site] += 1;
+            }
+            if state == JobState::Finished {
+                expected_finished[*site] += 1;
+            }
+            collector.record_transition(i as f64, JobId(i as u64), state, Some(*site), 10, 0);
+        }
+        for site in 0..3 {
+            prop_assert_eq!(collector.site_counters(site).finished, expected_finished[site]);
+            prop_assert_eq!(collector.site_counters(site).assigned, expected_assigned[site]);
+        }
+        prop_assert_eq!(collector.transitions_seen(), transitions.len() as u64);
+        prop_assert!(collector.events().len() <= transitions.len());
+        // CSV row count always matches the collected events.
+        prop_assert_eq!(collector.events_csv().lines().count(), collector.events().len() + 1);
+    }
+}

@@ -1,0 +1,518 @@
+//! The resolved runtime platform.
+//!
+//! [`Platform::build`] validates a [`PlatformSpec`], assigns typed identifiers
+//! to sites, hosts and links, constructs the WAN graph (adding the main
+//! server and, when no links are configured, a default star topology), adds
+//! per-site LAN links, and precomputes lowest-latency routes between every
+//! pair of endpoints. The simulation core only ever works with this resolved
+//! form.
+
+use std::collections::HashMap;
+
+use cgsim_des::define_id;
+use serde::{Deserialize, Serialize};
+
+use crate::error::PlatformError;
+use crate::spec::{gbps_to_bytes_per_sec, ms_to_secs, PlatformSpec, Tier, MAIN_SERVER};
+use crate::topology::{EdgeProps, Graph};
+
+define_id!(
+    /// Identifier of a computing site.
+    SiteId,
+    "site"
+);
+define_id!(
+    /// Identifier of a worker-node group.
+    HostId,
+    "host"
+);
+define_id!(
+    /// Identifier of a network link (WAN or site LAN).
+    LinkId,
+    "link"
+);
+
+/// A routable endpoint: a site or the central main server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NodeId {
+    /// The central main server (job broker / data source).
+    MainServer,
+    /// A computing site.
+    Site(SiteId),
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeId::MainServer => write!(f, "main-server"),
+            NodeId::Site(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A worker-node group inside a site (resolved form of `HostSpec`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Host {
+    /// Host identifier.
+    pub id: HostId,
+    /// Owning site.
+    pub site: SiteId,
+    /// Host name.
+    pub name: String,
+    /// Number of cores.
+    pub cores: u32,
+    /// Nominal per-core speed (HS23-like units).
+    pub speed_per_core: f64,
+    /// RAM in GB.
+    pub ram_gb: f64,
+    /// Scratch disk in TB.
+    pub disk_tb: f64,
+}
+
+/// A computing site (resolved form of `SiteSpec`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    /// Site identifier.
+    pub id: SiteId,
+    /// Site name.
+    pub name: String,
+    /// WLCG tier.
+    pub tier: Tier,
+    /// Country / region label.
+    pub country: String,
+    /// Worker-node groups.
+    pub hosts: Vec<HostId>,
+    /// Total core count.
+    pub total_cores: u64,
+    /// Storage capacity in TB.
+    pub storage_tb: f64,
+    /// LAN link of this site (every transfer that terminates here crosses it).
+    pub lan_link: LinkId,
+    /// Calibration multiplier applied to host speeds.
+    pub speed_multiplier: f64,
+}
+
+/// A network link (resolved form of `LinkSpec`, plus generated LAN links).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Link identifier.
+    pub id: LinkId,
+    /// Link name.
+    pub name: String,
+    /// Bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+    /// One-way latency in seconds.
+    pub latency_s: f64,
+    /// True for automatically generated site-internal LAN links.
+    pub is_lan: bool,
+}
+
+/// A resolved route between two endpoints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Route {
+    /// Links traversed, in order.
+    pub links: Vec<LinkId>,
+    /// Total one-way latency in seconds.
+    pub latency_s: f64,
+    /// Nominal bottleneck bandwidth in bytes/s (minimum over links).
+    pub bottleneck_bps: f64,
+}
+
+/// The resolved, validated platform.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    name: String,
+    sites: Vec<Site>,
+    hosts: Vec<Host>,
+    links: Vec<Link>,
+    site_names: HashMap<String, SiteId>,
+    routes: HashMap<(NodeId, NodeId), Route>,
+}
+
+impl Platform {
+    /// Builds a platform from its specification.
+    pub fn build(spec: &PlatformSpec) -> Result<Self, PlatformError> {
+        spec.validate()?;
+
+        let mut sites = Vec::with_capacity(spec.sites.len());
+        let mut hosts = Vec::new();
+        let mut links = Vec::new();
+        let mut site_names = HashMap::new();
+
+        // LAN links first (one per site).
+        for (i, s) in spec.sites.iter().enumerate() {
+            let site_id = SiteId::new(i);
+            let lan_link = LinkId::new(links.len());
+            links.push(Link {
+                id: lan_link,
+                name: format!("{}-lan", s.name),
+                bandwidth_bps: gbps_to_bytes_per_sec(s.internal_bandwidth_gbps),
+                latency_s: ms_to_secs(s.internal_latency_ms),
+                is_lan: true,
+            });
+            let mut host_ids = Vec::with_capacity(s.hosts.len());
+            for h in &s.hosts {
+                let host_id = HostId::new(hosts.len());
+                hosts.push(Host {
+                    id: host_id,
+                    site: site_id,
+                    name: h.name.clone(),
+                    cores: h.cores,
+                    speed_per_core: h.speed_per_core,
+                    ram_gb: h.ram_gb,
+                    disk_tb: h.disk_tb,
+                });
+                host_ids.push(host_id);
+            }
+            sites.push(Site {
+                id: site_id,
+                name: s.name.clone(),
+                tier: s.tier,
+                country: s.country.clone(),
+                hosts: host_ids,
+                total_cores: s.total_cores(),
+                storage_tb: s.storage_tb,
+                lan_link,
+                speed_multiplier: s.speed_multiplier,
+            });
+            site_names.insert(s.name.clone(), site_id);
+        }
+
+        // Build the WAN graph: node 0 = main server, node i+1 = site i.
+        let mut graph = Graph::new();
+        let server_node = graph.add_node();
+        let site_nodes: Vec<usize> = sites.iter().map(|_| graph.add_node()).collect();
+        // edge index -> LinkId
+        let mut edge_links: Vec<LinkId> = Vec::new();
+
+        let wan_links: Vec<crate::spec::LinkSpec> = if spec.network.links.is_empty() {
+            // Default star topology: every site connected to the main server.
+            spec.sites
+                .iter()
+                .map(|s| crate::spec::LinkSpec::new(s.name.clone(), MAIN_SERVER, 10.0, 20.0))
+                .collect()
+        } else {
+            spec.network.links.clone()
+        };
+
+        for l in &wan_links {
+            let link_id = LinkId::new(links.len());
+            links.push(Link {
+                id: link_id,
+                name: if l.name.is_empty() {
+                    format!("{}--{}", l.from, l.to)
+                } else {
+                    l.name.clone()
+                },
+                bandwidth_bps: gbps_to_bytes_per_sec(l.bandwidth_gbps),
+                latency_s: ms_to_secs(l.latency_ms),
+                is_lan: false,
+            });
+            let node_of = |endpoint: &str| -> Result<usize, PlatformError> {
+                if endpoint == MAIN_SERVER {
+                    Ok(server_node)
+                } else {
+                    site_names
+                        .get(endpoint)
+                        .map(|id| site_nodes[id.index()])
+                        .ok_or_else(|| PlatformError::UnknownEndpoint(endpoint.to_string()))
+                }
+            };
+            let a = node_of(&l.from)?;
+            let b = node_of(&l.to)?;
+            graph.add_edge(
+                a,
+                b,
+                EdgeProps {
+                    latency_s: ms_to_secs(l.latency_ms),
+                    bandwidth_bps: gbps_to_bytes_per_sec(l.bandwidth_gbps),
+                },
+            );
+            edge_links.push(link_id);
+        }
+
+        // Precompute routes between every pair of endpoints.
+        let node_ids: Vec<NodeId> = std::iter::once(NodeId::MainServer)
+            .chain(sites.iter().map(|s| NodeId::Site(s.id)))
+            .collect();
+        let graph_node = |n: NodeId| -> usize {
+            match n {
+                NodeId::MainServer => server_node,
+                NodeId::Site(s) => site_nodes[s.index()],
+            }
+        };
+        let mut routes = HashMap::new();
+        for &from in &node_ids {
+            for &to in &node_ids {
+                if from == to {
+                    routes.insert(
+                        (from, to),
+                        Route {
+                            links: Vec::new(),
+                            latency_s: 0.0,
+                            bottleneck_bps: f64::INFINITY,
+                        },
+                    );
+                    continue;
+                }
+                let path = graph.shortest_path(graph_node(from), graph_node(to)).ok_or(
+                    PlatformError::Unreachable {
+                        from: from.to_string(),
+                        to: to.to_string(),
+                    },
+                )?;
+                let mut route_links: Vec<LinkId> =
+                    path.edges.iter().map(|&e| edge_links[e]).collect();
+                // Transfers terminating (or originating) at a site also cross
+                // that site's LAN link.
+                if let NodeId::Site(s) = from {
+                    route_links.insert(0, sites[s.index()].lan_link);
+                }
+                if let NodeId::Site(s) = to {
+                    route_links.push(sites[s.index()].lan_link);
+                }
+                let latency: f64 = route_links.iter().map(|l| links[l.index()].latency_s).sum();
+                let bottleneck = route_links
+                    .iter()
+                    .map(|l| links[l.index()].bandwidth_bps)
+                    .fold(f64::INFINITY, f64::min);
+                routes.insert(
+                    (from, to),
+                    Route {
+                        links: route_links,
+                        latency_s: latency,
+                        bottleneck_bps: bottleneck,
+                    },
+                );
+            }
+        }
+
+        Ok(Platform {
+            name: spec.name.clone(),
+            sites,
+            hosts,
+            links,
+            site_names,
+            routes,
+        })
+    }
+
+    /// Platform name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// All sites.
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// A site by identifier.
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[id.index()]
+    }
+
+    /// Looks a site up by name.
+    pub fn site_by_name(&self, name: &str) -> Option<SiteId> {
+        self.site_names.get(name).copied()
+    }
+
+    /// All hosts.
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// A host by identifier.
+    pub fn host(&self, id: HostId) -> &Host {
+        &self.hosts[id.index()]
+    }
+
+    /// Hosts belonging to a site.
+    pub fn hosts_of(&self, site: SiteId) -> impl Iterator<Item = &Host> {
+        self.sites[site.index()]
+            .hosts
+            .iter()
+            .map(move |&h| &self.hosts[h.index()])
+    }
+
+    /// All links (WAN + LAN).
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// A link by identifier.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// The precomputed route between two endpoints.
+    pub fn route(&self, from: NodeId, to: NodeId) -> &Route {
+        self.routes
+            .get(&(from, to))
+            .expect("routes are precomputed for all endpoint pairs")
+    }
+
+    /// Effective per-core speed of a site: the core-weighted average of its
+    /// hosts' nominal speeds times the site calibration multiplier. This is
+    /// the quantity the calibration experiments tune (paper §4.2 identifies
+    /// CPU core processing speed as the dominant calibration parameter).
+    pub fn effective_speed(&self, site: SiteId) -> f64 {
+        let s = &self.sites[site.index()];
+        let mut weighted = 0.0;
+        let mut cores = 0.0;
+        for h in self.hosts_of(site) {
+            weighted += h.speed_per_core * h.cores as f64;
+            cores += h.cores as f64;
+        }
+        if cores == 0.0 {
+            0.0
+        } else {
+            (weighted / cores) * s.speed_multiplier
+        }
+    }
+
+    /// Current calibration multiplier of a site.
+    pub fn speed_multiplier(&self, site: SiteId) -> f64 {
+        self.sites[site.index()].speed_multiplier
+    }
+
+    /// Sets the calibration multiplier of a site.
+    pub fn set_speed_multiplier(&mut self, site: SiteId, multiplier: f64) {
+        assert!(
+            multiplier.is_finite() && multiplier > 0.0,
+            "speed multiplier must be positive"
+        );
+        self.sites[site.index()].speed_multiplier = multiplier;
+    }
+
+    /// Total number of cores across the platform.
+    pub fn total_cores(&self) -> u64 {
+        self.sites.iter().map(|s| s.total_cores).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{LinkSpec, PlatformSpec, SiteSpec};
+
+    fn three_site_spec() -> PlatformSpec {
+        PlatformSpec::new("test")
+            .with_site(SiteSpec::uniform("CERN", Tier::Tier0, 2000, 12.0))
+            .with_site(SiteSpec::uniform("BNL", Tier::Tier1, 1000, 10.0))
+            .with_site(SiteSpec::uniform("DESY-ZN", Tier::Tier2, 400, 8.0))
+            .with_link(LinkSpec::new("CERN", MAIN_SERVER, 100.0, 5.0))
+            .with_link(LinkSpec::new("BNL", MAIN_SERVER, 40.0, 45.0))
+            .with_link(LinkSpec::new("DESY-ZN", MAIN_SERVER, 20.0, 15.0))
+            .with_link(LinkSpec::new("CERN", "DESY-ZN", 50.0, 8.0))
+    }
+
+    #[test]
+    fn build_resolves_sites_hosts_links() {
+        let platform = Platform::build(&three_site_spec()).unwrap();
+        assert_eq!(platform.site_count(), 3);
+        assert_eq!(platform.hosts().len(), 3);
+        // 3 LAN + 4 WAN links.
+        assert_eq!(platform.links().len(), 7);
+        assert_eq!(platform.total_cores(), 3400);
+        let bnl = platform.site_by_name("BNL").unwrap();
+        assert_eq!(platform.site(bnl).tier, Tier::Tier1);
+        assert_eq!(platform.site(bnl).total_cores, 1000);
+        assert!(platform.site_by_name("NOPE").is_none());
+    }
+
+    #[test]
+    fn routes_include_lan_links() {
+        let platform = Platform::build(&three_site_spec()).unwrap();
+        let cern = platform.site_by_name("CERN").unwrap();
+        let route = platform.route(NodeId::MainServer, NodeId::Site(cern));
+        // main server -> CERN WAN link + CERN LAN link.
+        assert_eq!(route.links.len(), 2);
+        assert!(route.links.iter().any(|&l| platform.link(l).is_lan));
+        assert!(route.latency_s > 0.0);
+        assert!(route.bottleneck_bps > 0.0);
+    }
+
+    #[test]
+    fn site_to_site_prefers_direct_link() {
+        let platform = Platform::build(&three_site_spec()).unwrap();
+        let cern = platform.site_by_name("CERN").unwrap();
+        let desy = platform.site_by_name("DESY-ZN").unwrap();
+        let route = platform.route(NodeId::Site(cern), NodeId::Site(desy));
+        // CERN LAN + direct CERN--DESY link + DESY LAN.
+        assert_eq!(route.links.len(), 3);
+        let wan_names: Vec<_> = route
+            .links
+            .iter()
+            .filter(|&&l| !platform.link(l).is_lan)
+            .map(|&l| platform.link(l).name.clone())
+            .collect();
+        assert_eq!(wan_names, vec!["CERN--DESY-ZN".to_string()]);
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let platform = Platform::build(&three_site_spec()).unwrap();
+        let cern = platform.site_by_name("CERN").unwrap();
+        let route = platform.route(NodeId::Site(cern), NodeId::Site(cern));
+        assert!(route.links.is_empty());
+        assert_eq!(route.latency_s, 0.0);
+    }
+
+    #[test]
+    fn default_star_topology_when_no_links() {
+        let spec = PlatformSpec::new("star")
+            .with_site(SiteSpec::uniform("A", Tier::Tier2, 100, 10.0))
+            .with_site(SiteSpec::uniform("B", Tier::Tier2, 100, 10.0));
+        let platform = Platform::build(&spec).unwrap();
+        let a = platform.site_by_name("A").unwrap();
+        let b = platform.site_by_name("B").unwrap();
+        // A -> B goes through the main server: A LAN + A--server + server--B + B LAN.
+        let route = platform.route(NodeId::Site(a), NodeId::Site(b));
+        assert_eq!(route.links.len(), 4);
+    }
+
+    #[test]
+    fn effective_speed_uses_multiplier() {
+        let mut platform = Platform::build(&three_site_spec()).unwrap();
+        let bnl = platform.site_by_name("BNL").unwrap();
+        assert!((platform.effective_speed(bnl) - 10.0).abs() < 1e-12);
+        platform.set_speed_multiplier(bnl, 0.5);
+        assert!((platform.effective_speed(bnl) - 5.0).abs() < 1e-12);
+        assert_eq!(platform.speed_multiplier(bnl), 0.5);
+    }
+
+    #[test]
+    fn disconnected_platform_is_rejected() {
+        // Explicit network that leaves site B unconnected.
+        let spec = PlatformSpec::new("broken")
+            .with_site(SiteSpec::uniform("A", Tier::Tier2, 100, 10.0))
+            .with_site(SiteSpec::uniform("B", Tier::Tier2, 100, 10.0))
+            .with_link(LinkSpec::new("A", MAIN_SERVER, 10.0, 10.0));
+        let err = Platform::build(&spec).unwrap_err();
+        assert!(matches!(err, PlatformError::Unreachable { .. }));
+    }
+
+    #[test]
+    fn hosts_of_iterates_site_hosts() {
+        let platform = Platform::build(&three_site_spec()).unwrap();
+        let cern = platform.site_by_name("CERN").unwrap();
+        let hosts: Vec<_> = platform.hosts_of(cern).collect();
+        assert_eq!(hosts.len(), 1);
+        assert_eq!(hosts[0].cores, 2000);
+        assert_eq!(hosts[0].site, cern);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_multiplier_is_rejected() {
+        let mut platform = Platform::build(&three_site_spec()).unwrap();
+        let cern = platform.site_by_name("CERN").unwrap();
+        platform.set_speed_multiplier(cern, -1.0);
+    }
+}

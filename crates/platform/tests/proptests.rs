@@ -1,0 +1,84 @@
+//! Property-based tests for platform construction and routing.
+
+use cgsim_platform::spec::{LinkSpec, PlatformSpec, SiteSpec, Tier, MAIN_SERVER};
+use cgsim_platform::{NodeId, Platform};
+use proptest::prelude::*;
+
+/// Strategy: a platform with 1..=12 sites, random core counts/speeds, and a
+/// star topology with random link parameters.
+fn arb_platform() -> impl Strategy<Value = PlatformSpec> {
+    prop::collection::vec((1u32..4000, 1.0f64..30.0, 0.1f64..200.0, 0.1f64..200.0), 1..12).prop_map(
+        |sites| {
+            let mut spec = PlatformSpec::new("prop");
+            for (i, (cores, speed, bw, latency)) in sites.into_iter().enumerate() {
+                let name = format!("S{i}");
+                let tier = match i % 3 {
+                    0 => Tier::Tier1,
+                    1 => Tier::Tier2,
+                    _ => Tier::Tier3,
+                };
+                spec.sites.push(SiteSpec::uniform(&name, tier, cores, speed));
+                spec.network
+                    .links
+                    .push(LinkSpec::new(name, MAIN_SERVER, bw, latency));
+            }
+            spec
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every randomly generated star platform validates, builds, and routes
+    /// between every pair of endpoints.
+    #[test]
+    fn star_platforms_always_build_and_route(spec in arb_platform()) {
+        spec.validate().expect("spec validates");
+        let platform = Platform::build(&spec).expect("platform builds");
+        prop_assert_eq!(platform.site_count(), spec.sites.len());
+        prop_assert_eq!(platform.total_cores(), spec.total_cores());
+
+        let nodes: Vec<NodeId> = std::iter::once(NodeId::MainServer)
+            .chain(platform.sites().iter().map(|s| NodeId::Site(s.id)))
+            .collect();
+        for &a in &nodes {
+            for &b in &nodes {
+                let route = platform.route(a, b);
+                if a == b {
+                    prop_assert!(route.links.is_empty());
+                } else {
+                    prop_assert!(!route.links.is_empty());
+                    prop_assert!(route.latency_s > 0.0);
+                    prop_assert!(route.bottleneck_bps > 0.0);
+                    prop_assert!(route.bottleneck_bps.is_finite());
+                    // Symmetric topology: reverse route has the same latency.
+                    let back = platform.route(b, a);
+                    prop_assert!((route.latency_s - back.latency_s).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    /// JSON round-trips preserve the specification exactly.
+    #[test]
+    fn spec_json_roundtrip(spec in arb_platform()) {
+        let json = spec.to_json().expect("serialises");
+        let back = PlatformSpec::from_json(&json).expect("parses");
+        prop_assert_eq!(spec, back);
+    }
+
+    /// Effective speed scales linearly with the calibration multiplier.
+    #[test]
+    fn effective_speed_scales_with_multiplier(
+        spec in arb_platform(),
+        multiplier in 0.01f64..10.0,
+    ) {
+        let mut platform = Platform::build(&spec).expect("platform builds");
+        let site = platform.sites()[0].id;
+        let base = platform.effective_speed(site);
+        platform.set_speed_multiplier(site, multiplier);
+        let scaled = platform.effective_speed(site);
+        prop_assert!((scaled - base * multiplier).abs() <= 1e-9 * base.max(1.0) * multiplier.max(1.0));
+    }
+}

@@ -1,0 +1,159 @@
+//! The policy registry: name → factory.
+//!
+//! In the paper, plugins are shared libraries referenced by name from the
+//! execution-parameters JSON file and `dlopen`-ed by the simulator. CGSim-RS
+//! keeps the name-based indirection — the execution configuration still says
+//! `"allocation_policy": "least-loaded"` — but resolves names through this
+//! registry instead of the dynamic loader. Downstream users register their
+//! own policies with [`PolicyRegistry::register`] before building the
+//! simulation, which is the moral equivalent of dropping a new `.so` next to
+//! the simulator.
+
+use std::collections::BTreeMap;
+
+use crate::advanced::{
+    CapacityProportionalPolicy, GreedyCostPolicy, ShortestExpectedWaitPolicy,
+    WeightedFairSharePolicy,
+};
+use crate::builtin::{
+    DataAwarePolicy, FastestAvailablePolicy, HistoricalPandaPolicy, LeastLoadedPolicy,
+    RandomPolicy, RoundRobinPolicy,
+};
+use crate::plugin::AllocationPolicy;
+
+/// Factory signature: builds a fresh policy instance from a seed (policies
+/// that do not use randomness simply ignore it).
+pub type PolicyFactory = Box<dyn Fn(u64) -> Box<dyn AllocationPolicy> + Send + Sync>;
+
+/// A string-keyed registry of allocation-policy factories.
+pub struct PolicyRegistry {
+    factories: BTreeMap<String, PolicyFactory>,
+}
+
+impl Default for PolicyRegistry {
+    fn default() -> Self {
+        Self::with_builtins()
+    }
+}
+
+impl PolicyRegistry {
+    /// Creates an empty registry (no built-ins).
+    pub fn empty() -> Self {
+        PolicyRegistry {
+            factories: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a registry pre-populated with every built-in policy.
+    pub fn with_builtins() -> Self {
+        let mut registry = Self::empty();
+        registry.register("historical-panda", |_| Box::new(HistoricalPandaPolicy::new()));
+        registry.register("round-robin", |_| Box::new(RoundRobinPolicy::new()));
+        registry.register("random", |seed| Box::new(RandomPolicy::new(seed)));
+        registry.register("least-loaded", |_| Box::new(LeastLoadedPolicy::new()));
+        registry.register("fastest-available", |_| {
+            Box::new(FastestAvailablePolicy::new())
+        });
+        registry.register("data-aware", |_| Box::new(DataAwarePolicy::new()));
+        registry.register("shortest-expected-wait", |_| {
+            Box::new(ShortestExpectedWaitPolicy::new())
+        });
+        registry.register("weighted-fair-share", |_| {
+            Box::new(WeightedFairSharePolicy::new())
+        });
+        registry.register("greedy-cost", |_| Box::new(GreedyCostPolicy::new()));
+        registry.register("capacity-proportional", |seed| {
+            Box::new(CapacityProportionalPolicy::new(seed))
+        });
+        registry
+    }
+
+    /// Registers (or replaces) a policy factory under `name`.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn(u64) -> Box<dyn AllocationPolicy> + Send + Sync + 'static,
+    ) {
+        self.factories.insert(name.into(), Box::new(factory));
+    }
+
+    /// Instantiates the policy registered under `name`.
+    pub fn create(&self, name: &str, seed: u64) -> Option<Box<dyn AllocationPolicy>> {
+        self.factories.get(name).map(|f| f(seed))
+    }
+
+    /// Names of all registered policies, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.factories.keys().cloned().collect()
+    }
+
+    /// True if `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::GridView;
+    use cgsim_platform::SiteId;
+    use cgsim_workload::{JobKind, JobRecord};
+
+    #[test]
+    fn builtins_are_registered() {
+        let registry = PolicyRegistry::with_builtins();
+        for name in [
+            "historical-panda",
+            "round-robin",
+            "random",
+            "least-loaded",
+            "fastest-available",
+            "data-aware",
+            "shortest-expected-wait",
+            "weighted-fair-share",
+            "greedy-cost",
+            "capacity-proportional",
+        ] {
+            assert!(registry.contains(name), "{name} missing");
+            let policy = registry.create(name, 42).unwrap();
+            assert_eq!(policy.name(), name);
+        }
+        assert_eq!(registry.names().len(), 10);
+        assert!(registry.create("nope", 0).is_none());
+    }
+
+    #[test]
+    fn user_policies_can_be_registered() {
+        struct PinToSiteZero;
+        impl AllocationPolicy for PinToSiteZero {
+            fn name(&self) -> &str {
+                "pin-zero"
+            }
+            fn assign_job(&mut self, _job: &JobRecord, _view: &GridView) -> Option<SiteId> {
+                Some(SiteId::new(0))
+            }
+        }
+
+        let mut registry = PolicyRegistry::with_builtins();
+        registry.register("pin-zero", |_| Box::new(PinToSiteZero));
+        let mut policy = registry.create("pin-zero", 0).unwrap();
+        let job = JobRecord::new(1, JobKind::SingleCore, 1, 1.0);
+        assert_eq!(
+            policy.assign_job(&job, &GridView::default()),
+            Some(SiteId::new(0))
+        );
+    }
+
+    #[test]
+    fn empty_registry_has_nothing() {
+        let registry = PolicyRegistry::empty();
+        assert!(registry.names().is_empty());
+        assert!(!registry.contains("round-robin"));
+    }
+
+    #[test]
+    fn default_is_with_builtins() {
+        assert!(PolicyRegistry::default().contains("least-loaded"));
+    }
+}

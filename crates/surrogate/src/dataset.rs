@@ -1,0 +1,368 @@
+//! Feature extraction, standardisation and dataset splitting.
+//!
+//! The input is the [`MlExample`](cgsim_monitor::mldataset::MlExample) rows a
+//! simulation run exports (paper §4.3.2: "The structured output format
+//! supports ... post-processing for performance analysis and machine learning
+//! dataset generation"). A [`Dataset`] turns them into a dense feature matrix
+//! plus a target vector, with the usual supervised-learning plumbing: feature
+//! names, z-score standardisation, deterministic shuffled train/test splits
+//! and k-fold cross-validation indices.
+
+use cgsim_des::rng::Rng;
+use cgsim_monitor::mldataset::MlExample;
+use serde::{Deserialize, Serialize};
+
+/// Which quantity the surrogate predicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Target {
+    /// Predict the simulated job walltime (seconds).
+    #[default]
+    Walltime,
+    /// Predict the simulated job queue time (seconds).
+    QueueTime,
+}
+
+impl Target {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Target::Walltime => "walltime",
+            Target::QueueTime => "queue_time",
+        }
+    }
+}
+
+/// Names of the features extracted from one [`MlExample`], in column order.
+pub const FEATURE_NAMES: [&str; 7] = [
+    "is_multicore",
+    "cores",
+    "log_staged_bytes",
+    "site_available_cores_at_assign",
+    "site_queue_at_assign",
+    "submit_time",
+    "log_work_hs23",
+];
+
+/// Extracts the feature vector of one example (column order matches
+/// [`FEATURE_NAMES`]).
+pub fn features_of(example: &MlExample) -> Vec<f64> {
+    vec![
+        example.is_multicore,
+        example.cores,
+        (example.staged_bytes + 1.0).ln(),
+        example.site_available_cores_at_assign,
+        example.site_queue_at_assign,
+        example.submit_time,
+        (example.work_hs23 + 1.0).ln(),
+    ]
+}
+
+/// A dense supervised-learning dataset: `rows × features` plus a target
+/// vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Row-major feature matrix (`rows` entries of length `columns`).
+    pub features: Vec<Vec<f64>>,
+    /// Regression targets, one per row.
+    pub targets: Vec<f64>,
+    /// Feature (column) names.
+    pub feature_names: Vec<String>,
+    /// Which target the dataset was built for.
+    pub target: Target,
+}
+
+impl Dataset {
+    /// Builds a dataset from ML examples for the given target.
+    pub fn from_examples(examples: &[MlExample], target: Target) -> Self {
+        let features = examples.iter().map(features_of).collect();
+        let targets = examples
+            .iter()
+            .map(|e| match target {
+                Target::Walltime => e.target_walltime,
+                Target::QueueTime => e.target_queue_time,
+            })
+            .collect();
+        Dataset {
+            features,
+            targets,
+            feature_names: FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+            target,
+        }
+    }
+
+    /// Builds a dataset directly from feature rows and targets (used by tests
+    /// and synthetic benchmarks).
+    pub fn from_raw(features: Vec<Vec<f64>>, targets: Vec<f64>, target: Target) -> Self {
+        assert_eq!(features.len(), targets.len(), "rows must match targets");
+        let columns = features.first().map(|r| r.len()).unwrap_or(0);
+        assert!(
+            features.iter().all(|r| r.len() == columns),
+            "all feature rows must have the same width"
+        );
+        Dataset {
+            feature_names: (0..columns).map(|i| format!("f{i}")).collect(),
+            features,
+            targets,
+            target,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True if the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn columns(&self) -> usize {
+        self.features.first().map(|r| r.len()).unwrap_or(0)
+    }
+
+    /// Returns a new dataset holding only the given row indices.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: indices.iter().map(|&i| self.features[i].clone()).collect(),
+            targets: indices.iter().map(|&i| self.targets[i]).collect(),
+            feature_names: self.feature_names.clone(),
+            target: self.target,
+        }
+    }
+
+    /// Deterministic shuffled train/test split. `train_fraction` of the rows
+    /// go to the training set (at least one row in each part when possible).
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            (0.0..=1.0).contains(&train_fraction),
+            "train fraction must be in [0, 1]"
+        );
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        shuffle(&mut indices, seed);
+        let mut cut = ((self.len() as f64) * train_fraction).round() as usize;
+        if self.len() >= 2 {
+            cut = cut.clamp(1, self.len() - 1);
+        }
+        let (train_idx, test_idx) = indices.split_at(cut.min(self.len()));
+        (self.subset(train_idx), self.subset(test_idx))
+    }
+
+    /// K-fold cross-validation index sets: returns `k` (train, validation)
+    /// index pairs covering every row exactly once as validation.
+    pub fn k_folds(&self, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+        assert!(k >= 2, "need at least 2 folds");
+        let k = k.min(self.len().max(2));
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        shuffle(&mut indices, seed);
+        let mut folds = Vec::with_capacity(k);
+        for fold in 0..k {
+            let validation: Vec<usize> = indices
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|(pos, _)| pos % k == fold)
+                .map(|(_, idx)| idx)
+                .collect();
+            let train: Vec<usize> = indices
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|(pos, _)| pos % k != fold)
+                .map(|(_, idx)| idx)
+                .collect();
+            folds.push((train, validation));
+        }
+        folds
+    }
+}
+
+/// Fisher–Yates shuffle driven by the workspace RNG (deterministic in `seed`).
+fn shuffle(indices: &mut [usize], seed: u64) {
+    let mut rng = Rng::new(seed);
+    for i in (1..indices.len()).rev() {
+        let j = rng.index(i + 1);
+        indices.swap(i, j);
+    }
+}
+
+/// Per-column z-score standardiser fitted on a training set and applied to
+/// any dataset with the same columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    /// Column means.
+    pub means: Vec<f64>,
+    /// Column standard deviations (columns with zero variance keep 1.0 so the
+    /// transform is a no-op there).
+    pub std_devs: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits the standardiser on a dataset.
+    pub fn fit(dataset: &Dataset) -> Self {
+        let columns = dataset.columns();
+        let rows = dataset.len().max(1) as f64;
+        let mut means = vec![0.0; columns];
+        for row in &dataset.features {
+            for (m, &v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= rows;
+        }
+        let mut vars = vec![0.0; columns];
+        for row in &dataset.features {
+            for ((v, &x), &m) in vars.iter_mut().zip(row).zip(&means) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let std_devs = vars
+            .iter()
+            .map(|&v| {
+                let s = (v / rows).sqrt();
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Standardizer { means, std_devs }
+    }
+
+    /// Transforms one feature row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        for ((x, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.std_devs) {
+            *x = (*x - m) / s;
+        }
+    }
+
+    /// Returns a standardised copy of a dataset.
+    pub fn transform(&self, dataset: &Dataset) -> Dataset {
+        let mut out = dataset.clone();
+        for row in &mut out.features {
+            self.transform_row(row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example(id: u64, cores: u32, walltime: f64) -> MlExample {
+        MlExample {
+            job_id: id,
+            is_multicore: if cores > 1 { 1.0 } else { 0.0 },
+            cores: cores as f64,
+            work_hs23: walltime * 10.0 * cores as f64,
+            staged_bytes: 1e9,
+            site_available_cores_at_assign: 100.0,
+            site_queue_at_assign: 3.0,
+            submit_time: id as f64 * 10.0,
+            target_queue_time: 60.0 + id as f64,
+            target_walltime: walltime,
+        }
+    }
+
+    fn toy_dataset(rows: usize) -> Dataset {
+        let examples: Vec<MlExample> = (0..rows as u64)
+            .map(|i| example(i, if i % 3 == 0 { 8 } else { 1 }, 1000.0 + i as f64))
+            .collect();
+        Dataset::from_examples(&examples, Target::Walltime)
+    }
+
+    #[test]
+    fn features_have_expected_shape_and_names() {
+        let d = toy_dataset(10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.columns(), FEATURE_NAMES.len());
+        assert_eq!(d.feature_names.len(), FEATURE_NAMES.len());
+        assert!(!d.is_empty());
+        // log transform applied to staged bytes.
+        assert!((d.features[0][2] - (1e9f64 + 1.0).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn target_selection_switches_column() {
+        let examples = vec![example(1, 1, 500.0)];
+        let w = Dataset::from_examples(&examples, Target::Walltime);
+        let q = Dataset::from_examples(&examples, Target::QueueTime);
+        assert_eq!(w.targets[0], 500.0);
+        assert_eq!(q.targets[0], 61.0);
+        assert_eq!(Target::Walltime.label(), "walltime");
+        assert_eq!(Target::QueueTime.label(), "queue_time");
+    }
+
+    #[test]
+    fn split_partitions_rows_deterministically() {
+        let d = toy_dataset(100);
+        let (train_a, test_a) = d.split(0.8, 7);
+        let (train_b, test_b) = d.split(0.8, 7);
+        assert_eq!(train_a.len(), 80);
+        assert_eq!(test_a.len(), 20);
+        assert_eq!(train_a, train_b);
+        assert_eq!(test_a, test_b);
+        let (train_c, _) = d.split(0.8, 8);
+        assert_ne!(train_a.features, train_c.features);
+    }
+
+    #[test]
+    fn split_never_leaves_a_part_empty_when_possible() {
+        let d = toy_dataset(5);
+        let (train, test) = d.split(0.999, 1);
+        assert!(train.len() >= 1 && test.len() >= 1);
+        let (train, test) = d.split(0.001, 1);
+        assert!(train.len() >= 1 && test.len() >= 1);
+    }
+
+    #[test]
+    fn k_folds_cover_every_row_exactly_once() {
+        let d = toy_dataset(23);
+        let folds = d.k_folds(5, 3);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0usize; d.len()];
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), d.len());
+            for &i in val {
+                seen[i] += 1;
+            }
+            // No overlap between train and validation.
+            let val_set: std::collections::HashSet<_> = val.iter().collect();
+            assert!(train.iter().all(|i| !val_set.contains(i)));
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn standardizer_centres_and_scales_training_data() {
+        let d = toy_dataset(50);
+        let std = Standardizer::fit(&d);
+        let transformed = std.transform(&d);
+        for col in 0..d.columns() {
+            let mean: f64 =
+                transformed.features.iter().map(|r| r[col]).sum::<f64>() / d.len() as f64;
+            assert!(mean.abs() < 1e-9, "column {col} mean {mean}");
+        }
+        // Constant column (available cores) keeps std 1.0 and becomes 0.
+        assert!(transformed.features.iter().all(|r| r[3].abs() < 1e-9));
+    }
+
+    #[test]
+    fn subset_picks_requested_rows() {
+        let d = toy_dataset(10);
+        let s = d.subset(&[0, 9]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.targets[0], d.targets[0]);
+        assert_eq!(s.targets[1], d.targets[9]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn raw_constructor_rejects_ragged_rows() {
+        Dataset::from_raw(vec![vec![1.0], vec![1.0, 2.0]], vec![0.0, 0.0], Target::Walltime);
+    }
+}

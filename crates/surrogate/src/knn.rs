@@ -1,0 +1,158 @@
+//! K-nearest-neighbour regression.
+//!
+//! A non-parametric surrogate that needs no training beyond memorising the
+//! (standardised) training rows; predictions average the targets of the `k`
+//! closest rows, optionally weighted by inverse distance. Useful both as a
+//! baseline for the tree/linear surrogates and as a sanity check that the
+//! feature space actually carries signal about the target.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{Dataset, Standardizer};
+
+/// A fitted k-NN regressor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnnRegressor {
+    /// Number of neighbours considered.
+    pub k: usize,
+    /// Whether neighbour targets are weighted by inverse distance.
+    pub distance_weighted: bool,
+    standardizer: Standardizer,
+    train_features: Vec<Vec<f64>>,
+    train_targets: Vec<f64>,
+}
+
+impl KnnRegressor {
+    /// Fits (memorises) the training set. `k` is clamped to the training size.
+    pub fn fit(dataset: &Dataset, k: usize, distance_weighted: bool) -> Self {
+        assert!(!dataset.is_empty(), "cannot fit on an empty dataset");
+        assert!(k >= 1, "k must be at least 1");
+        let standardizer = Standardizer::fit(dataset);
+        let standardized = standardizer.transform(dataset);
+        KnnRegressor {
+            k: k.min(dataset.len()),
+            distance_weighted,
+            standardizer,
+            train_features: standardized.features,
+            train_targets: standardized.targets,
+        }
+    }
+
+    /// Predicts the target for one (raw, unstandardised) feature row.
+    pub fn predict_one(&self, features: &[f64]) -> f64 {
+        let mut query = features.to_vec();
+        self.standardizer.transform_row(&mut query);
+        // Maintain the k smallest squared distances with a simple insertion
+        // pass — k is tiny compared to the training size.
+        let mut best: Vec<(f64, f64)> = Vec::with_capacity(self.k + 1); // (dist², target)
+        for (row, &target) in self.train_features.iter().zip(&self.train_targets) {
+            let dist: f64 = row
+                .iter()
+                .zip(&query)
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum();
+            if best.len() < self.k || dist < best.last().expect("non-empty").0 {
+                let pos = best.partition_point(|&(d, _)| d < dist);
+                best.insert(pos, (dist, target));
+                if best.len() > self.k {
+                    best.pop();
+                }
+            }
+        }
+        if self.distance_weighted {
+            let mut weight_sum = 0.0;
+            let mut value_sum = 0.0;
+            for &(dist, target) in &best {
+                let w = 1.0 / (dist.sqrt() + 1e-9);
+                weight_sum += w;
+                value_sum += w * target;
+            }
+            value_sum / weight_sum
+        } else {
+            best.iter().map(|&(_, t)| t).sum::<f64>() / best.len() as f64
+        }
+    }
+
+    /// Predicts every row of a dataset.
+    pub fn predict(&self, dataset: &Dataset) -> Vec<f64> {
+        dataset
+            .features
+            .iter()
+            .map(|row| self.predict_one(row))
+            .collect()
+    }
+
+    /// Number of memorised training rows.
+    pub fn train_size(&self) -> usize {
+        self.train_features.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Target;
+    use crate::metrics::RegressionMetrics;
+    use cgsim_des::rng::Rng;
+
+    fn step_dataset(rows: usize, seed: u64) -> Dataset {
+        // Target depends only on which side of x=0.5 the point falls.
+        let mut rng = Rng::new(seed);
+        let mut features = Vec::new();
+        let mut targets = Vec::new();
+        for _ in 0..rows {
+            let x = rng.uniform();
+            let y = rng.uniform_range(0.0, 100.0); // irrelevant feature
+            features.push(vec![x, y]);
+            targets.push(if x < 0.5 { 10.0 } else { 50.0 });
+        }
+        Dataset::from_raw(features, targets, Target::Walltime)
+    }
+
+    #[test]
+    fn exact_neighbour_is_reproduced_with_k1() {
+        let d = step_dataset(50, 1);
+        let model = KnnRegressor::fit(&d, 1, false);
+        for (row, &target) in d.features.iter().zip(&d.targets) {
+            assert_eq!(model.predict_one(row), target);
+        }
+        assert_eq!(model.train_size(), 50);
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        let train = step_dataset(400, 2);
+        let test = step_dataset(100, 3);
+        let model = KnnRegressor::fit(&train, 5, false);
+        let metrics = RegressionMetrics::compute(&model.predict(&test), &test.targets);
+        assert!(metrics.r2 > 0.9, "{}", metrics.text_summary());
+    }
+
+    #[test]
+    fn distance_weighting_helps_near_boundaries() {
+        let train = step_dataset(400, 4);
+        let test = step_dataset(150, 5);
+        let unweighted = KnnRegressor::fit(&train, 15, false);
+        let weighted = KnnRegressor::fit(&train, 15, true);
+        let mu = RegressionMetrics::compute(&unweighted.predict(&test), &test.targets);
+        let mw = RegressionMetrics::compute(&weighted.predict(&test), &test.targets);
+        // Weighted k-NN should be at least as good on this sharp boundary.
+        assert!(mw.mae <= mu.mae * 1.05, "weighted {} vs {}", mw.mae, mu.mae);
+    }
+
+    #[test]
+    fn k_is_clamped_to_training_size() {
+        let d = step_dataset(3, 6);
+        let model = KnnRegressor::fit(&d, 100, false);
+        assert_eq!(model.k, 3);
+        // Prediction is then the global mean.
+        let mean = d.targets.iter().sum::<f64>() / 3.0;
+        assert!((model.predict_one(&d.features[0]) - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_is_rejected() {
+        KnnRegressor::fit(&step_dataset(5, 7), 0, false);
+    }
+}

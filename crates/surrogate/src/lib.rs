@@ -1,0 +1,51 @@
+//! # cgsim-surrogate — AI-assisted performance modeling
+//!
+//! The paper motivates CGSim's event-level dataset generation with the
+//! emergence of ML-assisted simulation: "models need detailed training data
+//! sets to act as fast surrogates for performance prediction" (§1), and the
+//! conclusion lists "integrating advanced machine learning techniques for
+//! automated calibration and surrogate modeling" as future work. The
+//! companion work (Park et al., SC24-W) trains AI surrogate models on exactly
+//! the kind of per-job / per-event records CGSim exports.
+//!
+//! This crate closes that loop inside the workspace: it consumes the
+//! [`MlExample`](cgsim_monitor::mldataset::MlExample) rows produced by a
+//! simulation run and trains fast surrogate regressors that predict job
+//! walltime or queue time from job and site features — orders of magnitude
+//! faster than re-running the discrete-event simulation.
+//!
+//! Everything is implemented from scratch on `Vec<f64>` matrices (no external
+//! ML or linear-algebra dependency):
+//!
+//! * [`dataset`] — feature extraction, standardisation, train/test splits and
+//!   k-fold cross-validation,
+//! * [`linear`] — ridge regression solved by normal equations + Cholesky,
+//! * [`knn`] — k-nearest-neighbour regression,
+//! * [`tree`] — CART-style regression trees,
+//! * [`gbdt`] — gradient-boosted regression trees,
+//! * [`metrics`] — MAE, RMSE, R², MAPE and relative MAE,
+//! * [`model`] — a uniform [`SurrogateModel`](model::SurrogateModel) facade,
+//!   model selection by cross-validation, and a simulation-vs-surrogate
+//!   speed/accuracy comparison used by the surrogate benchmark.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dataset;
+pub mod gbdt;
+pub mod knn;
+pub mod linear;
+pub mod metrics;
+pub mod model;
+pub mod tree;
+
+pub use dataset::{Dataset, Standardizer, Target};
+pub use gbdt::{GbdtConfig, GradientBoostedTrees};
+pub use knn::KnnRegressor;
+pub use linear::RidgeRegression;
+pub use metrics::RegressionMetrics;
+pub use model::{
+    cross_validate, select_best, train_and_evaluate, CrossValidationScore, SurrogateKind,
+    SurrogateModel, SurrogateReport, TrainConfig,
+};
+pub use tree::{RegressionTree, TreeConfig};

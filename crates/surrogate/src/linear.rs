@@ -1,0 +1,224 @@
+//! Ridge regression solved by normal equations.
+//!
+//! The simplest useful surrogate: a linear model with L2 regularisation,
+//! fitted by solving `(XᵀX + λI) w = Xᵀy` with a Cholesky factorisation. The
+//! ridge term keeps the system well-conditioned even when features are
+//! correlated (cores and is_multicore are, for example).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// A fitted ridge-regression model (weights include the intercept as the
+/// last coefficient).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RidgeRegression {
+    /// Per-feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept term.
+    pub intercept: f64,
+    /// Regularisation strength used at fit time.
+    pub lambda: f64,
+}
+
+impl RidgeRegression {
+    /// Fits a ridge regression with regularisation strength `lambda` (0 gives
+    /// ordinary least squares, made solvable by a tiny jitter).
+    pub fn fit(dataset: &Dataset, lambda: f64) -> Self {
+        assert!(!dataset.is_empty(), "cannot fit on an empty dataset");
+        assert!(lambda >= 0.0, "lambda must be non-negative");
+        let n = dataset.len();
+        let d = dataset.columns() + 1; // + intercept column
+        // Build the augmented design matrix implicitly: xᵢ = [features, 1].
+        // Normal equations: A = XᵀX + λI (intercept not regularised), b = Xᵀy.
+        let mut a = vec![vec![0.0; d]; d];
+        let mut b = vec![0.0; d];
+        for row_idx in 0..n {
+            let y = dataset.targets[row_idx];
+            let row = &dataset.features[row_idx];
+            for i in 0..d {
+                let xi = if i + 1 == d { 1.0 } else { row[i] };
+                b[i] += xi * y;
+                for j in i..d {
+                    let xj = if j + 1 == d { 1.0 } else { row[j] };
+                    a[i][j] += xi * xj;
+                }
+            }
+        }
+        // Mirror the upper triangle and add the ridge term.
+        for i in 0..d {
+            for j in 0..i {
+                a[i][j] = a[j][i];
+            }
+        }
+        let effective_lambda = lambda.max(1e-9);
+        for (i, row) in a.iter_mut().enumerate().take(d - 1) {
+            row[i] += effective_lambda;
+        }
+        a[d - 1][d - 1] += 1e-12; // keep the intercept row positive definite
+
+        let solution = cholesky_solve(&a, &b)
+            .expect("normal-equation matrix is positive definite after ridge term");
+        let (weights, intercept) = solution.split_at(d - 1);
+        RidgeRegression {
+            weights: weights.to_vec(),
+            intercept: intercept[0],
+            lambda,
+        }
+    }
+
+    /// Predicts the target for one feature row.
+    pub fn predict_one(&self, features: &[f64]) -> f64 {
+        assert_eq!(
+            features.len(),
+            self.weights.len(),
+            "feature width must match the fitted model"
+        );
+        self.intercept
+            + features
+                .iter()
+                .zip(&self.weights)
+                .map(|(&x, &w)| x * w)
+                .sum::<f64>()
+    }
+
+    /// Predicts every row of a dataset.
+    pub fn predict(&self, dataset: &Dataset) -> Vec<f64> {
+        dataset
+            .features
+            .iter()
+            .map(|row| self.predict_one(row))
+            .collect()
+    }
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` via Cholesky
+/// (`A = L Lᵀ`). Returns `None` when the factorisation breaks down.
+fn cholesky_solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.len();
+    let mut l = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i][j];
+            for k in 0..j {
+                sum -= l[i][k] * l[j][k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i][j] = sum.sqrt();
+            } else {
+                l[i][j] = sum / l[j][j];
+            }
+        }
+    }
+    // Forward substitution: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i][k] * y[k];
+        }
+        y[i] = sum / l[i][i];
+    }
+    // Back substitution: Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[k][i] * x[k];
+        }
+        x[i] = sum / l[i][i];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Target;
+    use crate::metrics::RegressionMetrics;
+    use cgsim_des::rng::Rng;
+
+    /// y = 3 x0 - 2 x1 + 5 plus optional noise.
+    fn linear_dataset(rows: usize, noise: f64, seed: u64) -> Dataset {
+        let mut rng = Rng::new(seed);
+        let mut features = Vec::with_capacity(rows);
+        let mut targets = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let x0 = rng.uniform_range(-5.0, 5.0);
+            let x1 = rng.uniform_range(0.0, 10.0);
+            features.push(vec![x0, x1]);
+            targets.push(3.0 * x0 - 2.0 * x1 + 5.0 + noise * rng.normal_std());
+        }
+        Dataset::from_raw(features, targets, Target::Walltime)
+    }
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        let d = linear_dataset(200, 0.0, 1);
+        let model = RidgeRegression::fit(&d, 0.0);
+        assert!((model.weights[0] - 3.0).abs() < 1e-5, "{:?}", model.weights);
+        assert!((model.weights[1] + 2.0).abs() < 1e-5);
+        assert!((model.intercept - 5.0).abs() < 1e-4);
+        let metrics = RegressionMetrics::compute(&model.predict(&d), &d.targets);
+        assert!(metrics.r2 > 0.999999);
+    }
+
+    #[test]
+    fn tolerates_noise_and_still_generalises() {
+        let train = linear_dataset(500, 1.0, 2);
+        let test = linear_dataset(200, 1.0, 3);
+        let model = RidgeRegression::fit(&train, 0.1);
+        let metrics = RegressionMetrics::compute(&model.predict(&test), &test.targets);
+        assert!(metrics.r2 > 0.95, "{}", metrics.text_summary());
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let d = linear_dataset(100, 0.5, 4);
+        let ols = RidgeRegression::fit(&d, 0.0);
+        let heavy = RidgeRegression::fit(&d, 1e5);
+        let norm = |w: &[f64]| w.iter().map(|x| x * x).sum::<f64>();
+        assert!(norm(&heavy.weights) < norm(&ols.weights));
+    }
+
+    #[test]
+    fn handles_collinear_features_via_regularisation() {
+        // Second feature is an exact copy of the first: OLS normal equations
+        // would be singular; the ridge term keeps the solve well-posed.
+        let mut rng = Rng::new(9);
+        let rows: Vec<(Vec<f64>, f64)> = (0..100)
+            .map(|_| {
+                let x = rng.uniform_range(0.0, 1.0);
+                (vec![x, x], 2.0 * x + 1.0)
+            })
+            .collect();
+        let d = Dataset::from_raw(
+            rows.iter().map(|(f, _)| f.clone()).collect(),
+            rows.iter().map(|(_, y)| *y).collect(),
+            Target::Walltime,
+        );
+        let model = RidgeRegression::fit(&d, 1e-3);
+        let metrics = RegressionMetrics::compute(&model.predict(&d), &d.targets);
+        assert!(metrics.r2 > 0.999);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_dataset_is_rejected() {
+        RidgeRegression::fit(
+            &Dataset::from_raw(Vec::new(), Vec::new(), Target::Walltime),
+            1.0,
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn prediction_checks_feature_width() {
+        let d = linear_dataset(10, 0.0, 5);
+        let model = RidgeRegression::fit(&d, 0.0);
+        model.predict_one(&[1.0]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Regression quality metrics.
+//!
+//! The surrogate-model experiments report the same error vocabulary the
+//! calibration experiments use (relative MAE, §4.2) plus the standard
+//! regression metrics (MAE, RMSE, R², MAPE) a downstream ML practitioner
+//! expects when judging whether a surrogate is good enough to replace the
+//! simulator for a given question.
+
+use serde::{Deserialize, Serialize};
+
+/// Standard regression metrics of a prediction vector against ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionMetrics {
+    /// Number of (prediction, truth) pairs.
+    pub count: usize,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// Coefficient of determination (1 = perfect, 0 = predicting the mean,
+    /// negative = worse than the mean).
+    pub r2: f64,
+    /// Mean absolute percentage error (undefined entries with zero truth are
+    /// skipped).
+    pub mape: f64,
+    /// Relative mean absolute error: `mean(|pred - truth|) / mean(|truth|)` —
+    /// the same normalisation used by the paper's calibration error.
+    pub relative_mae: f64,
+}
+
+impl RegressionMetrics {
+    /// Computes all metrics. Panics if the slices differ in length; returns a
+    /// zeroed report for empty inputs.
+    pub fn compute(predictions: &[f64], truth: &[f64]) -> Self {
+        assert_eq!(
+            predictions.len(),
+            truth.len(),
+            "predictions and truth must align"
+        );
+        let n = predictions.len();
+        if n == 0 {
+            return RegressionMetrics {
+                count: 0,
+                mae: 0.0,
+                rmse: 0.0,
+                r2: 0.0,
+                mape: 0.0,
+                relative_mae: 0.0,
+            };
+        }
+        let nf = n as f64;
+        let mut abs_err_sum = 0.0;
+        let mut sq_err_sum = 0.0;
+        let mut mape_sum = 0.0;
+        let mut mape_count = 0usize;
+        let truth_mean = truth.iter().sum::<f64>() / nf;
+        let mut ss_tot = 0.0;
+        let mut abs_truth_sum = 0.0;
+        for (&p, &t) in predictions.iter().zip(truth) {
+            let err = p - t;
+            abs_err_sum += err.abs();
+            sq_err_sum += err * err;
+            ss_tot += (t - truth_mean) * (t - truth_mean);
+            abs_truth_sum += t.abs();
+            if t.abs() > 1e-12 {
+                mape_sum += (err / t).abs();
+                mape_count += 1;
+            }
+        }
+        let mae = abs_err_sum / nf;
+        let rmse = (sq_err_sum / nf).sqrt();
+        let r2 = if ss_tot > 0.0 {
+            1.0 - sq_err_sum / ss_tot
+        } else if sq_err_sum == 0.0 {
+            1.0
+        } else {
+            0.0
+        };
+        let mape = if mape_count > 0 {
+            mape_sum / mape_count as f64
+        } else {
+            0.0
+        };
+        let relative_mae = if abs_truth_sum > 0.0 {
+            abs_err_sum / abs_truth_sum
+        } else {
+            0.0
+        };
+        RegressionMetrics {
+            count: n,
+            mae,
+            rmse,
+            r2,
+            mape,
+            relative_mae,
+        }
+    }
+
+    /// One-line human-readable rendering.
+    pub fn text_summary(&self) -> String {
+        format!(
+            "n={} MAE={:.2} RMSE={:.2} R²={:.3} MAPE={:.1}% relMAE={:.1}%",
+            self.count,
+            self.mae,
+            self.rmse,
+            self.r2,
+            self.mape * 100.0,
+            self.relative_mae * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_zero_error_and_unit_r2() {
+        let truth = [1.0, 2.0, 3.0, 4.0];
+        let m = RegressionMetrics::compute(&truth, &truth);
+        assert_eq!(m.count, 4);
+        assert_eq!(m.mae, 0.0);
+        assert_eq!(m.rmse, 0.0);
+        assert_eq!(m.r2, 1.0);
+        assert_eq!(m.mape, 0.0);
+        assert_eq!(m.relative_mae, 0.0);
+    }
+
+    #[test]
+    fn mean_prediction_has_zero_r2() {
+        let truth = [1.0, 2.0, 3.0, 4.0];
+        let mean = [2.5, 2.5, 2.5, 2.5];
+        let m = RegressionMetrics::compute(&mean, &truth);
+        assert!(m.r2.abs() < 1e-12);
+        assert!(m.mae > 0.0);
+    }
+
+    #[test]
+    fn constant_truth_edge_cases() {
+        // Constant truth, perfect prediction -> R² = 1.
+        let m = RegressionMetrics::compute(&[5.0, 5.0], &[5.0, 5.0]);
+        assert_eq!(m.r2, 1.0);
+        // Constant truth, imperfect prediction -> R² = 0 by convention.
+        let m = RegressionMetrics::compute(&[4.0, 6.0], &[5.0, 5.0]);
+        assert_eq!(m.r2, 0.0);
+        assert!(m.mae > 0.0);
+    }
+
+    #[test]
+    fn zero_truth_entries_are_skipped_in_mape() {
+        let m = RegressionMetrics::compute(&[1.0, 2.0], &[0.0, 2.0]);
+        assert_eq!(m.mape, 0.0); // only the non-zero entry counts and it is exact
+        assert!(m.mae > 0.0);
+    }
+
+    #[test]
+    fn empty_input_is_neutral() {
+        let m = RegressionMetrics::compute(&[], &[]);
+        assert_eq!(m.count, 0);
+        assert_eq!(m.mae, 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // predictions off by exactly 1 everywhere.
+        let truth = [10.0, 20.0, 30.0];
+        let pred = [11.0, 21.0, 31.0];
+        let m = RegressionMetrics::compute(&pred, &truth);
+        assert!((m.mae - 1.0).abs() < 1e-12);
+        assert!((m.rmse - 1.0).abs() < 1e-12);
+        assert!((m.relative_mae - 3.0 / 60.0).abs() < 1e-12);
+        assert!(m.r2 > 0.98);
+        assert!(m.text_summary().contains("MAE=1.00"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        RegressionMetrics::compute(&[1.0], &[1.0, 2.0]);
+    }
+}

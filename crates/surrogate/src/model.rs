@@ -1,0 +1,421 @@
+//! A uniform surrogate-model facade: training, evaluation, model selection.
+//!
+//! [`SurrogateModel`] wraps the concrete regressors behind one train/predict
+//! interface so the examples, the CLI and the benchmark harness can switch
+//! models by name. [`train_and_evaluate`] packages the standard workflow —
+//! split, fit, score on held-out data — and [`select_best`] runs k-fold
+//! cross-validation over several candidate models and picks the winner, which
+//! is how the surrogate benchmark decides what to compare against the full
+//! discrete-event simulation.
+
+use cgsim_monitor::mldataset::MlExample;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{Dataset, Standardizer, Target};
+use crate::gbdt::{GbdtConfig, GradientBoostedTrees};
+use crate::knn::KnnRegressor;
+use crate::linear::RidgeRegression;
+use crate::metrics::RegressionMetrics;
+use crate::tree::{RegressionTree, TreeConfig};
+
+/// Which surrogate family to train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SurrogateKind {
+    /// Ridge regression (linear).
+    Ridge,
+    /// K-nearest neighbours.
+    Knn,
+    /// A single regression tree.
+    Tree,
+    /// Gradient-boosted regression trees.
+    Gbdt,
+}
+
+impl SurrogateKind {
+    /// All kinds, in the order they are reported.
+    pub const ALL: [SurrogateKind; 4] = [
+        SurrogateKind::Ridge,
+        SurrogateKind::Knn,
+        SurrogateKind::Tree,
+        SurrogateKind::Gbdt,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SurrogateKind::Ridge => "ridge",
+            SurrogateKind::Knn => "knn",
+            SurrogateKind::Tree => "tree",
+            SurrogateKind::Gbdt => "gbdt",
+        }
+    }
+
+    /// Parses a label produced by [`SurrogateKind::label`].
+    pub fn parse(name: &str) -> Option<SurrogateKind> {
+        Self::ALL.into_iter().find(|k| k.label() == name)
+    }
+}
+
+/// Training hyper-parameters for every model family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Ridge regularisation strength.
+    pub ridge_lambda: f64,
+    /// Number of neighbours for k-NN.
+    pub knn_k: usize,
+    /// Whether k-NN weights neighbours by inverse distance.
+    pub knn_distance_weighted: bool,
+    /// Single-tree configuration.
+    pub tree: TreeConfig,
+    /// Boosted-ensemble configuration.
+    pub gbdt: GbdtConfig,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            ridge_lambda: 1.0,
+            knn_k: 10,
+            knn_distance_weighted: true,
+            tree: TreeConfig::default(),
+            gbdt: GbdtConfig::default(),
+        }
+    }
+}
+
+/// A trained surrogate of any family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SurrogateModel {
+    /// Ridge regression plus the feature standardiser it was trained with.
+    Ridge {
+        /// Fitted standardiser.
+        standardizer: Standardizer,
+        /// Fitted linear model (on standardised features).
+        model: RidgeRegression,
+    },
+    /// K-nearest neighbours (standardisation is internal to the model).
+    Knn(KnnRegressor),
+    /// A single regression tree.
+    Tree(RegressionTree),
+    /// Gradient-boosted trees.
+    Gbdt(GradientBoostedTrees),
+}
+
+impl SurrogateModel {
+    /// Trains a surrogate of the requested kind on a dataset.
+    pub fn train(kind: SurrogateKind, dataset: &Dataset, config: &TrainConfig) -> Self {
+        match kind {
+            SurrogateKind::Ridge => {
+                let standardizer = Standardizer::fit(dataset);
+                let standardized = standardizer.transform(dataset);
+                SurrogateModel::Ridge {
+                    standardizer,
+                    model: RidgeRegression::fit(&standardized, config.ridge_lambda),
+                }
+            }
+            SurrogateKind::Knn => SurrogateModel::Knn(KnnRegressor::fit(
+                dataset,
+                config.knn_k,
+                config.knn_distance_weighted,
+            )),
+            SurrogateKind::Tree => SurrogateModel::Tree(RegressionTree::fit(dataset, config.tree)),
+            SurrogateKind::Gbdt => {
+                SurrogateModel::Gbdt(GradientBoostedTrees::fit(dataset, config.gbdt))
+            }
+        }
+    }
+
+    /// Which family this model belongs to.
+    pub fn kind(&self) -> SurrogateKind {
+        match self {
+            SurrogateModel::Ridge { .. } => SurrogateKind::Ridge,
+            SurrogateModel::Knn(_) => SurrogateKind::Knn,
+            SurrogateModel::Tree(_) => SurrogateKind::Tree,
+            SurrogateModel::Gbdt(_) => SurrogateKind::Gbdt,
+        }
+    }
+
+    /// Predicts the target for one raw feature row.
+    pub fn predict_one(&self, features: &[f64]) -> f64 {
+        match self {
+            SurrogateModel::Ridge {
+                standardizer,
+                model,
+            } => {
+                let mut row = features.to_vec();
+                standardizer.transform_row(&mut row);
+                model.predict_one(&row)
+            }
+            SurrogateModel::Knn(model) => model.predict_one(features),
+            SurrogateModel::Tree(model) => model.predict_one(features),
+            SurrogateModel::Gbdt(model) => model.predict_one(features),
+        }
+    }
+
+    /// Predicts every row of a dataset.
+    pub fn predict(&self, dataset: &Dataset) -> Vec<f64> {
+        dataset
+            .features
+            .iter()
+            .map(|row| self.predict_one(row))
+            .collect()
+    }
+
+    /// Scores the model on a dataset.
+    pub fn evaluate(&self, dataset: &Dataset) -> RegressionMetrics {
+        RegressionMetrics::compute(&self.predict(dataset), &dataset.targets)
+    }
+}
+
+/// Outcome of training one surrogate on a train/test split.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateReport {
+    /// Model family.
+    pub kind: SurrogateKind,
+    /// Target quantity.
+    pub target: Target,
+    /// Training-set size.
+    pub train_rows: usize,
+    /// Held-out-set size.
+    pub test_rows: usize,
+    /// Metrics on the training set.
+    pub train_metrics: RegressionMetrics,
+    /// Metrics on the held-out set.
+    pub test_metrics: RegressionMetrics,
+}
+
+impl SurrogateReport {
+    /// One CSV row (see [`SurrogateReport::CSV_HEADER`]).
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            self.kind.label(),
+            self.target.label(),
+            self.train_rows,
+            self.test_rows,
+            self.test_metrics.mae,
+            self.test_metrics.rmse,
+            self.test_metrics.r2,
+            self.test_metrics.mape,
+            self.test_metrics.relative_mae,
+        )
+    }
+
+    /// CSV header matching [`SurrogateReport::to_csv_row`].
+    pub const CSV_HEADER: &'static str =
+        "model,target,train_rows,test_rows,test_mae,test_rmse,test_r2,test_mape,test_rel_mae";
+}
+
+/// Trains one surrogate on a deterministic train/test split of the examples
+/// and reports train and test metrics.
+pub fn train_and_evaluate(
+    examples: &[MlExample],
+    target: Target,
+    kind: SurrogateKind,
+    config: &TrainConfig,
+    train_fraction: f64,
+    seed: u64,
+) -> (SurrogateModel, SurrogateReport) {
+    let dataset = Dataset::from_examples(examples, target);
+    let (train, test) = dataset.split(train_fraction, seed);
+    let model = SurrogateModel::train(kind, &train, config);
+    let report = SurrogateReport {
+        kind,
+        target,
+        train_rows: train.len(),
+        test_rows: test.len(),
+        train_metrics: model.evaluate(&train),
+        test_metrics: model.evaluate(&test),
+    };
+    (model, report)
+}
+
+/// Mean cross-validated relative MAE of one model family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossValidationScore {
+    /// Model family.
+    pub kind: SurrogateKind,
+    /// Mean relative MAE over the validation folds.
+    pub mean_relative_mae: f64,
+    /// Mean R² over the validation folds.
+    pub mean_r2: f64,
+    /// Number of folds.
+    pub folds: usize,
+}
+
+/// Runs k-fold cross-validation for each candidate kind and returns the
+/// scores sorted best-first (lowest relative MAE).
+pub fn cross_validate(
+    dataset: &Dataset,
+    kinds: &[SurrogateKind],
+    config: &TrainConfig,
+    folds: usize,
+    seed: u64,
+) -> Vec<CrossValidationScore> {
+    let fold_indices = dataset.k_folds(folds, seed);
+    let mut scores: Vec<CrossValidationScore> = kinds
+        .iter()
+        .map(|&kind| {
+            let mut rel_mae_sum = 0.0;
+            let mut r2_sum = 0.0;
+            for (train_idx, val_idx) in &fold_indices {
+                let train = dataset.subset(train_idx);
+                let val = dataset.subset(val_idx);
+                let model = SurrogateModel::train(kind, &train, config);
+                let metrics = model.evaluate(&val);
+                rel_mae_sum += metrics.relative_mae;
+                r2_sum += metrics.r2;
+            }
+            let k = fold_indices.len() as f64;
+            CrossValidationScore {
+                kind,
+                mean_relative_mae: rel_mae_sum / k,
+                mean_r2: r2_sum / k,
+                folds: fold_indices.len(),
+            }
+        })
+        .collect();
+    scores.sort_by(|a, b| {
+        a.mean_relative_mae
+            .partial_cmp(&b.mean_relative_mae)
+            .expect("scores are finite")
+    });
+    scores
+}
+
+/// Cross-validates all model families and trains the winner on the full
+/// dataset. Returns the fitted model plus the ranked scores.
+pub fn select_best(
+    examples: &[MlExample],
+    target: Target,
+    config: &TrainConfig,
+    folds: usize,
+    seed: u64,
+) -> (SurrogateModel, Vec<CrossValidationScore>) {
+    let dataset = Dataset::from_examples(examples, target);
+    let scores = cross_validate(&dataset, &SurrogateKind::ALL, config, folds, seed);
+    let best_kind = scores.first().map(|s| s.kind).unwrap_or(SurrogateKind::Gbdt);
+    let model = SurrogateModel::train(best_kind, &dataset, config);
+    (model, scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgsim_des::rng::Rng;
+
+    /// Synthetic examples whose walltime follows a learnable pattern:
+    /// roughly proportional to staged bytes and inversely to cores.
+    fn synthetic_examples(n: usize, seed: u64) -> Vec<MlExample> {
+        let mut rng = Rng::new(seed);
+        (0..n as u64)
+            .map(|i| {
+                let multicore = rng.chance(0.4);
+                let cores = if multicore { 8.0 } else { 1.0 };
+                let staged = rng.uniform_range(1e8, 5e9);
+                let queue = rng.uniform_range(0.0, 50.0);
+                let walltime =
+                    staged / 1e6 / cores + 100.0 * queue / cores + 50.0 * rng.normal_std().abs();
+                MlExample {
+                    job_id: i,
+                    is_multicore: if multicore { 1.0 } else { 0.0 },
+                    cores,
+                    work_hs23: walltime * 10.0 * cores,
+                    staged_bytes: staged,
+                    site_available_cores_at_assign: rng.uniform_range(0.0, 2000.0),
+                    site_queue_at_assign: queue,
+                    submit_time: rng.uniform_range(0.0, 3600.0),
+                    target_queue_time: queue * 30.0,
+                    target_walltime: walltime,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_kind_trains_and_beats_the_mean_predictor() {
+        let examples = synthetic_examples(600, 1);
+        for kind in SurrogateKind::ALL {
+            let (_model, report) = train_and_evaluate(
+                &examples,
+                Target::Walltime,
+                kind,
+                &TrainConfig::default(),
+                0.8,
+                7,
+            );
+            assert!(
+                report.test_metrics.r2 > 0.2,
+                "{} failed: {}",
+                kind.label(),
+                report.test_metrics.text_summary()
+            );
+            assert_eq!(report.train_rows + report.test_rows, 600);
+            assert!(report.to_csv_row().starts_with(kind.label()));
+        }
+    }
+
+    #[test]
+    fn gbdt_is_among_the_best_models_on_nonlinear_data() {
+        let examples = synthetic_examples(800, 2);
+        let dataset = Dataset::from_examples(&examples, Target::Walltime);
+        let scores = cross_validate(
+            &dataset,
+            &SurrogateKind::ALL,
+            &TrainConfig::default(),
+            4,
+            11,
+        );
+        assert_eq!(scores.len(), 4);
+        // Scores are sorted best-first.
+        for pair in scores.windows(2) {
+            assert!(pair[0].mean_relative_mae <= pair[1].mean_relative_mae);
+        }
+        let gbdt_rank = scores
+            .iter()
+            .position(|s| s.kind == SurrogateKind::Gbdt)
+            .unwrap();
+        assert!(gbdt_rank <= 1, "gbdt ranked {gbdt_rank}: {scores:?}");
+    }
+
+    #[test]
+    fn select_best_returns_the_top_ranked_model() {
+        let examples = synthetic_examples(400, 3);
+        let (model, scores) = select_best(&examples, Target::Walltime, &TrainConfig::default(), 3, 5);
+        assert_eq!(model.kind(), scores[0].kind);
+        let dataset = Dataset::from_examples(&examples, Target::Walltime);
+        assert!(model.evaluate(&dataset).r2 > 0.3);
+    }
+
+    #[test]
+    fn queue_time_target_is_supported() {
+        let examples = synthetic_examples(500, 4);
+        let (_, report) = train_and_evaluate(
+            &examples,
+            Target::QueueTime,
+            SurrogateKind::Gbdt,
+            &TrainConfig::default(),
+            0.75,
+            3,
+        );
+        assert_eq!(report.target, Target::QueueTime);
+        // Queue time here is a deterministic function of one feature.
+        assert!(report.test_metrics.r2 > 0.9, "{}", report.test_metrics.text_summary());
+    }
+
+    #[test]
+    fn kind_labels_roundtrip() {
+        for kind in SurrogateKind::ALL {
+            assert_eq!(SurrogateKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(SurrogateKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn prediction_is_deterministic() {
+        let examples = synthetic_examples(300, 5);
+        let dataset = Dataset::from_examples(&examples, Target::Walltime);
+        let model = SurrogateModel::train(SurrogateKind::Gbdt, &dataset, &TrainConfig::default());
+        assert_eq!(model.predict(&dataset), model.predict(&dataset));
+    }
+}

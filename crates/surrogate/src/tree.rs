@@ -1,0 +1,362 @@
+//! CART-style regression trees.
+//!
+//! Each internal node splits one feature at a threshold chosen to minimise
+//! the summed squared error of the two children; leaves predict the mean
+//! target of their training rows. Trees capture the interaction effects a
+//! linear surrogate cannot (e.g. "queue time explodes only when the site
+//! queue is deep *and* the job is multi-core") and are the base learner of
+//! the gradient-boosted surrogate in [`crate::gbdt`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// Tree-growing hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum depth (a depth-0 tree is a single leaf).
+    pub max_depth: usize,
+    /// Minimum number of rows required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum number of rows in each child for a split to be accepted.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 6,
+            min_samples_split: 8,
+            min_samples_leaf: 4,
+        }
+    }
+}
+
+/// One node of the tree, stored in a flat arena.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    /// Leaf predicting a constant value.
+    Leaf {
+        /// Mean target of the training rows reaching this leaf.
+        value: f64,
+        /// Number of training rows in the leaf.
+        samples: usize,
+    },
+    /// Internal split: rows with `features[feature] <= threshold` go left.
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    config: TreeConfig,
+    columns: usize,
+}
+
+impl RegressionTree {
+    /// Fits a tree on a dataset.
+    pub fn fit(dataset: &Dataset, config: TreeConfig) -> Self {
+        Self::fit_targets(dataset, &dataset.targets, config)
+    }
+
+    /// Fits a tree on the dataset's features but against an externally
+    /// supplied target vector (used by gradient boosting to fit residuals).
+    pub fn fit_targets(dataset: &Dataset, targets: &[f64], config: TreeConfig) -> Self {
+        assert!(!dataset.is_empty(), "cannot fit on an empty dataset");
+        assert_eq!(
+            dataset.len(),
+            targets.len(),
+            "targets must align with dataset rows"
+        );
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            config,
+            columns: dataset.columns(),
+        };
+        let indices: Vec<usize> = (0..dataset.len()).collect();
+        tree.grow(dataset, targets, indices, 0);
+        tree
+    }
+
+    /// Recursively grows the subtree for `indices`; returns its node id.
+    fn grow(
+        &mut self,
+        dataset: &Dataset,
+        targets: &[f64],
+        indices: Vec<usize>,
+        depth: usize,
+    ) -> usize {
+        let mean = indices.iter().map(|&i| targets[i]).sum::<f64>() / indices.len() as f64;
+        let can_split = depth < self.config.max_depth
+            && indices.len() >= self.config.min_samples_split;
+        let best = if can_split {
+            self.best_split(dataset, targets, &indices)
+        } else {
+            None
+        };
+        match best {
+            None => {
+                let id = self.nodes.len();
+                self.nodes.push(Node::Leaf {
+                    value: mean,
+                    samples: indices.len(),
+                });
+                id
+            }
+            Some((feature, threshold)) => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                    .into_iter()
+                    .partition(|&i| dataset.features[i][feature] <= threshold);
+                // Reserve this node's slot before growing children so the
+                // arena layout stays parent-before-children.
+                let id = self.nodes.len();
+                self.nodes.push(Node::Leaf {
+                    value: mean,
+                    samples: 0,
+                });
+                let left = self.grow(dataset, targets, left_idx, depth + 1);
+                let right = self.grow(dataset, targets, right_idx, depth + 1);
+                self.nodes[id] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                id
+            }
+        }
+    }
+
+    /// Finds the (feature, threshold) pair with the lowest child SSE, or
+    /// `None` when no split satisfies the leaf-size constraint or improves on
+    /// the parent.
+    fn best_split(
+        &self,
+        dataset: &Dataset,
+        targets: &[f64],
+        indices: &[usize],
+    ) -> Option<(usize, f64)> {
+        let n = indices.len() as f64;
+        let total_sum: f64 = indices.iter().map(|&i| targets[i]).sum();
+        let total_sq: f64 = indices.iter().map(|&i| targets[i] * targets[i]).sum();
+        let parent_sse = total_sq - total_sum * total_sum / n;
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        for feature in 0..self.columns {
+            // Sort the rows by this feature and scan split points.
+            let mut order: Vec<usize> = indices.to_vec();
+            order.sort_by(|&a, &b| {
+                dataset.features[a][feature]
+                    .partial_cmp(&dataset.features[b][feature])
+                    .expect("features are finite")
+            });
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for (pos, &i) in order.iter().enumerate().take(order.len() - 1) {
+                let y = targets[i];
+                left_sum += y;
+                left_sq += y * y;
+                let left_n = (pos + 1) as f64;
+                let right_n = n - left_n;
+                if (pos + 1) < self.config.min_samples_leaf
+                    || (order.len() - pos - 1) < self.config.min_samples_leaf
+                {
+                    continue;
+                }
+                let x_here = dataset.features[i][feature];
+                let x_next = dataset.features[order[pos + 1]][feature];
+                if x_next <= x_here {
+                    continue; // no valid threshold between equal values
+                }
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let sse = (left_sq - left_sum * left_sum / left_n)
+                    + (right_sq - right_sum * right_sum / right_n);
+                if best.map(|(_, _, s)| sse < s).unwrap_or(true) {
+                    best = Some((feature, 0.5 * (x_here + x_next), sse));
+                }
+            }
+        }
+        best.and_then(|(feature, threshold, sse)| {
+            // Require a real improvement to avoid degenerate splits.
+            if sse < parent_sse - 1e-12 {
+                Some((feature, threshold))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Predicts the target for one feature row.
+    pub fn predict_one(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.columns, "feature width mismatch");
+        let mut node = 0;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value, .. } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Predicts every row of a dataset.
+    pub fn predict(&self, dataset: &Dataset) -> Vec<f64> {
+        dataset
+            .features
+            .iter()
+            .map(|row| self.predict_one(row))
+            .collect()
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves in the tree.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Maximum depth actually reached.
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], id: usize) -> usize {
+            match &nodes[id] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        depth_of(&self.nodes, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Target;
+    use crate::metrics::RegressionMetrics;
+    use cgsim_des::rng::Rng;
+
+    fn xor_like_dataset(rows: usize, seed: u64) -> Dataset {
+        // Target depends on the interaction of two features: a linear model
+        // cannot represent it, a depth-2 tree can.
+        let mut rng = Rng::new(seed);
+        let mut features = Vec::new();
+        let mut targets = Vec::new();
+        for _ in 0..rows {
+            let a = rng.uniform();
+            let b = rng.uniform();
+            features.push(vec![a, b]);
+            let hi_a = a > 0.5;
+            let hi_b = b > 0.5;
+            targets.push(if hi_a ^ hi_b { 100.0 } else { 10.0 });
+        }
+        Dataset::from_raw(features, targets, Target::Walltime)
+    }
+
+    #[test]
+    fn single_leaf_when_depth_zero() {
+        let d = xor_like_dataset(100, 1);
+        let tree = RegressionTree::fit(
+            &d,
+            TreeConfig {
+                max_depth: 0,
+                ..TreeConfig::default()
+            },
+        );
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.depth(), 0);
+        let mean = d.targets.iter().sum::<f64>() / d.len() as f64;
+        assert!((tree.predict_one(&[0.1, 0.9]) - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn learns_interaction_effects() {
+        let train = xor_like_dataset(600, 2);
+        let test = xor_like_dataset(200, 3);
+        let tree = RegressionTree::fit(
+            &train,
+            TreeConfig {
+                max_depth: 4,
+                min_samples_split: 4,
+                min_samples_leaf: 2,
+            },
+        );
+        let metrics = RegressionMetrics::compute(&tree.predict(&test), &test.targets);
+        assert!(metrics.r2 > 0.95, "{}", metrics.text_summary());
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn respects_max_depth_and_leaf_size() {
+        let d = xor_like_dataset(500, 4);
+        let cfg = TreeConfig {
+            max_depth: 3,
+            min_samples_split: 10,
+            min_samples_leaf: 5,
+        };
+        let tree = RegressionTree::fit(&d, cfg);
+        assert!(tree.depth() <= 3);
+        // No leaf smaller than min_samples_leaf.
+        for node in &tree.nodes {
+            if let Node::Leaf { samples, .. } = node {
+                assert!(*samples >= cfg.min_samples_leaf || tree.node_count() == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let d = Dataset::from_raw(
+            (0..50).map(|i| vec![i as f64]).collect(),
+            vec![7.0; 50],
+            Target::Walltime,
+        );
+        let tree = RegressionTree::fit(&d, TreeConfig::default());
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.predict_one(&[25.0]), 7.0);
+    }
+
+    #[test]
+    fn fit_targets_fits_residuals_not_dataset_targets() {
+        let d = xor_like_dataset(200, 5);
+        let residuals: Vec<f64> = d.targets.iter().map(|t| t - 50.0).collect();
+        let tree = RegressionTree::fit_targets(&d, &residuals, TreeConfig::default());
+        let preds = tree.predict(&d);
+        // Predictions should approximate the residuals, not the raw targets.
+        let metrics = RegressionMetrics::compute(&preds, &residuals);
+        assert!(metrics.r2 > 0.9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_dataset_is_rejected() {
+        RegressionTree::fit(
+            &Dataset::from_raw(Vec::new(), Vec::new(), Target::Walltime),
+            TreeConfig::default(),
+        );
+    }
+}

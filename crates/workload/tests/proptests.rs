@@ -1,0 +1,75 @@
+//! Property-based tests for the synthetic PanDA-like trace generator.
+
+use cgsim_platform::presets::wlcg_platform;
+use cgsim_workload::{JobKind, TraceConfig, TraceGenerator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generated traces always satisfy the structural invariants the
+    /// simulator relies on, for arbitrary (bounded) generator settings.
+    #[test]
+    fn traces_are_well_formed(
+        jobs in 1usize..400,
+        seed in any::<u64>(),
+        sites in 1usize..20,
+        multicore_fraction in 0.0f64..1.0,
+        window in 0.0f64..86_400.0,
+    ) {
+        let platform = wlcg_platform(sites, seed ^ 0x5a5a);
+        let mut cfg = TraceConfig::with_jobs(jobs, seed);
+        cfg.multicore_fraction = multicore_fraction;
+        cfg.submission_window_s = window;
+        let trace = TraceGenerator::new(cfg).generate(&platform);
+
+        prop_assert_eq!(trace.len(), jobs);
+        // Sorted by submission time, inside the window.
+        for pair in trace.jobs.windows(2) {
+            prop_assert!(pair[0].submit_time <= pair[1].submit_time);
+        }
+        for job in &trace.jobs {
+            prop_assert!(job.submit_time >= 0.0 && job.submit_time <= window + 1e-9);
+            prop_assert!(job.work_hs23 > 0.0);
+            prop_assert!(job.input_files >= 1);
+            prop_assert!(job.input_bytes > 0);
+            prop_assert!(job.hist_walltime.unwrap() > 0.0);
+            prop_assert!(job.hist_queue_time.unwrap() >= 0.0);
+            prop_assert!(!job.hist_site.is_empty());
+            match job.kind {
+                JobKind::SingleCore => prop_assert_eq!(job.cores, 1),
+                JobKind::MultiCore => prop_assert!(job.cores > 1),
+            }
+        }
+        // Job ids are unique.
+        let ids: std::collections::HashSet<_> = trace.jobs.iter().map(|j| j.id).collect();
+        prop_assert_eq!(ids.len(), jobs);
+        // Hidden multipliers cover every referenced site and sit in the range.
+        let (lo, hi) = TraceConfig::default().hidden_multiplier_range;
+        for job in &trace.jobs {
+            let m = trace.hidden_site_multipliers[&job.hist_site];
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        }
+    }
+
+    /// Splitting a trace partitions it: no duplication, no loss, any fraction.
+    #[test]
+    fn split_is_a_partition(jobs in 1usize..300, seed in any::<u64>(), fraction in 0.0f64..1.0) {
+        let platform = wlcg_platform(5, 1);
+        let trace = TraceGenerator::new(TraceConfig::with_jobs(jobs, seed)).generate(&platform);
+        let (a, b) = trace.split(fraction);
+        prop_assert_eq!(a.len() + b.len(), trace.len());
+        let mut ids: Vec<_> = a.jobs.iter().chain(&b.jobs).map(|j| j.id).collect();
+        ids.sort();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), trace.len());
+    }
+
+    /// CSV export always has exactly one row per job plus the header.
+    #[test]
+    fn csv_has_one_row_per_job(jobs in 1usize..200, seed in any::<u64>()) {
+        let platform = wlcg_platform(3, 9);
+        let trace = TraceGenerator::new(TraceConfig::with_jobs(jobs, seed)).generate(&platform);
+        prop_assert_eq!(trace.to_csv().lines().count(), jobs + 1);
+    }
+}

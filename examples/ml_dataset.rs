@@ -1,0 +1,63 @@
+//! ML dataset generation (paper §1 / §4.3.2): run a simulation, flatten the
+//! event-level dataset into supervised-learning examples, and fit a trivial
+//! baseline model (linear regression on queue time) to show the dataset is
+//! directly consumable — the paper's motivation is training AI surrogates for
+//! performance prediction.
+//!
+//! ```bash
+//! cargo run --release --example ml_dataset
+//! ```
+
+use cgsim::des::stats::linear_fit;
+use cgsim::monitor::mldataset;
+use cgsim::prelude::*;
+
+fn main() {
+    let platform = wlcg_platform(12, 5);
+    let trace = TraceGenerator::new(TraceConfig::with_jobs(2_000, 17)).generate(&platform);
+    let results = Simulation::builder()
+        .platform_spec(&platform)
+        .expect("platform is valid")
+        .trace(trace)
+        .policy_name("least-loaded")
+        .execution(ExecutionConfig::default())
+        .run()
+        .expect("simulation runs");
+
+    let examples = mldataset::build_examples(&results.outcomes, &results.events);
+    println!(
+        "generated {} training examples from {} event rows",
+        examples.len(),
+        results.events.len()
+    );
+
+    // Persist the dataset (CSV, one row per job).
+    let path = std::env::temp_dir().join("cgsim-ml-dataset.csv");
+    std::fs::write(&path, mldataset::to_csv(&examples)).expect("dataset written");
+    println!("dataset written to {}", path.display());
+
+    // A deliberately simple surrogate: queue time predicted from the site
+    // queue depth observed at assignment. Real users would train an actual
+    // model on the CSV; this just demonstrates the dataset is well-formed.
+    let xs: Vec<f64> = examples.iter().map(|e| e.site_queue_at_assign).collect();
+    let ys: Vec<f64> = examples.iter().map(|e| e.target_queue_time).collect();
+    if xs.iter().any(|&x| x > 0.0) {
+        let (intercept, slope) = linear_fit(&xs, &ys);
+        println!(
+            "baseline surrogate: queue_time ≈ {intercept:.1} + {slope:.1} * queue_depth_at_assign"
+        );
+    } else {
+        println!("grid was never congested in this run; queue-time surrogate is trivial (≈0)");
+    }
+
+    // Dataset sanity summary.
+    let mean_walltime: f64 =
+        examples.iter().map(|e| e.target_walltime).sum::<f64>() / examples.len() as f64;
+    let multicore = examples.iter().filter(|e| e.is_multicore > 0.5).count();
+    println!(
+        "targets: mean walltime {:.0}s; features: {} multi-core examples, {} single-core",
+        mean_walltime,
+        multicore,
+        examples.len() - multicore
+    );
+}

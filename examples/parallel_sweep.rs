@@ -1,0 +1,57 @@
+//! Parameter sweeps on worker threads: the shape of every scalability
+//! experiment in the paper (Fig. 4) is "run many independent simulations and
+//! plot a metric against a swept parameter". This example sweeps the number
+//! of computing sites, runs every point in parallel, and prints the resulting
+//! table (the same data Fig. 4(b) is drawn from).
+//!
+//! ```bash
+//! cargo run --release --example parallel_sweep
+//! ```
+
+use cgsim::core::sweep::{run_sweep, sweep_csv, SweepPoint};
+use cgsim::prelude::*;
+
+fn main() {
+    let registry = PolicyRegistry::with_builtins();
+    let jobs_per_site = 150;
+
+    let points: Vec<SweepPoint> = [1usize, 2, 5, 10, 20, 30]
+        .iter()
+        .map(|&sites| {
+            let platform = wlcg_platform(sites, 7);
+            let trace = TraceGenerator::new(TraceConfig::with_jobs(sites * jobs_per_site, 13))
+                .generate(&platform);
+            SweepPoint::new(
+                format!("sites={sites}"),
+                platform,
+                trace,
+                ExecutionConfig::default(),
+            )
+        })
+        .collect();
+
+    let started = std::time::Instant::now();
+    let outcomes = run_sweep(points, true, &registry).expect("sweep runs");
+    println!(
+        "ran {} simulations in {:.2?} across {} worker threads\n",
+        outcomes.len(),
+        started.elapsed(),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    println!("{}", sweep_csv(&outcomes));
+
+    // The multi-site scaling shape of Fig. 4(b): simulator work (engine
+    // events) grows close to linearly with the number of sites.
+    let xs: Vec<f64> = outcomes
+        .iter()
+        .map(|o| o.results.metrics.total_jobs as f64)
+        .collect();
+    let ys: Vec<f64> = outcomes
+        .iter()
+        .map(|o| o.results.engine_events as f64)
+        .collect();
+    let k = cgsim::des::stats::scaling_exponent(&xs, &ys);
+    println!("engine-event scaling exponent vs workload size: {k:.2} (≈1 is linear)");
+}

@@ -1,0 +1,75 @@
+//! AI-assisted performance modeling (paper §1 and future work): run a
+//! simulation, export the event-level ML dataset, train the built-in
+//! surrogate models on it, pick the best one by cross-validation and compare
+//! surrogate inference against re-running the simulator.
+//!
+//! ```bash
+//! cargo run --release --example surrogate_model
+//! ```
+
+use cgsim::monitor::mldataset::build_examples;
+use cgsim::prelude::*;
+use cgsim::surrogate::{self, Dataset, SurrogateReport};
+
+fn main() {
+    // 1. Simulate a mid-sized grid and collect the event-level dataset.
+    let platform = wlcg_platform(10, 3);
+    let trace = TraceGenerator::new(TraceConfig::with_jobs(2_500, 11)).generate(&platform);
+    let started = std::time::Instant::now();
+    let results = Simulation::builder()
+        .platform_spec(&platform)
+        .expect("platform is valid")
+        .trace(trace)
+        .policy_name("least-loaded")
+        .execution(ExecutionConfig::default())
+        .run()
+        .expect("simulation runs");
+    let sim_elapsed = started.elapsed();
+    let examples = build_examples(&results.outcomes, &results.events);
+    println!(
+        "simulated {} jobs in {:.2?}; extracted {} training examples",
+        results.outcomes.len(),
+        sim_elapsed,
+        examples.len()
+    );
+
+    // 2. Train every surrogate family on a train/test split and report.
+    println!("\n{}", SurrogateReport::CSV_HEADER);
+    for kind in SurrogateKind::ALL {
+        let (_, report) = surrogate::train_and_evaluate(
+            &examples,
+            Target::Walltime,
+            kind,
+            &TrainConfig::default(),
+            0.8,
+            7,
+        );
+        println!("{}", report.to_csv_row());
+    }
+
+    // 3. Model selection by cross-validation, then fast inference.
+    let (best, scores) =
+        surrogate::select_best(&examples, Target::Walltime, &TrainConfig::default(), 4, 5);
+    println!("\ncross-validation ranking (relative MAE, lower is better):");
+    for s in &scores {
+        println!(
+            "  {:<6} rel_mae={:.3} r2={:.3} ({} folds)",
+            s.kind.label(),
+            s.mean_relative_mae,
+            s.mean_r2,
+            s.folds
+        );
+    }
+
+    let dataset = Dataset::from_examples(&examples, Target::Walltime);
+    let started = std::time::Instant::now();
+    let predictions = best.predict(&dataset);
+    let predict_elapsed = started.elapsed();
+    println!(
+        "\nbest model ({}) predicted {} job walltimes in {:.2?} — the simulation above took {:.2?}",
+        best.kind().label(),
+        predictions.len(),
+        predict_elapsed,
+        sim_elapsed
+    );
+}

@@ -1,0 +1,207 @@
+//! The `cgsim` command-line interface.
+//!
+//! Mirrors the paper's workflow: point the simulator at the JSON input files
+//! (platform/infrastructure + execution parameters) and a workload trace,
+//! pick an allocation policy, and get the output layer (metrics, CSV tables,
+//! event-level dataset, dashboard) written to a directory.
+//!
+//! ```bash
+//! # generate example configuration + trace, then simulate them
+//! cgsim init      --dir /tmp/cgsim-run
+//! cgsim simulate  --platform /tmp/cgsim-run/platform.json \
+//!                 --execution /tmp/cgsim-run/execution.json \
+//!                 --trace /tmp/cgsim-run/trace.jsonl \
+//!                 --output /tmp/cgsim-run/out
+//! # or synthesise everything in one go
+//! cgsim demo --sites 20 --jobs 2000 --policy least-loaded
+//! ```
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cgsim::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let options = parse_options(&args[1..]);
+    let result = match command.as_str() {
+        "init" => cmd_init(&options),
+        "simulate" => cmd_simulate(&options),
+        "demo" => cmd_demo(&options),
+        "policies" => {
+            for name in PolicyRegistry::with_builtins().names() {
+                println!("{name}");
+            }
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "cgsim — simulation framework for large-scale distributed computing
+
+USAGE:
+    cgsim init      --dir <DIR> [--sites N] [--jobs N] [--seed N]
+    cgsim simulate  --platform <platform.json> --execution <execution.json>
+                    --trace <trace.jsonl> [--output <DIR>] [--policy NAME]
+    cgsim demo      [--sites N] [--jobs N] [--policy NAME] [--seed N] [--output DIR]
+    cgsim policies            list the registered allocation policies
+";
+
+fn parse_options(args: &[String]) -> HashMap<String, String> {
+    let mut options = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        if let Some(name) = flag.strip_prefix("--") {
+            let value = iter.next().cloned().unwrap_or_default();
+            options.insert(name.to_string(), value);
+        }
+    }
+    options
+}
+
+fn get_usize(options: &HashMap<String, String>, key: &str, default: usize) -> usize {
+    options
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn get_u64(options: &HashMap<String, String>, key: &str, default: u64) -> u64 {
+    options
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// `cgsim init`: write example platform/execution/trace files.
+fn cmd_init(options: &HashMap<String, String>) -> Result<(), String> {
+    let dir = PathBuf::from(
+        options
+            .get("dir")
+            .cloned()
+            .unwrap_or_else(|| "cgsim-run".to_string()),
+    );
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let sites = get_usize(options, "sites", 10);
+    let jobs = get_usize(options, "jobs", 1_000);
+    let seed = get_u64(options, "seed", 42);
+
+    let platform = wlcg_platform(sites, seed);
+    platform
+        .save(dir.join("platform.json"))
+        .map_err(|e| e.to_string())?;
+    std::fs::write(
+        dir.join("execution.json"),
+        ExecutionConfig::default().to_json(),
+    )
+    .map_err(|e| e.to_string())?;
+    let trace = TraceGenerator::new(TraceConfig::with_jobs(jobs, seed)).generate(&platform);
+    trace
+        .save_jsonl(dir.join("trace.jsonl"))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote platform.json ({sites} sites), execution.json and trace.jsonl ({jobs} jobs) to {}",
+        dir.display()
+    );
+    Ok(())
+}
+
+/// `cgsim simulate`: run the three input files through the simulator.
+fn cmd_simulate(options: &HashMap<String, String>) -> Result<(), String> {
+    let platform_path = options
+        .get("platform")
+        .ok_or("missing --platform <platform.json>")?;
+    let execution_path = options
+        .get("execution")
+        .ok_or("missing --execution <execution.json>")?;
+    let trace_path = options.get("trace").ok_or("missing --trace <trace.jsonl>")?;
+
+    let config = SimulationConfig::load(platform_path, execution_path).map_err(|e| e.to_string())?;
+    let trace = Trace::load_jsonl(trace_path).map_err(|e| e.to_string())?;
+    let mut execution = config.execution.clone();
+    if let Some(policy) = options.get("policy") {
+        execution.allocation_policy = policy.clone();
+    }
+    println!(
+        "simulating {} jobs on {} sites with policy '{}'",
+        trace.len(),
+        config.platform.sites.len(),
+        execution.allocation_policy
+    );
+    let results = Simulation::builder()
+        .platform_spec(&config.platform)
+        .map_err(|e| e.to_string())?
+        .trace(trace)
+        .execution(execution)
+        .run()
+        .map_err(|e| e.to_string())?;
+    report(&results, options)
+}
+
+/// `cgsim demo`: synthesise a platform + trace and run immediately.
+fn cmd_demo(options: &HashMap<String, String>) -> Result<(), String> {
+    let sites = get_usize(options, "sites", 10);
+    let jobs = get_usize(options, "jobs", 1_000);
+    let seed = get_u64(options, "seed", 42);
+    let policy = options
+        .get("policy")
+        .cloned()
+        .unwrap_or_else(|| "least-loaded".to_string());
+
+    let platform = wlcg_platform(sites, seed);
+    let trace = TraceGenerator::new(TraceConfig::with_jobs(jobs, seed)).generate(&platform);
+    println!("simulating {jobs} jobs on {sites} sites with policy '{policy}'");
+    let results = Simulation::builder()
+        .platform_spec(&platform)
+        .map_err(|e| e.to_string())?
+        .trace(trace)
+        .policy_name(&policy)
+        .execution(ExecutionConfig::with_policy(&policy))
+        .run()
+        .map_err(|e| e.to_string())?;
+    report(&results, options)
+}
+
+fn report(results: &SimulationResults, options: &HashMap<String, String>) -> Result<(), String> {
+    println!("\n{}", results.metrics.text_summary());
+    println!(
+        "simulator wall-clock: {:.3}s for {} events",
+        results.wall_clock_s, results.engine_events
+    );
+    println!("\n{}", results.ascii_dashboard());
+    if let Some(output) = options.get("output") {
+        let dir = PathBuf::from(output);
+        results
+            .to_table_store()
+            .save_csv_dir(&dir)
+            .map_err(|e| e.to_string())?;
+        std::fs::write(dir.join("dashboard.html"), results.html_dashboard())
+            .map_err(|e| e.to_string())?;
+        let examples =
+            cgsim::monitor::mldataset::build_examples(&results.outcomes, &results.events);
+        std::fs::write(
+            dir.join("ml_dataset.csv"),
+            cgsim::monitor::mldataset::to_csv(&examples),
+        )
+        .map_err(|e| e.to_string())?;
+        println!("output written to {}", dir.display());
+    }
+    Ok(())
+}
