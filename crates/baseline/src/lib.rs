@@ -122,10 +122,7 @@ impl BaselineSimulator {
             let mut indices: Vec<usize> = (0..calendar.len()).collect();
             indices.sort_by(|&a, &b| calendar[a].partial_cmp(&calendar[b]).expect("finite"));
             let chosen = &indices[..cores];
-            let ready = chosen
-                .iter()
-                .map(|&i| calendar[i])
-                .fold(0.0f64, f64::max);
+            let ready = chosen.iter().map(|&i| calendar[i]).fold(0.0f64, f64::max);
             let start = ready.max(job.submit_time);
             let end = start + walltime;
             for &i in chosen {

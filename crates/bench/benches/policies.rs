@@ -17,12 +17,16 @@ fn bench_policies(c: &mut Criterion) {
         "data-aware",
         "historical-panda",
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, &policy| {
-            b.iter(|| {
-                let trace = scaling_trace(&platform, 500, 33);
-                run_simulation(&platform, trace, policy, false)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let trace = scaling_trace(&platform, 500, 33);
+                    run_simulation(&platform, trace, policy, false)
+                });
+            },
+        );
     }
     group.finish();
 }

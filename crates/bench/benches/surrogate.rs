@@ -54,5 +54,9 @@ fn bench_surrogate_vs_simulation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_surrogate_training, bench_surrogate_vs_simulation);
+criterion_group!(
+    benches,
+    bench_surrogate_training,
+    bench_surrogate_vs_simulation
+);
 criterion_main!(benches);

@@ -29,9 +29,13 @@ fn bench_sweep(c: &mut Criterion) {
     group.sample_size(10);
     for &parallel in &[false, true] {
         let label = if parallel { "parallel" } else { "serial" };
-        group.bench_with_input(BenchmarkId::from_parameter(label), &parallel, |b, &parallel| {
-            b.iter(|| run_sweep(sweep_points(8), parallel, &registry).expect("sweep runs"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &parallel,
+            |b, &parallel| {
+                b.iter(|| run_sweep(sweep_points(8), parallel, &registry).expect("sweep runs"));
+            },
+        );
     }
     group.finish();
 }

@@ -9,9 +9,7 @@ fn main() {
     let jobs = ((2_000.0 * scale) as usize).max(300);
     let (baseline, cgsim) = baseline_comparison(jobs, 11);
 
-    let cgsim_error = cgsim
-        .geometric_mean_walltime_error()
-        .unwrap_or(0.0);
+    let cgsim_error = cgsim.geometric_mean_walltime_error().unwrap_or(0.0);
     println!("# Fidelity ablation — coarse-grained baseline vs CGSim core ({jobs} jobs, 10 sites)");
     println!(
         "{:<26} {:>16} {:>24}",

@@ -14,7 +14,10 @@ fn main() {
         .collect();
 
     println!("# Fig. 4(a) — job scaling (single site, 1000 cores)");
-    println!("{:>10} {:>14} {:>14} {:>12}", "jobs", "wall_clock_s", "sim_makespan_h", "events");
+    println!(
+        "{:>10} {:>14} {:>14} {:>12}",
+        "jobs", "wall_clock_s", "sim_makespan_h", "events"
+    );
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for &jobs in &job_counts {

@@ -193,7 +193,10 @@ mod tests {
     #[test]
     fn distributed_is_faster_than_single_site() {
         let (single, distributed) = distributed_speedup(8, 1_000, 3);
-        assert!(single > distributed, "single={single} distributed={distributed}");
+        assert!(
+            single > distributed,
+            "single={single} distributed={distributed}"
+        );
         assert!(
             single / distributed > 2.5,
             "speedup only {:.2}x (single {single}, distributed {distributed})",

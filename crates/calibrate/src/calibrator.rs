@@ -52,13 +52,17 @@ impl CalibrationReport {
 
     /// CSV rendering of the per-site table (the Fig. 3 data series).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "site,jobs,nominal_error,calibrated_error,best_multiplier,evaluations\n",
-        );
+        let mut out =
+            String::from("site,jobs,nominal_error,calibrated_error,best_multiplier,evaluations\n");
         for s in &self.sites {
             out.push_str(&format!(
                 "{},{},{:.4},{:.4},{:.4},{}\n",
-                s.site, s.jobs, s.nominal_error, s.calibrated_error, s.best_multiplier, s.evaluations
+                s.site,
+                s.jobs,
+                s.nominal_error,
+                s.calibrated_error,
+                s.best_multiplier,
+                s.evaluations
             ));
         }
         out
@@ -136,10 +140,10 @@ impl Calibrator {
                 .min(site_names.len());
             let chunk = site_names.len().div_ceil(threads);
             let indexed: Vec<(usize, &String)> = site_names.iter().enumerate().collect();
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for chunk_items in indexed.chunks(chunk) {
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         chunk_items
                             .iter()
                             .map(|&(i, name)| calibrate_one((i, name)))
@@ -151,7 +155,6 @@ impl Calibrator {
                     .flat_map(|h| h.join().expect("calibration worker panicked"))
                     .collect()
             })
-            .expect("crossbeam scope")
         } else {
             site_names
                 .iter()

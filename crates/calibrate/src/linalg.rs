@@ -134,7 +134,11 @@ pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
 /// `(eigenvalues, eigenvectors)` where column `k` of the eigenvector matrix
 /// corresponds to `eigenvalues[k]`.
 pub fn symmetric_eigen(a: &Matrix) -> (Vec<f64>, Matrix) {
-    assert_eq!(a.rows(), a.cols(), "eigendecomposition needs a square matrix");
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "eigendecomposition needs a square matrix"
+    );
     let n = a.rows();
     let mut m = a.clone();
     let mut v = Matrix::identity(n);

@@ -24,10 +24,7 @@ impl SiteWalltimeObjective {
     /// Builds the objective for `site_name`, filtering the calibration trace
     /// down to the jobs historically executed at that site.
     pub fn new(platform_spec: &PlatformSpec, trace: &Trace, site_name: &str) -> Self {
-        let jobs = trace
-            .jobs_for_site(site_name)
-            .cloned()
-            .collect::<Vec<_>>();
+        let jobs = trace.jobs_for_site(site_name).cloned().collect::<Vec<_>>();
         let mut execution = ExecutionConfig::with_policy("historical-panda");
         // Calibration compares execution time only; monitoring rows are not
         // needed and output transfers do not affect site walltime accounting

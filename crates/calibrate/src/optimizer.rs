@@ -335,12 +335,11 @@ impl Optimizer for BayesianOptimizer {
                             .collect();
                         let kx: Vec<f64> =
                             xs.iter().map(|xi| self.kernel(&x, xi, &scales)).collect();
-                        let mu = mean_y
-                            + kx.iter().zip(&alpha).map(|(a, b)| a * b).sum::<f64>();
+                        let mu = mean_y + kx.iter().zip(&alpha).map(|(a, b)| a * b).sum::<f64>();
                         // Predictive variance: k(x,x) - k_x^T K^-1 k_x.
                         let v = cholesky_solve(&l, &kx);
-                        let var = (1.0 - kx.iter().zip(&v).map(|(a, b)| a * b).sum::<f64>())
-                            .max(1e-12);
+                        let var =
+                            (1.0 - kx.iter().zip(&v).map(|(a, b)| a * b).sum::<f64>()).max(1e-12);
                         let sigma = var.sqrt();
                         let z = (best_y - mu) / sigma;
                         let ei = (best_y - mu) * normal_cdf(z) + sigma * normal_pdf(z);
@@ -434,15 +433,15 @@ impl Optimizer for CmaEs {
         let cc = (4.0 + mu_eff / nf) / (nf + 4.0 + 2.0 * mu_eff / nf);
         let cs = (mu_eff + 2.0) / (nf + mu_eff + 5.0);
         let c1 = 2.0 / ((nf + 1.3).powi(2) + mu_eff);
-        let cmu = (1.0 - c1).min(2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((nf + 2.0).powi(2) + mu_eff));
+        let cmu =
+            (1.0 - c1).min(2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((nf + 2.0).powi(2) + mu_eff));
         let damps = 1.0 + 2.0 * ((mu_eff - 1.0) / (nf + 1.0)).sqrt().max(0.0) + cs;
         let chi_n = nf.sqrt() * (1.0 - 1.0 / (4.0 * nf) + 1.0 / (21.0 * nf * nf));
 
         // Initial state: centre of the box, sigma from the range.
         let ranges: Vec<f64> = bounds.iter().map(|&(lo, hi)| hi - lo).collect();
         let mut mean: Vec<f64> = bounds.iter().map(|&(lo, hi)| 0.5 * (lo + hi)).collect();
-        let mut sigma = self.initial_sigma_fraction
-            * (ranges.iter().sum::<f64>() / nf).max(1e-12);
+        let mut sigma = self.initial_sigma_fraction * (ranges.iter().sum::<f64>() / nf).max(1e-12);
         let mut cov = Matrix::identity(n);
         let mut p_c = vec![0.0; n];
         let mut p_s = vec![0.0; n];
@@ -515,36 +514,30 @@ impl Optimizer for CmaEs {
                 }
             }
             for i in 0..n {
-                p_s[i] = (1.0 - cs) * p_s[i]
-                    + (cs * (2.0 - cs) * mu_eff).sqrt() * c_inv_sqrt_yw[i];
+                p_s[i] = (1.0 - cs) * p_s[i] + (cs * (2.0 - cs) * mu_eff).sqrt() * c_inv_sqrt_yw[i];
             }
             let p_s_norm = p_s.iter().map(|v| v * v).sum::<f64>().sqrt();
             sigma *= ((cs / damps) * (p_s_norm / chi_n - 1.0)).exp();
             sigma = sigma.clamp(1e-12, ranges.iter().cloned().fold(0.0, f64::max));
 
             // Covariance path and rank-one / rank-mu update.
-            let hsig = p_s_norm
-                / (1.0 - (1.0 - cs).powi(2 * generation as i32)).sqrt()
-                / chi_n
+            let hsig = p_s_norm / (1.0 - (1.0 - cs).powi(2 * generation as i32)).sqrt() / chi_n
                 < 1.4 + 2.0 / (nf + 1.0);
             let hsig_f = if hsig { 1.0 } else { 0.0 };
             for i in 0..n {
-                p_c[i] = (1.0 - cc) * p_c[i]
-                    + hsig_f * (cc * (2.0 - cc) * mu_eff).sqrt() * y_w[i];
+                p_c[i] = (1.0 - cc) * p_c[i] + hsig_f * (cc * (2.0 - cc) * mu_eff).sqrt() * y_w[i];
             }
             let mut new_cov = Matrix::zeros(n, n);
             for i in 0..n {
                 for j in 0..n {
-                    let rank_one = p_c[i] * p_c[j]
-                        + (1.0 - hsig_f) * cc * (2.0 - cc) * cov[(i, j)];
+                    let rank_one = p_c[i] * p_c[j] + (1.0 - hsig_f) * cc * (2.0 - cc) * cov[(i, j)];
                     let mut rank_mu = 0.0;
                     for (rank, (_, y, _)) in population.iter().take(top).enumerate() {
                         let w = weights.get(rank).copied().unwrap_or(0.0);
                         rank_mu += w * y[i] * y[j];
                     }
-                    new_cov[(i, j)] = (1.0 - c1 - cmu) * cov[(i, j)]
-                        + c1 * rank_one
-                        + cmu * rank_mu;
+                    new_cov[(i, j)] =
+                        (1.0 - c1 - cmu) * cov[(i, j)] + c1 * rank_one + cmu * rank_mu;
                 }
             }
             cov = new_cov;
@@ -632,7 +625,10 @@ mod tests {
             let result = opt.optimize(
                 &mut |x| {
                     evals += 1;
-                    assert!(x[0] >= 0.5 - 1e-12 && x[0] <= 1.5 + 1e-12, "{kind:?} out of bounds");
+                    assert!(
+                        x[0] >= 0.5 - 1e-12 && x[0] <= 1.5 + 1e-12,
+                        "{kind:?} out of bounds"
+                    );
                     (x[0] - 1.1).powi(2)
                 },
                 &b,
@@ -640,19 +636,31 @@ mod tests {
             );
             assert!(evals <= 60, "{kind:?} exceeded budget: {evals}");
             assert_eq!(result.evaluations, evals);
-            assert!(result.best_value < 0.05, "{kind:?} value={}", result.best_value);
+            assert!(
+                result.best_value < 0.05,
+                "{kind:?} value={}",
+                result.best_value
+            );
             assert!(!opt.name().is_empty());
         }
     }
 
     #[test]
     fn optimizers_are_deterministic_given_seed() {
-        for kind in [OptimizerKind::Random, OptimizerKind::Bayesian, OptimizerKind::CmaEs] {
+        for kind in [
+            OptimizerKind::Random,
+            OptimizerKind::Bayesian,
+            OptimizerKind::CmaEs,
+        ] {
             let run = |seed: u64| {
                 let mut opt = kind.build(seed);
                 opt.optimize(&mut |x| sphere(x), &bounds(2), 30).best_value
             };
-            assert_eq!(run(5).to_bits(), run(5).to_bits(), "{kind:?} not deterministic");
+            assert_eq!(
+                run(5).to_bits(),
+                run(5).to_bits(),
+                "{kind:?} not deterministic"
+            );
         }
     }
 

@@ -163,7 +163,10 @@ impl SensitivityStudy {
                         (scale, Self::walltime_error(&scaled, &subset))
                     })
                     .collect();
-                let min = samples.iter().map(|&(_, e)| e).fold(f64::INFINITY, f64::min);
+                let min = samples
+                    .iter()
+                    .map(|&(_, e)| e)
+                    .fold(f64::INFINITY, f64::min);
                 let max = samples.iter().map(|&(_, e)| e).fold(0.0f64, f64::max);
                 ParameterSensitivity {
                     parameter,

@@ -1,7 +1,7 @@
 //! Property-based tests for the optimisers and linear algebra.
 
 use cgsim_calibrate::linalg::{cholesky, cholesky_solve, symmetric_eigen, Matrix};
-use cgsim_calibrate::{Optimizer, OptimizerKind};
+use cgsim_calibrate::OptimizerKind;
 use proptest::prelude::*;
 
 proptest! {

@@ -52,9 +52,7 @@ impl QueueModel {
 
     /// True when the model adds no delay at all.
     pub fn is_zero(&self) -> bool {
-        self.base_overhead_s <= 0.0
-            && self.per_queued_job_s <= 0.0
-            && self.contention_coeff <= 0.0
+        self.base_overhead_s <= 0.0 && self.per_queued_job_s <= 0.0 && self.contention_coeff <= 0.0
     }
 
     /// Dispatch delay for a job picked from a site whose queue currently
@@ -65,7 +63,8 @@ impl QueueModel {
             (0.0..=1.0 + 1e-9).contains(&busy_fraction),
             "busy fraction must be in [0, 1]"
         );
-        let contention = self.contention_coeff * self.base_overhead_s * busy_fraction.clamp(0.0, 1.0);
+        let contention =
+            self.contention_coeff * self.base_overhead_s * busy_fraction.clamp(0.0, 1.0);
         (self.base_overhead_s + self.per_queued_job_s * queued_jobs as f64 + contention).max(0.0)
     }
 }

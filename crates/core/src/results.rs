@@ -89,10 +89,7 @@ impl SimulationResults {
     /// headline calibration number of Fig. 3 (76 % before, 17 % after).
     pub fn geometric_mean_walltime_error(&self) -> Option<f64> {
         let per_site = self.walltime_error_by_site();
-        let errors: Vec<f64> = per_site
-            .values()
-            .map(|e| e.overall.max(1e-6))
-            .collect();
+        let errors: Vec<f64> = per_site.values().map(|e| e.overall.max(1e-6)).collect();
         if errors.is_empty() {
             None
         } else {
@@ -274,10 +271,7 @@ mod tests {
     fn table_store_export_contains_all_tables() {
         let r = results(vec![outcome(1, "A", JobKind::SingleCore, 10.0, 10.0)]);
         let store = r.to_table_store();
-        assert_eq!(
-            store.table_names(),
-            vec!["events", "jobs", "site_summary"]
-        );
+        assert_eq!(store.table_names(), vec!["events", "jobs", "site_summary"]);
         assert_eq!(store.get("jobs").unwrap().len(), 1);
         assert_eq!(store.get("site_summary").unwrap().len(), 1);
     }

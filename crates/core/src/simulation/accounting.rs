@@ -1,0 +1,95 @@
+//! Monitoring transitions, terminal outcomes and dashboard panels: the glue
+//! between the simulation core and the `cgsim-monitor` output layer.
+
+use cgsim_des::{Context, SimTime};
+use cgsim_monitor::dashboard::SitePanel;
+use cgsim_monitor::JobOutcome;
+use cgsim_workload::JobState;
+
+use super::events::GridEvent;
+use super::GridModel;
+
+impl GridModel {
+    /// Reports a job state transition to the monitoring collector.
+    pub(super) fn record(&mut self, now: SimTime, idx: usize, state: JobState) {
+        let job_id = self.jobs[idx].record.id;
+        let (site_index, avail, queued) = match self.jobs[idx].site {
+            Some(site) => (
+                Some(site.index()),
+                self.sites[site.index()].available_cores,
+                self.sites[site.index()].queue.len() as u64,
+            ),
+            None => (None, 0, self.pending.len() as u64),
+        };
+        self.collector
+            .record_transition(now.as_secs(), job_id, state, site_index, avail, queued);
+    }
+
+    /// Records the terminal state, outcome, and frees resources.
+    pub(super) fn finalize(
+        &mut self,
+        idx: usize,
+        state: JobState,
+        ctx: &mut Context<'_, GridEvent>,
+    ) {
+        let now = ctx.now();
+        let site = self.jobs[idx].site.expect("terminal job has a site");
+        self.release_cores(idx, site);
+        self.jobs[idx].state = state;
+        self.jobs[idx].end_time = now.as_secs();
+        self.record(now, idx, state);
+
+        let job = &self.jobs[idx];
+        let site_name = self.platform.site(site).name.clone();
+        let outcome = JobOutcome {
+            id: job.record.id,
+            kind: job.record.kind,
+            cores: job.record.cores,
+            work_hs23: job.record.work_hs23,
+            site: site_name,
+            submit_time: job.submit_time,
+            assign_time: job.assign_time,
+            start_time: job.start_time,
+            end_time: job.end_time,
+            final_state: state,
+            staged_bytes: job.staged_bytes,
+            walltime: job.end_time - job.start_time,
+            queue_time: job.start_time - job.submit_time,
+            hist_walltime: job.record.hist_walltime,
+            hist_queue_time: job.record.hist_queue_time,
+        };
+        self.collector.record_outcome(outcome);
+
+        let view = self.grid_view(now, idx);
+        let record = self.jobs[idx].record.clone();
+        self.policy.on_job_completed(&record, site, &view);
+
+        self.after_release(site, ctx);
+    }
+
+    /// Builds the final per-site dashboard panels.
+    pub(super) fn site_panels(&self) -> Vec<SitePanel> {
+        self.platform
+            .sites()
+            .iter()
+            .map(|s| {
+                let state = &self.sites[s.id.index()];
+                let counters = self.collector.site_counters(s.id.index());
+                SitePanel {
+                    site: s.name.clone(),
+                    total_cores: s.total_cores,
+                    busy_cores: s.total_cores - state.available_cores,
+                    queued_jobs: state.queue.len() as u64,
+                    running_jobs: state.running.len() as u64,
+                    finished_jobs: counters.finished,
+                    running_sample: state
+                        .running
+                        .iter()
+                        .take(10)
+                        .map(|&j| (self.jobs[j].record.id.0, self.jobs[j].record.cores))
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,120 @@
+//! The main server's *sender* actor: policy-driven site selection, the
+//! pending list, and the per-site FIFO queue with its pilot/queue-time model.
+
+use std::collections::VecDeque;
+
+use cgsim_des::{Context, SimTime};
+use cgsim_platform::{NodeId, SiteId};
+use cgsim_policies::{GridView, SiteLoad};
+use cgsim_workload::JobState;
+
+use super::events::GridEvent;
+use super::GridModel;
+
+/// Mutable per-site simulation state (the receiver actor).
+#[derive(Debug, Clone, Default)]
+pub(super) struct SiteState {
+    pub(super) available_cores: u64,
+    pub(super) queue: VecDeque<usize>,
+    pub(super) running: Vec<usize>,
+}
+
+impl GridModel {
+    /// The dynamic grid snapshot handed to the allocation policy for `idx`.
+    pub(super) fn grid_view(&mut self, now: SimTime, idx: usize) -> GridView {
+        let dataset = self.task_dataset(idx);
+        let sites = self
+            .platform
+            .sites()
+            .iter()
+            .map(|s| {
+                let state = &self.sites[s.id.index()];
+                let has_replica = self.catalog.has_replica(dataset, NodeId::Site(s.id))
+                    || self.caches[s.id.index()].contains(dataset);
+                SiteLoad {
+                    site: s.id,
+                    available_cores: state.available_cores,
+                    queued_jobs: state.queue.len() as u64,
+                    running_jobs: state.running.len() as u64,
+                    finished_jobs: self.collector.site_counters(s.id.index()).finished,
+                    has_input_replica: has_replica,
+                }
+            })
+            .collect();
+        GridView {
+            now_s: now.as_secs(),
+            sites,
+            pending_jobs: self.pending.len() as u64,
+        }
+    }
+
+    /// Asks the allocation policy for a site; dispatches or parks the job.
+    pub(super) fn dispatch(&mut self, idx: usize, ctx: &mut Context<'_, GridEvent>) {
+        let now = ctx.now();
+        let view = self.grid_view(now, idx);
+        let decision = self.policy.assign_job(&self.jobs[idx].record, &view);
+        match decision {
+            Some(site) if site.index() < self.sites.len() => {
+                self.jobs[idx].site = Some(site);
+                self.jobs[idx].assign_time = now.as_secs();
+                self.jobs[idx].state = JobState::Assigned;
+                self.record(now, idx, JobState::Assigned);
+                self.sites[site.index()].queue.push_back(idx);
+                self.try_start_site(site, ctx);
+            }
+            _ => {
+                self.jobs[idx].site = None;
+                self.jobs[idx].state = JobState::Pending;
+                self.record(now, idx, JobState::Pending);
+                self.pending.push_back(idx);
+            }
+        }
+    }
+
+    /// Re-examines the pending list (called whenever resources free up).
+    pub(super) fn drain_pending(&mut self, ctx: &mut Context<'_, GridEvent>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let waiting: Vec<usize> = self.pending.drain(..).collect();
+        for idx in waiting {
+            self.dispatch(idx, ctx);
+        }
+    }
+
+    /// Starts queued jobs at `site` while cores are available (FIFO). Each
+    /// picked job first pays the site's scheduling/pilot overhead (the
+    /// queue-time model of §4.2) with its cores already reserved, then begins
+    /// staging its input.
+    pub(super) fn try_start_site(&mut self, site: SiteId, ctx: &mut Context<'_, GridEvent>) {
+        while let Some(&front) = self.sites[site.index()].queue.front() {
+            let needed = self.jobs[front].record.cores as u64;
+            if self.sites[site.index()].available_cores < needed {
+                break;
+            }
+            self.sites[site.index()].queue.pop_front();
+            self.sites[site.index()].available_cores -= needed;
+            self.sites[site.index()].running.push(front);
+
+            let total_cores = self.platform.site(site).total_cores.max(1);
+            let busy_fraction =
+                1.0 - self.sites[site.index()].available_cores as f64 / total_cores as f64;
+            let delay = self
+                .execution
+                .queue_model
+                .dispatch_delay(self.sites[site.index()].queue.len() as u64, busy_fraction);
+            if delay > 0.0 {
+                ctx.schedule_in(SimTime::from_secs(delay), GridEvent::PilotStart(front));
+            } else {
+                self.start_staging(front, site, ctx);
+            }
+        }
+    }
+
+    /// Called after any resource release: start queued work and reconsider
+    /// the pending list (paper §3.2).
+    pub(super) fn after_release(&mut self, site: SiteId, ctx: &mut Context<'_, GridEvent>) {
+        self.try_start_site(site, ctx);
+        self.drain_pending(ctx);
+    }
+}

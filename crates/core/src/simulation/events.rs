@@ -1,0 +1,49 @@
+//! The discrete-event alphabet of the grid simulation and its dispatch.
+
+use cgsim_des::{Context, EventHandler};
+use cgsim_workload::JobState;
+
+use super::GridModel;
+
+/// Discrete events of the grid simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub(super) enum GridEvent {
+    /// A job (by index into the trace) reaches its submission time.
+    Submit(usize),
+    /// The fluid network/CPU model predicts its next activity completion.
+    FluidAdvance,
+    /// A dedicated-core execution finishes (job index).
+    ExecutionDone(usize),
+    /// The scheduling/pilot overhead of a picked job elapses (job index); the
+    /// job then starts staging its input (queue-time model, §4.2).
+    PilotStart(usize),
+}
+
+impl EventHandler<GridEvent> for GridModel {
+    fn handle(&mut self, ctx: &mut Context<'_, GridEvent>, event: GridEvent) {
+        match event {
+            GridEvent::Submit(idx) => {
+                let now = ctx.now();
+                self.jobs[idx].submit_time = now.as_secs();
+                self.record(now, idx, JobState::Pending);
+                self.dispatch(idx, ctx);
+            }
+            GridEvent::FluidAdvance => {
+                self.fluid_event = None;
+                let now = ctx.now();
+                let completed = self.advance_fluid(now);
+                self.handle_completed_activities(completed, ctx);
+                self.reschedule_fluid(ctx);
+            }
+            GridEvent::ExecutionDone(idx) => {
+                self.finish_execution(idx, ctx);
+            }
+            GridEvent::PilotStart(idx) => {
+                let site = self.jobs[idx]
+                    .site
+                    .expect("job waiting for its pilot has a site");
+                self.start_staging(idx, site, ctx);
+            }
+        }
+    }
+}

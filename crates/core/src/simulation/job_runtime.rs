@@ -1,0 +1,163 @@
+//! The per-job state machine: Input/Execute/Output phases, failure draws and
+//! retries.
+
+use cgsim_des::Context;
+use cgsim_platform::{NodeId, SiteId};
+use cgsim_policies::CachePolicy;
+use cgsim_workload::{ideal_walltime, JobRecord, JobState};
+
+use super::events::GridEvent;
+use super::GridModel;
+use crate::config::ComputeMode;
+
+/// Which phase of a job an in-flight fluid activity belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum Phase {
+    Input,
+    Execute,
+    Output,
+}
+
+/// Mutable per-job simulation state.
+#[derive(Debug, Clone)]
+pub(super) struct JobRuntime {
+    pub(super) record: JobRecord,
+    pub(super) state: JobState,
+    pub(super) site: Option<SiteId>,
+    pub(super) retries: u32,
+    pub(super) submit_time: f64,
+    pub(super) assign_time: f64,
+    pub(super) start_time: f64,
+    pub(super) end_time: f64,
+    pub(super) staged_bytes: u64,
+}
+
+impl JobRuntime {
+    /// Fresh runtime state for one trace record.
+    pub(super) fn new(record: &JobRecord) -> Self {
+        JobRuntime {
+            record: record.clone(),
+            state: JobState::Pending,
+            site: None,
+            retries: 0,
+            submit_time: record.submit_time,
+            assign_time: 0.0,
+            start_time: 0.0,
+            end_time: 0.0,
+            staged_bytes: 0,
+        }
+    }
+}
+
+impl GridModel {
+    /// Starts the execution phase (cores already held).
+    pub(super) fn begin_execution(
+        &mut self,
+        idx: usize,
+        site: SiteId,
+        ctx: &mut Context<'_, GridEvent>,
+    ) {
+        let now = ctx.now();
+        self.jobs[idx].state = JobState::Running;
+        self.record(now, idx, JobState::Running);
+
+        // Cache / replicate the input at the execution site for later jobs of
+        // the same task, subject to the data-movement policy's admission
+        // decision.
+        if self.execution.cache_datasets
+            && self
+                .data_policy
+                .cache_decision(&self.jobs[idx].record, site)
+                == CachePolicy::CacheAtSite
+        {
+            let dataset = self.task_dataset(idx);
+            let bytes = self.catalog.dataset(dataset).bytes;
+            self.caches[site.index()].insert(dataset, bytes);
+            self.catalog.add_replica(dataset, NodeId::Site(site));
+        }
+
+        let record = &self.jobs[idx].record;
+        match self.execution.compute_mode {
+            ComputeMode::DedicatedCores => {
+                let speed = self.platform.effective_speed(site);
+                let walltime = ideal_walltime(record.work_hs23, record.cores, speed);
+                ctx.schedule_in(
+                    cgsim_des::SimTime::from_secs(walltime),
+                    GridEvent::ExecutionDone(idx),
+                );
+            }
+            ComputeMode::TimeShared => {
+                let resource = self.cpu_resources[site.index()];
+                let weight = record.cores as f64;
+                let amount = record.work_hs23 / cgsim_workload::parallel_efficiency(record.cores);
+                let now_t = ctx.now();
+                let completed = self.advance_fluid(now_t);
+                let activity = self
+                    .fluid
+                    .add_weighted_activity(amount, &[resource], weight);
+                self.activity_map.insert(activity, (idx, Phase::Execute));
+                self.handle_completed_activities(completed, ctx);
+                self.reschedule_fluid(ctx);
+            }
+        }
+    }
+
+    /// Handles the end of the execution phase (failure draw, output
+    /// stage-out).
+    pub(super) fn finish_execution(&mut self, idx: usize, ctx: &mut Context<'_, GridEvent>) {
+        let site = self.jobs[idx].site.expect("running job has a site");
+        let failed = self.rng.chance(self.execution.failure_probability);
+        if failed {
+            if self.jobs[idx].retries < self.execution.max_retries {
+                // Release resources and resubmit to the main server.
+                self.jobs[idx].retries += 1;
+                self.release_cores(idx, site);
+                let now = ctx.now();
+                self.jobs[idx].site = None;
+                self.jobs[idx].state = JobState::Pending;
+                self.record(now, idx, JobState::Pending);
+                self.dispatch(idx, ctx);
+                self.after_release(site, ctx);
+                return;
+            }
+            self.finalize(idx, JobState::Failed, ctx);
+            return;
+        }
+        let record = &self.jobs[idx].record;
+        if self.execution.enable_output_transfers && record.output_bytes > 0 {
+            self.start_output_transfer(idx, site, ctx);
+        } else {
+            self.finalize(idx, JobState::Finished, ctx);
+        }
+    }
+
+    /// Returns a job's cores to its site.
+    pub(super) fn release_cores(&mut self, idx: usize, site: SiteId) {
+        let cores = self.jobs[idx].record.cores as u64;
+        let state = &mut self.sites[site.index()];
+        state.available_cores += cores;
+        state.running.retain(|&j| j != idx);
+    }
+
+    /// Routes finished fluid activities to the next phase of their job.
+    pub(super) fn handle_completed_activities(
+        &mut self,
+        completed: Vec<(usize, Phase)>,
+        ctx: &mut Context<'_, GridEvent>,
+    ) {
+        for (idx, phase) in completed {
+            match phase {
+                Phase::Input => {
+                    let site = self.jobs[idx].site.expect("staging job has a site");
+                    self.begin_execution(idx, site, ctx);
+                }
+                Phase::Execute => {
+                    self.finish_execution(idx, ctx);
+                }
+                Phase::Output => {
+                    self.finalize(idx, JobState::Finished, ctx);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! The event-driven grid simulation (main server + site receivers).
+//!
+//! The module is split along the paper's architecture (§3.1–3.2):
+//!
+//! * [`events`] — the [`GridEvent`](events::GridEvent) alphabet and the DES
+//!   event dispatch,
+//! * [`broker`] — the main server's *sender* actor: policy-driven site
+//!   selection, the pending list and the per-site FIFO queue with its
+//!   pilot/queue-time model,
+//! * [`job_runtime`] — the per-job state machine (Input/Execute/Output
+//!   phases, failure draws and retries),
+//! * [`staging`] — execution of staging plans against the fluid network
+//!   model and the replica catalog,
+//! * [`accounting`] — monitoring transitions, job outcomes and dashboard
+//!   panels,
+//!
+//! with this file holding the public façade: [`Simulation`],
+//! [`SimulationBuilder`] and [`SimulationError`].
+
+mod accounting;
+mod broker;
+mod events;
+mod job_runtime;
+mod staging;
+#[cfg(test)]
+mod tests;
+
+use std::collections::{HashMap, VecDeque};
+
+use cgsim_data::{DatasetId, LruCache, ReplicaCatalog};
+use cgsim_des::fluid::{ActivityId, FluidModel, ResourceId};
+use cgsim_des::rng::Rng;
+use cgsim_des::{Engine, EventKey, SimTime};
+use cgsim_monitor::{MetricsReport, MonitoringCollector};
+use cgsim_platform::{Platform, PlatformSpec};
+use cgsim_policies::{
+    AllocationPolicy, DataMovementPolicy, DataPolicyRegistry, GridInfo, PolicyRegistry,
+};
+use cgsim_workload::Trace;
+
+use crate::config::ExecutionConfig;
+use crate::results::SimulationResults;
+
+use broker::SiteState;
+use events::GridEvent;
+use job_runtime::{JobRuntime, Phase};
+
+/// Errors raised while building or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimulationError {
+    /// The platform specification failed to validate/build.
+    Platform(String),
+    /// The requested allocation policy is not registered.
+    UnknownPolicy(String),
+    /// The requested data-movement policy is not registered.
+    UnknownDataPolicy(String),
+    /// The simulation was built without a required component.
+    MissingComponent(&'static str),
+}
+
+impl std::fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimulationError::Platform(msg) => write!(f, "platform error: {msg}"),
+            SimulationError::UnknownPolicy(name) => write!(f, "unknown allocation policy: {name}"),
+            SimulationError::UnknownDataPolicy(name) => {
+                write!(f, "unknown data-movement policy: {name}")
+            }
+            SimulationError::MissingComponent(what) => {
+                write!(f, "simulation builder is missing: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimulationError {}
+
+/// The simulation model driven by the DES engine.
+///
+/// Behaviour is implemented across the sibling modules; this struct is the
+/// shared state they all act on.
+struct GridModel {
+    platform: Platform,
+    execution: ExecutionConfig,
+    policy: Box<dyn AllocationPolicy>,
+    data_policy: Box<dyn DataMovementPolicy>,
+    jobs: Vec<JobRuntime>,
+    sites: Vec<SiteState>,
+    pending: VecDeque<usize>,
+    rng: Rng,
+    // Fluid model state.
+    fluid: FluidModel,
+    link_resources: Vec<ResourceId>,
+    cpu_resources: Vec<ResourceId>,
+    activity_map: HashMap<ActivityId, (usize, Phase)>,
+    last_fluid_sync: SimTime,
+    fluid_event: Option<EventKey>,
+    // Data management state.
+    catalog: ReplicaCatalog,
+    caches: Vec<LruCache>,
+    task_datasets: HashMap<u64, DatasetId>,
+    // Monitoring.
+    collector: MonitoringCollector,
+}
+
+impl GridModel {
+    fn new(
+        platform: Platform,
+        trace: &Trace,
+        policy: Box<dyn AllocationPolicy>,
+        data_policy: Box<dyn DataMovementPolicy>,
+        execution: ExecutionConfig,
+    ) -> Self {
+        let mut fluid = FluidModel::new();
+        let link_resources: Vec<ResourceId> = platform
+            .links()
+            .iter()
+            .map(|l| fluid.add_resource(l.bandwidth_bps.max(1.0)))
+            .collect();
+        let cpu_resources: Vec<ResourceId> = platform
+            .sites()
+            .iter()
+            .map(|s| {
+                let capacity = (s.total_cores as f64 * platform.effective_speed(s.id)).max(1.0);
+                fluid.add_resource(capacity)
+            })
+            .collect();
+        let sites = platform
+            .sites()
+            .iter()
+            .map(|s| SiteState {
+                available_cores: s.total_cores,
+                queue: VecDeque::new(),
+                running: Vec::new(),
+            })
+            .collect();
+        let caches = platform
+            .sites()
+            .iter()
+            .map(|s| LruCache::new((s.storage_tb * 0.1 * 1e12) as u64))
+            .collect();
+        let site_names = platform.sites().iter().map(|s| s.name.clone()).collect();
+        let collector = MonitoringCollector::new(site_names, execution.monitoring.clone());
+
+        let jobs = trace.jobs.iter().map(JobRuntime::new).collect();
+
+        GridModel {
+            rng: Rng::new(execution.seed),
+            platform,
+            execution,
+            policy,
+            data_policy,
+            jobs,
+            sites,
+            pending: VecDeque::new(),
+            fluid,
+            link_resources,
+            cpu_resources,
+            activity_map: HashMap::new(),
+            last_fluid_sync: SimTime::ZERO,
+            fluid_event: None,
+            catalog: ReplicaCatalog::new(),
+            caches,
+            task_datasets: HashMap::new(),
+            collector,
+        }
+    }
+}
+
+/// Builder for [`Simulation`].
+pub struct SimulationBuilder {
+    platform: Option<Platform>,
+    trace: Option<Trace>,
+    policy: Option<Box<dyn AllocationPolicy>>,
+    policy_name: Option<String>,
+    registry: PolicyRegistry,
+    data_policy: Option<Box<dyn DataMovementPolicy>>,
+    data_registry: DataPolicyRegistry,
+    execution: ExecutionConfig,
+}
+
+impl Default for SimulationBuilder {
+    fn default() -> Self {
+        SimulationBuilder {
+            platform: None,
+            trace: None,
+            policy: None,
+            policy_name: None,
+            registry: PolicyRegistry::with_builtins(),
+            data_policy: None,
+            data_registry: DataPolicyRegistry::with_builtins(),
+            execution: ExecutionConfig::default(),
+        }
+    }
+}
+
+impl SimulationBuilder {
+    /// Uses an already-built platform.
+    pub fn platform(mut self, platform: Platform) -> Self {
+        self.platform = Some(platform);
+        self
+    }
+
+    /// Builds the platform from a specification.
+    pub fn platform_spec(mut self, spec: &PlatformSpec) -> Result<Self, SimulationError> {
+        let platform =
+            Platform::build(spec).map_err(|e| SimulationError::Platform(e.to_string()))?;
+        self.platform = Some(platform);
+        Ok(self)
+    }
+
+    /// Sets the workload trace.
+    pub fn trace(mut self, trace: Trace) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Uses a custom allocation-policy instance (a "plugin").
+    pub fn policy(mut self, policy: Box<dyn AllocationPolicy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Selects an allocation policy by registry name (overrides the name in
+    /// the execution config).
+    pub fn policy_name(mut self, name: impl Into<String>) -> Self {
+        self.policy_name = Some(name.into());
+        self
+    }
+
+    /// Replaces the policy registry (to expose user-registered plugins).
+    pub fn registry(mut self, registry: PolicyRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Uses a custom data-movement policy instance (replica-source selection
+    /// and cache admission).
+    pub fn data_policy(mut self, policy: Box<dyn DataMovementPolicy>) -> Self {
+        self.data_policy = Some(policy);
+        self
+    }
+
+    /// Replaces the data-movement policy registry (to expose user-registered
+    /// data plugins referenced by name in the execution configuration).
+    pub fn data_registry(mut self, registry: DataPolicyRegistry) -> Self {
+        self.data_registry = registry;
+        self
+    }
+
+    /// Sets the execution configuration.
+    pub fn execution(mut self, execution: ExecutionConfig) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// Builds the simulation.
+    pub fn build(self) -> Result<Simulation, SimulationError> {
+        let platform = self
+            .platform
+            .ok_or(SimulationError::MissingComponent("platform"))?;
+        let trace = self
+            .trace
+            .ok_or(SimulationError::MissingComponent("trace"))?;
+        let policy = match self.policy {
+            Some(p) => p,
+            None => {
+                let name = self
+                    .policy_name
+                    .clone()
+                    .unwrap_or_else(|| self.execution.allocation_policy.clone());
+                self.registry
+                    .create(&name, self.execution.seed)
+                    .ok_or(SimulationError::UnknownPolicy(name))?
+            }
+        };
+        let data_policy = match self.data_policy {
+            Some(p) => p,
+            None => {
+                let name = self.execution.data_movement_policy.clone();
+                self.data_registry
+                    .create(&name, self.execution.seed)
+                    .ok_or(SimulationError::UnknownDataPolicy(name))?
+            }
+        };
+        Ok(Simulation {
+            platform,
+            trace,
+            policy,
+            data_policy,
+            execution: self.execution,
+        })
+    }
+
+    /// Builds and immediately runs the simulation.
+    pub fn run(self) -> Result<SimulationResults, SimulationError> {
+        Ok(self.build()?.run())
+    }
+}
+
+/// A fully configured simulation, ready to run.
+pub struct Simulation {
+    platform: Platform,
+    trace: Trace,
+    policy: Box<dyn AllocationPolicy>,
+    data_policy: Box<dyn DataMovementPolicy>,
+    execution: ExecutionConfig,
+}
+
+impl Simulation {
+    /// Starts building a simulation.
+    pub fn builder() -> SimulationBuilder {
+        SimulationBuilder::default()
+    }
+
+    /// Executes the simulation to completion and returns the results.
+    pub fn run(mut self) -> SimulationResults {
+        let started = std::time::Instant::now();
+        let policy_name = self.policy.name().to_string();
+
+        // Hand the static grid description to the policy (the paper's
+        // getResourceInformation hook).
+        let info = GridInfo::from_platform(&self.platform);
+        self.policy.get_resource_information(&info);
+
+        let mut engine: Engine<GridEvent> = Engine::new();
+        if let Some(horizon) = self.execution.horizon_s {
+            engine = engine.with_horizon(SimTime::from_secs(horizon));
+        }
+        for (idx, job) in self.trace.jobs.iter().enumerate() {
+            engine.schedule_at(SimTime::from_secs(job.submit_time), GridEvent::Submit(idx));
+        }
+
+        let mut model = GridModel::new(
+            self.platform,
+            &self.trace,
+            self.policy,
+            self.data_policy,
+            self.execution,
+        );
+        let report = engine.run(&mut model);
+
+        let site_panels = model.site_panels();
+        let (events, outcomes) = model.collector.into_parts();
+        let metrics = MetricsReport::from_outcomes(&outcomes);
+        SimulationResults {
+            outcomes,
+            events,
+            metrics,
+            makespan_s: report.end_time.as_secs(),
+            engine_events: report.events_processed,
+            wall_clock_s: started.elapsed().as_secs_f64(),
+            site_panels,
+            policy: policy_name,
+        }
+    }
+}

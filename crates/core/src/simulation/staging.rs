@@ -1,0 +1,150 @@
+//! Staging-plan execution against the fluid network model and the replica
+//! catalog: input stage-in, output stage-out, and the fluid bookkeeping
+//! shared by both.
+
+use cgsim_data::transfer::plan_staging;
+use cgsim_data::DatasetId;
+use cgsim_des::fluid::ResourceId;
+use cgsim_des::{Context, SimTime};
+use cgsim_platform::{NodeId, SiteId};
+use cgsim_workload::JobState;
+
+use super::events::GridEvent;
+use super::job_runtime::Phase;
+use super::GridModel;
+
+impl GridModel {
+    /// The (memoised) input dataset of a job's task.
+    pub(super) fn task_dataset(&mut self, idx: usize) -> DatasetId {
+        let record = &self.jobs[idx].record;
+        let task = record.task_id.0;
+        let files = record.input_files;
+        let bytes = record.input_bytes;
+        if let Some(&ds) = self.task_datasets.get(&task) {
+            return ds;
+        }
+        let ds = self.catalog.register(
+            &format!("task-{task}-input"),
+            files,
+            bytes,
+            NodeId::MainServer,
+        );
+        self.task_datasets.insert(task, ds);
+        ds
+    }
+
+    /// Advances the fluid model to `now` and returns the (job, phase) pairs
+    /// whose activity completed.
+    pub(super) fn advance_fluid(&mut self, now: SimTime) -> Vec<(usize, Phase)> {
+        let dt = now.saturating_sub(self.last_fluid_sync);
+        self.last_fluid_sync = now;
+        let finished = self.fluid.advance(dt);
+        finished
+            .into_iter()
+            .filter_map(|aid| self.activity_map.remove(&aid))
+            .collect()
+    }
+
+    /// (Re)schedules the next fluid completion event.
+    pub(super) fn reschedule_fluid(&mut self, ctx: &mut Context<'_, GridEvent>) {
+        if let Some(key) = self.fluid_event.take() {
+            ctx.cancel(key);
+        }
+        if let Some(dt) = self.fluid.time_to_next_completion() {
+            self.fluid_event = Some(ctx.schedule_in(dt, GridEvent::FluidAdvance));
+        }
+    }
+
+    /// The fluid resources along the route between two endpoints.
+    pub(super) fn route_resources(&self, from: NodeId, to: NodeId) -> Vec<ResourceId> {
+        self.platform
+            .route(from, to)
+            .links
+            .iter()
+            .map(|l| self.link_resources[l.index()])
+            .collect()
+    }
+
+    /// Begins input staging for a job whose cores were just allocated.
+    pub(super) fn start_staging(
+        &mut self,
+        idx: usize,
+        site: SiteId,
+        ctx: &mut Context<'_, GridEvent>,
+    ) {
+        let now = ctx.now();
+        self.jobs[idx].start_time = now.as_secs();
+        let dataset = self.task_dataset(idx);
+        let destination = NodeId::Site(site);
+
+        // Cache lookup counts as a hit even when the catalog also knows about
+        // the replica, keeping cache statistics meaningful.
+        let cache_hit = self.caches[site.index()].lookup(dataset);
+        if cache_hit || self.catalog.has_replica(dataset, destination) {
+            self.begin_execution(idx, site, ctx);
+            return;
+        }
+
+        // The data-movement policy may override the replica source; otherwise
+        // the configured source-selection strategy plans the transfer.
+        let candidates: Vec<NodeId> = self.catalog.replicas(dataset).collect();
+        let source = match self
+            .data_policy
+            .select_source(&self.jobs[idx].record, site, &candidates)
+        {
+            Some(chosen) if chosen == destination => {
+                self.begin_execution(idx, site, ctx);
+                return;
+            }
+            Some(chosen) => chosen,
+            None => {
+                let plan = plan_staging(
+                    &[dataset],
+                    destination,
+                    &self.catalog,
+                    &self.platform,
+                    self.execution.source_selection,
+                );
+                if plan.is_local() {
+                    self.begin_execution(idx, site, ctx);
+                    return;
+                }
+                plan.transfers[0].from
+            }
+        };
+
+        self.jobs[idx].state = JobState::Staging;
+        self.record(now, idx, JobState::Staging);
+        let bytes = self.jobs[idx].record.input_bytes;
+        self.jobs[idx].staged_bytes += bytes;
+        let resources = self.route_resources(source, destination);
+        // Latency is added as a constant amount of "extra bytes" at the
+        // bottleneck rate; for WAN transfers of GB-scale inputs it is
+        // negligible, which matches the fluid approximation of SimGrid.
+        let completed = self.advance_fluid(now);
+        let activity = self.fluid.add_activity(bytes as f64, &resources);
+        self.activity_map.insert(activity, (idx, Phase::Input));
+        self.handle_completed_activities(completed, ctx);
+        self.reschedule_fluid(ctx);
+    }
+
+    /// Ships a finished job's output back to the main server over the fluid
+    /// model; completion finalizes the job.
+    pub(super) fn start_output_transfer(
+        &mut self,
+        idx: usize,
+        site: SiteId,
+        ctx: &mut Context<'_, GridEvent>,
+    ) {
+        let bytes = self.jobs[idx].record.output_bytes;
+        let destination = NodeId::MainServer;
+        let source = NodeId::Site(site);
+        let resources = self.route_resources(source, destination);
+        let now = ctx.now();
+        let completed = self.advance_fluid(now);
+        let activity = self.fluid.add_activity(bytes as f64, &resources);
+        self.activity_map.insert(activity, (idx, Phase::Output));
+        self.handle_completed_activities(completed, ctx);
+        self.reschedule_fluid(ctx);
+    }
+}

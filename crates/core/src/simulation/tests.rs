@@ -1,0 +1,385 @@
+//! Behavioural tests of the simulation façade.
+
+use std::collections::HashMap;
+
+use cgsim_platform::presets::{example_platform, single_site_platform};
+use cgsim_platform::{Platform, PlatformSpec, SiteId};
+use cgsim_policies::{AllocationPolicy, GridView};
+use cgsim_workload::{JobKind, JobRecord, JobState, Trace, TraceConfig, TraceGenerator};
+
+use super::{Simulation, SimulationError};
+use crate::config::{ComputeMode, ExecutionConfig};
+use crate::queue_model::QueueModel;
+use crate::results::SimulationResults;
+
+/// Runs `trace` on `platform` with a named policy and the given execution
+/// configuration, panicking on any builder error.
+fn run_on(
+    platform: &PlatformSpec,
+    trace: Trace,
+    policy: &str,
+    exec: ExecutionConfig,
+) -> SimulationResults {
+    Simulation::builder()
+        .platform_spec(platform)
+        .unwrap()
+        .trace(trace)
+        .policy_name(policy)
+        .execution(exec)
+        .run()
+        .unwrap()
+}
+
+fn run_with(policy: &str, jobs: usize, seed: u64) -> SimulationResults {
+    let platform = example_platform();
+    let trace = TraceGenerator::new(TraceConfig::with_jobs(jobs, seed)).generate(&platform);
+    run_on(&platform, trace, policy, ExecutionConfig::default())
+}
+
+#[test]
+fn all_jobs_reach_a_terminal_state() {
+    let results = run_with("least-loaded", 200, 11);
+    assert_eq!(results.outcomes.len(), 200);
+    assert!(results.outcomes.iter().all(|o| o.final_state.is_terminal()));
+    assert_eq!(results.metrics.total_jobs, 200);
+    assert_eq!(results.metrics.failed_jobs, 0);
+    assert!(results.makespan_s > 0.0);
+    assert!(results.engine_events >= 200);
+}
+
+#[test]
+fn timing_invariants_hold_for_every_job() {
+    let results = run_with("least-loaded", 150, 3);
+    for o in &results.outcomes {
+        assert!(o.assign_time >= o.submit_time - 1e-9, "{o:?}");
+        assert!(o.start_time >= o.assign_time - 1e-9, "{o:?}");
+        assert!(o.end_time >= o.start_time, "{o:?}");
+        assert!(o.walltime > 0.0);
+        assert!(o.queue_time >= 0.0);
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let a = run_with("least-loaded", 100, 7);
+    let b = run_with("least-loaded", 100, 7);
+    assert_eq!(a.outcomes.len(), b.outcomes.len());
+    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(x.id, y.id);
+        assert_eq!(x.site, y.site);
+        assert!((x.walltime - y.walltime).abs() < 1e-9);
+        assert!((x.end_time - y.end_time).abs() < 1e-9);
+    }
+    assert_eq!(a.engine_events, b.engine_events);
+}
+
+#[test]
+fn different_policies_produce_different_schedules() {
+    let a = run_with("least-loaded", 300, 5);
+    let b = run_with("round-robin", 300, 5);
+    let sites_a: Vec<_> = a.outcomes.iter().map(|o| o.site.clone()).collect();
+    let sites_b: Vec<_> = b.outcomes.iter().map(|o| o.site.clone()).collect();
+    assert_ne!(sites_a, sites_b);
+    assert_eq!(a.policy, "least-loaded");
+    assert_eq!(b.policy, "round-robin");
+}
+
+#[test]
+fn historical_policy_respects_trace_assignments() {
+    let platform = example_platform();
+    let trace = TraceGenerator::new(TraceConfig::with_jobs(120, 2)).generate(&platform);
+    let expected: Vec<_> = trace.jobs.iter().map(|j| j.hist_site.clone()).collect();
+    let results = run_on(
+        &platform,
+        trace,
+        "historical-panda",
+        ExecutionConfig::default(),
+    );
+    // Outcomes are not necessarily in submit order; join by job id.
+    let by_id: HashMap<_, _> = results
+        .outcomes
+        .iter()
+        .map(|o| (o.id, o.site.clone()))
+        .collect();
+    let platform_trace = TraceGenerator::new(TraceConfig::with_jobs(120, 2)).generate(&platform);
+    for (job, hist) in platform_trace.jobs.iter().zip(expected) {
+        assert_eq!(by_id[&job.id], hist);
+    }
+}
+
+/// Every terminal job must produce a finished event with its site set.
+#[test]
+fn event_dataset_has_table1_shape() {
+    let results = run_with("least-loaded", 50, 13);
+    assert!(!results.events.is_empty());
+    let finished_events = results
+        .events
+        .iter()
+        .filter(|e| e.state == JobState::Finished)
+        .count();
+    assert_eq!(finished_events, 50);
+    for e in &results.events {
+        if e.state == JobState::Finished {
+            assert!(!e.site.is_empty());
+            assert!(e.assigned_jobs >= e.finished_jobs);
+        }
+    }
+}
+
+#[test]
+fn failure_injection_and_retries() {
+    let platform = example_platform();
+    let trace = TraceGenerator::new(TraceConfig::with_jobs(200, 21)).generate(&platform);
+    let exec = ExecutionConfig {
+        failure_probability: 0.3,
+        max_retries: 0,
+        ..Default::default()
+    };
+    let results = run_on(&platform, trace, "least-loaded", exec.clone());
+    assert!(results.metrics.failed_jobs > 20);
+    assert!(results.metrics.failure_rate > 0.1);
+    assert!(results.metrics.failure_rate < 0.6);
+    // With retries allowed, the failure rate drops substantially.
+    let trace2 = TraceGenerator::new(TraceConfig::with_jobs(200, 21)).generate(&platform);
+    let exec2 = ExecutionConfig {
+        max_retries: 3,
+        ..exec
+    };
+    let retried = run_on(&platform, trace2, "least-loaded", exec2);
+    assert!(retried.metrics.failure_rate < results.metrics.failure_rate);
+    assert_eq!(retried.outcomes.len(), 200);
+}
+
+#[test]
+fn single_site_contention_causes_queueing() {
+    // 40 cores, many concurrent single-core jobs -> some must queue.
+    let platform = single_site_platform(40, 10.0);
+    let mut cfg = TraceConfig::with_jobs(200, 4);
+    cfg.submission_window_s = 0.0; // all at t=0
+    cfg.multicore_fraction = 0.0;
+    let trace = TraceGenerator::new(cfg).generate(&platform);
+    let results = run_on(&platform, trace, "least-loaded", ExecutionConfig::default());
+    let queued = results
+        .outcomes
+        .iter()
+        .filter(|o| o.queue_time > 1.0)
+        .count();
+    assert!(queued > 100, "expected significant queueing, got {queued}");
+    // Utilisation of the single site should be high.
+    assert!(results.metrics.cpu_utilisation(40) > 0.5);
+}
+
+#[test]
+fn dataset_caching_reduces_staged_bytes() {
+    let platform = example_platform();
+    let trace = TraceGenerator::new(TraceConfig::with_jobs(150, 17)).generate(&platform);
+    let cached_exec = ExecutionConfig {
+        cache_datasets: true,
+        ..Default::default()
+    };
+    let uncached_exec = ExecutionConfig {
+        cache_datasets: false,
+        ..Default::default()
+    };
+    let cached = run_on(&platform, trace.clone(), "historical-panda", cached_exec);
+    let uncached = run_on(&platform, trace, "historical-panda", uncached_exec);
+    assert!(cached.metrics.staged_bytes < uncached.metrics.staged_bytes);
+}
+
+#[test]
+fn time_shared_mode_completes_all_jobs() {
+    let platform = single_site_platform(64, 10.0);
+    let mut cfg = TraceConfig::with_jobs(80, 6);
+    cfg.multicore_fraction = 0.5;
+    let trace = TraceGenerator::new(cfg).generate(&platform);
+    let exec = ExecutionConfig {
+        compute_mode: ComputeMode::TimeShared,
+        ..Default::default()
+    };
+    let results = run_on(&platform, trace, "least-loaded", exec);
+    assert_eq!(results.outcomes.len(), 80);
+    assert!(results.outcomes.iter().all(|o| o.succeeded()));
+}
+
+#[test]
+fn custom_plugin_policy_is_honoured() {
+    struct PinToSite(SiteId);
+    impl AllocationPolicy for PinToSite {
+        fn name(&self) -> &str {
+            "pin"
+        }
+        fn assign_job(&mut self, _job: &JobRecord, _view: &GridView) -> Option<SiteId> {
+            Some(self.0)
+        }
+    }
+    let platform_spec = example_platform();
+    let platform = Platform::build(&platform_spec).unwrap();
+    let bnl = platform.site_by_name("BNL").unwrap();
+    let trace = TraceGenerator::new(TraceConfig::with_jobs(60, 19)).generate(&platform_spec);
+    let results = Simulation::builder()
+        .platform(platform)
+        .trace(trace)
+        .policy(Box::new(PinToSite(bnl)))
+        .execution(ExecutionConfig::default())
+        .run()
+        .unwrap();
+    assert!(results.outcomes.iter().all(|o| o.site == "BNL"));
+    assert_eq!(results.policy, "pin");
+}
+
+#[test]
+fn builder_reports_missing_components_and_unknown_policies() {
+    let err = Simulation::builder().run().unwrap_err();
+    assert!(matches!(err, SimulationError::MissingComponent("platform")));
+    let platform = example_platform();
+    let trace = TraceGenerator::new(TraceConfig::with_jobs(5, 1)).generate(&platform);
+    let err = Simulation::builder()
+        .platform_spec(&platform)
+        .unwrap()
+        .trace(trace)
+        .policy_name("does-not-exist")
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, SimulationError::UnknownPolicy(_)));
+    assert!(err.to_string().contains("does-not-exist"));
+}
+
+#[test]
+fn horizon_truncates_the_run() {
+    let platform = example_platform();
+    let trace = TraceGenerator::new(TraceConfig::with_jobs(200, 23)).generate(&platform);
+    let exec = ExecutionConfig {
+        horizon_s: Some(60.0),
+        ..Default::default()
+    };
+    let results = run_on(&platform, trace, "least-loaded", exec);
+    assert!(results.outcomes.len() < 200);
+    assert!(results.makespan_s <= 60.0 + 1e-6);
+}
+
+#[test]
+fn monitoring_can_be_disabled() {
+    let platform = example_platform();
+    let trace = TraceGenerator::new(TraceConfig::with_jobs(40, 29)).generate(&platform);
+    let exec = ExecutionConfig {
+        monitoring: cgsim_monitor::MonitoringConfig::disabled(),
+        ..Default::default()
+    };
+    let results = run_on(&platform, trace, "least-loaded", exec);
+    assert!(results.events.is_empty());
+    assert_eq!(results.outcomes.len(), 40);
+}
+
+#[test]
+fn queue_model_overhead_delays_job_starts() {
+    let platform = example_platform();
+    let trace = TraceGenerator::new(TraceConfig::with_jobs(120, 37)).generate(&platform);
+    let baseline = run_on(
+        &platform,
+        trace.clone(),
+        "least-loaded",
+        ExecutionConfig::default(),
+    );
+    let exec = ExecutionConfig {
+        queue_model: QueueModel::constant(300.0),
+        ..Default::default()
+    };
+    let delayed = run_on(&platform, trace, "least-loaded", exec);
+    let mean = |r: &SimulationResults| r.metrics.queue_time.as_ref().map(|s| s.mean).unwrap_or(0.0);
+    // Every job pays the 300 s pilot overhead on top of core contention.
+    assert!(
+        mean(&delayed) >= mean(&baseline) + 299.0,
+        "queue model ignored: baseline {} vs delayed {}",
+        mean(&baseline),
+        mean(&delayed)
+    );
+    assert_eq!(delayed.outcomes.len(), 120);
+    assert!(delayed.outcomes.iter().all(|o| o.final_state.is_terminal()));
+}
+
+#[test]
+fn never_cache_data_policy_stages_more_bytes() {
+    let platform = example_platform();
+    let trace = TraceGenerator::new(TraceConfig::with_jobs(150, 43)).generate(&platform);
+    let never_exec = ExecutionConfig {
+        data_movement_policy: "never-cache".to_string(),
+        ..Default::default()
+    };
+    let never = run_on(&platform, trace.clone(), "historical-panda", never_exec);
+    let default = run_on(
+        &platform,
+        trace,
+        "historical-panda",
+        ExecutionConfig::default(),
+    );
+    // Without cache admission every job of a task re-stages its input.
+    assert!(
+        never.metrics.staged_bytes > default.metrics.staged_bytes,
+        "never-cache {} vs default {}",
+        never.metrics.staged_bytes,
+        default.metrics.staged_bytes
+    );
+}
+
+#[test]
+fn unknown_data_policy_is_reported() {
+    let platform = example_platform();
+    let trace = TraceGenerator::new(TraceConfig::with_jobs(5, 3)).generate(&platform);
+    let exec = ExecutionConfig {
+        data_movement_policy: "no-such-data-policy".to_string(),
+        ..Default::default()
+    };
+    let err = Simulation::builder()
+        .platform_spec(&platform)
+        .unwrap()
+        .trace(trace)
+        .execution(exec)
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, SimulationError::UnknownDataPolicy(_)));
+    assert!(err.to_string().contains("no-such-data-policy"));
+}
+
+#[test]
+fn custom_data_policy_instance_is_honoured() {
+    use cgsim_policies::{CachePolicy, DataMovementPolicy};
+    struct NoCache;
+    impl DataMovementPolicy for NoCache {
+        fn name(&self) -> &str {
+            "test-no-cache"
+        }
+        fn cache_decision(&mut self, _job: &JobRecord, _site: SiteId) -> CachePolicy {
+            CachePolicy::NoCache
+        }
+    }
+    let platform = example_platform();
+    let trace = TraceGenerator::new(TraceConfig::with_jobs(100, 47)).generate(&platform);
+    let custom = Simulation::builder()
+        .platform_spec(&platform)
+        .unwrap()
+        .trace(trace.clone())
+        .policy_name("historical-panda")
+        .data_policy(Box::new(NoCache))
+        .execution(ExecutionConfig::default())
+        .run()
+        .unwrap();
+    let default = run_on(
+        &platform,
+        trace,
+        "historical-panda",
+        ExecutionConfig::default(),
+    );
+    assert!(custom.metrics.staged_bytes >= default.metrics.staged_bytes);
+}
+
+#[test]
+fn multicore_jobs_use_more_cores_of_the_site() {
+    let results = run_with("least-loaded", 100, 31);
+    assert!(results
+        .outcomes
+        .iter()
+        .any(|o| o.kind == JobKind::MultiCore && o.cores == 8));
+    // Dashboard panels reflect the platform.
+    assert_eq!(results.site_panels.len(), 4);
+    assert!(results.site_panels.iter().all(|p| p.busy_cores == 0));
+}

@@ -97,16 +97,13 @@ pub fn run_sweep(
     let mut outcomes: Vec<Option<Result<SweepOutcome, SimulationError>>> = Vec::new();
     outcomes.resize_with(indexed.len(), || None);
 
-    let chunks: Vec<Vec<(usize, SweepPoint)>> = indexed
-        .chunks(chunk)
-        .map(|c| c.to_vec())
-        .collect();
+    let chunks: Vec<Vec<(usize, SweepPoint)>> = indexed.chunks(chunk).map(|c| c.to_vec()).collect();
     let collected: Vec<Vec<(usize, Result<SweepOutcome, SimulationError>)>> =
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk_points| {
-                    scope.spawn(move |_| {
+                    scope.spawn(|| {
                         chunk_points
                             .into_iter()
                             .map(|(i, p)| (i, run_one(p)))
@@ -118,8 +115,7 @@ pub fn run_sweep(
                 .into_iter()
                 .map(|h| h.join().expect("sweep worker panicked"))
                 .collect()
-        })
-        .expect("crossbeam scope");
+        });
 
     for chunk_results in collected {
         for (i, result) in chunk_results {

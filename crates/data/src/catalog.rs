@@ -145,22 +145,16 @@ impl ReplicaCatalog {
                     locations.iter().next().copied()
                 }
             }
-            SourceSelection::LowestLatency => locations
-                .iter()
-                .copied()
-                .min_by(|&a, &b| {
-                    let la = platform.route(a, destination).latency_s;
-                    let lb = platform.route(b, destination).latency_s;
-                    la.partial_cmp(&lb).expect("latencies are finite")
-                }),
-            SourceSelection::HighestBandwidth => locations
-                .iter()
-                .copied()
-                .max_by(|&a, &b| {
-                    let ba = platform.route(a, destination).bottleneck_bps;
-                    let bb = platform.route(b, destination).bottleneck_bps;
-                    ba.partial_cmp(&bb).expect("bandwidths are finite")
-                }),
+            SourceSelection::LowestLatency => locations.iter().copied().min_by(|&a, &b| {
+                let la = platform.route(a, destination).latency_s;
+                let lb = platform.route(b, destination).latency_s;
+                la.partial_cmp(&lb).expect("latencies are finite")
+            }),
+            SourceSelection::HighestBandwidth => locations.iter().copied().max_by(|&a, &b| {
+                let ba = platform.route(a, destination).bottleneck_bps;
+                let bb = platform.route(b, destination).bottleneck_bps;
+                ba.partial_cmp(&bb).expect("bandwidths are finite")
+            }),
         }
     }
 }

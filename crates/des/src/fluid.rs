@@ -35,7 +35,9 @@ define_id!(
 );
 
 /// Identifier of a fluid activity (e.g. one file transfer).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct ActivityId(pub u64);
 
@@ -259,11 +261,7 @@ impl FluidModel {
                 .activities
                 .iter()
                 .filter(|(id, act)| {
-                    !frozen[*id]
-                        && act
-                            .resources
-                            .iter()
-                            .any(|r| r.index() == bottleneck_idx)
+                    !frozen[*id] && act.resources.iter().any(|r| r.index() == bottleneck_idx)
                 })
                 .map(|(&id, _)| id)
                 .collect();
@@ -351,7 +349,11 @@ impl FluidModel {
     /// Current rates of all activities (diagnostics / tests), sorted by id.
     pub fn rates(&mut self) -> Vec<(ActivityId, f64)> {
         self.ensure_shares();
-        let mut v: Vec<_> = self.activities.iter().map(|(&id, a)| (id, a.rate)).collect();
+        let mut v: Vec<_> = self
+            .activities
+            .iter()
+            .map(|(&id, a)| (id, a.rate))
+            .collect();
         v.sort_by_key(|(id, _)| *id);
         v
     }
@@ -449,7 +451,9 @@ mod tests {
     #[test]
     fn capacity_is_never_exceeded() {
         let mut m = FluidModel::new();
-        let links: Vec<_> = (0..5).map(|i| m.add_resource(10.0 * (i + 1) as f64)).collect();
+        let links: Vec<_> = (0..5)
+            .map(|i| m.add_resource(10.0 * (i + 1) as f64))
+            .collect();
         for i in 0..20 {
             let r1 = links[i % 5];
             let r2 = links[(i * 3 + 1) % 5];

@@ -62,7 +62,8 @@ impl Rng {
     /// Next raw 64-bit value.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = rotl(self.state[0].wrapping_add(self.state[3]), 23).wrapping_add(self.state[0]);
+        let result =
+            rotl(self.state[0].wrapping_add(self.state[3]), 23).wrapping_add(self.state[0]);
         let t = self.state[1] << 17;
         self.state[2] ^= self.state[0];
         self.state[3] ^= self.state[1];
@@ -201,7 +202,10 @@ impl Rng {
     /// Picks an index in `[0, weights.len())` with probability proportional to
     /// the weights. Panics on an empty or all-zero weight vector.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
-        assert!(!weights.is_empty(), "weighted_index needs at least one weight");
+        assert!(
+            !weights.is_empty(),
+            "weighted_index needs at least one weight"
+        );
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "weighted_index needs a positive total weight");
         let mut x = self.uniform() * total;

@@ -157,7 +157,10 @@ impl Summary {
 /// Percentile (linear interpolation) of an already sorted, non-empty slice.
 pub fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of empty slice");
-    assert!((0.0..=100.0).contains(&pct), "percentile must be in [0,100]");
+    assert!(
+        (0.0..=100.0).contains(&pct),
+        "percentile must be in [0,100]"
+    );
     if sorted.len() == 1 {
         return sorted[0];
     }

@@ -180,7 +180,12 @@ impl fmt::Display for SimTime {
         } else {
             let hours = (total / 3600.0).floor();
             let rem = total - hours * 3600.0;
-            write!(f, "{hours:.0}h{:02.0}m{:05.2}s", (rem / 60.0).floor(), rem % 60.0)
+            write!(
+                f,
+                "{hours:.0}h{:02.0}m{:05.2}s",
+                (rem / 60.0).floor(),
+                rem % 60.0
+            )
         }
     }
 }

@@ -103,7 +103,10 @@ impl MonitoringCollector {
         if !self.config.enabled {
             return;
         }
-        if self.transitions_seen % self.config.sample_stride.max(1) != 0 {
+        if !self
+            .transitions_seen
+            .is_multiple_of(self.config.sample_stride.max(1))
+        {
             return;
         }
         let event_id = self.next_event_id;

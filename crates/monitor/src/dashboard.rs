@@ -50,7 +50,8 @@ pub fn ascii_dashboard(time_s: f64, panels: &[SitePanel]) -> String {
     ));
     for p in panels {
         let filled = (p.pressure() * BAR_WIDTH as f64).round() as usize;
-        let bar: String = "#".repeat(filled.min(BAR_WIDTH)) + &"-".repeat(BAR_WIDTH - filled.min(BAR_WIDTH));
+        let bar: String =
+            "#".repeat(filled.min(BAR_WIDTH)) + &"-".repeat(BAR_WIDTH - filled.min(BAR_WIDTH));
         out.push_str(&format!(
             "{:<16} {:>6} {:>6} {:>6} {:>6}  [{bar}] {:>4.0}%\n",
             p.site,
@@ -158,6 +159,9 @@ mod tests {
         assert!(html.contains("<svg"));
         assert!(html.contains("6466065355"));
         assert!(html.contains("CERN"));
-        assert!(!html.contains("http://"), "must not reference external resources");
+        assert!(
+            !html.contains("http://"),
+            "must not reference external resources"
+        );
     }
 }

@@ -126,8 +126,12 @@ impl JobOutcome {
             self.staged_bytes,
             self.walltime,
             self.queue_time,
-            self.hist_walltime.map(|v| format!("{v:.3}")).unwrap_or_default(),
-            self.hist_queue_time.map(|v| format!("{v:.3}")).unwrap_or_default(),
+            self.hist_walltime
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_default(),
+            self.hist_queue_time
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_default(),
         )
     }
 }

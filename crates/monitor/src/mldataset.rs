@@ -55,7 +55,11 @@ pub fn build_examples(outcomes: &[JobOutcome], events: &[EventRecord]) -> Vec<Ml
             let (avail, queue) = assign_state.get(&o.id.0).copied().unwrap_or((0, 0));
             MlExample {
                 job_id: o.id.0,
-                is_multicore: if o.kind == JobKind::MultiCore { 1.0 } else { 0.0 },
+                is_multicore: if o.kind == JobKind::MultiCore {
+                    1.0
+                } else {
+                    0.0
+                },
                 cores: o.cores as f64,
                 work_hs23: o.work_hs23,
                 staged_bytes: o.staged_bytes as f64,
@@ -158,9 +162,6 @@ mod tests {
         let csv = to_csv(&examples);
         let lines: Vec<_> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert_eq!(
-            lines[1].split(',').count(),
-            CSV_HEADER.split(',').count()
-        );
+        assert_eq!(lines[1].split(',').count(), CSV_HEADER.split(',').count());
     }
 }

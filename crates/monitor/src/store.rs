@@ -126,10 +126,7 @@ impl Table {
         let Some(idx) = self.column_index(name) else {
             return Vec::new();
         };
-        self.rows
-            .iter()
-            .filter_map(|r| r[idx].as_f64())
-            .collect()
+        self.rows.iter().filter_map(|r| r[idx].as_f64()).collect()
     }
 
     /// Rows for which `predicate` returns true for the value in `column`.

@@ -1,7 +1,7 @@
 //! Property-based tests for the monitoring layer.
 
-use cgsim_monitor::{MetricsReport, MonitoringCollector, MonitoringConfig};
 use cgsim_monitor::event::JobOutcome;
+use cgsim_monitor::{MetricsReport, MonitoringCollector, MonitoringConfig};
 use cgsim_workload::{JobId, JobKind, JobState};
 use proptest::prelude::*;
 

@@ -74,7 +74,9 @@ mod tests {
         }
         .to_string()
         .contains("A"));
-        assert!(PlatformError::EmptyPlatform.to_string().contains("no sites"));
+        assert!(PlatformError::EmptyPlatform
+            .to_string()
+            .contains("no sites"));
     }
 
     #[test]

@@ -255,12 +255,12 @@ impl Platform {
                     );
                     continue;
                 }
-                let path = graph.shortest_path(graph_node(from), graph_node(to)).ok_or(
-                    PlatformError::Unreachable {
+                let path = graph
+                    .shortest_path(graph_node(from), graph_node(to))
+                    .ok_or(PlatformError::Unreachable {
                         from: from.to_string(),
                         to: to.to_string(),
-                    },
-                )?;
+                    })?;
                 let mut route_links: Vec<LinkId> =
                     path.edges.iter().map(|&e| edge_links[e]).collect();
                 // Transfers terminating (or originating) at a site also cross

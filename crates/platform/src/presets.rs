@@ -23,10 +23,36 @@ use crate::spec::{HostSpec, LinkSpec, PlatformSpec, SiteSpec, Tier, MAIN_SERVER}
 /// Well-known ATLAS site names used for the first generated sites (the same
 /// names appear in the paper's Table 1 and Fig. 3).
 pub const ATLAS_SITE_NAMES: &[&str] = &[
-    "CERN", "BNL", "TRIUMF", "FZK-LCG2", "IN2P3-CC", "RAL-LCG2", "CNAF", "PIC", "NDGF-T1",
-    "SARA-MATRIX", "DESY-ZN", "LRZ-LMU", "MWT2", "AGLT2", "SWT2", "NET2", "SLAC", "UKI-NORTHGRID",
-    "IFIC-LCG2", "TOKYO-LCG2", "PRAGUELCG2", "SIGNET", "WUPPERTALPROD", "GOEGRID", "UNIBE-LHEP",
-    "AUSTRALIA-ATLAS", "INFN-NAPOLI", "INFN-MILANO", "GRIF", "BEIJING-LCG2",
+    "CERN",
+    "BNL",
+    "TRIUMF",
+    "FZK-LCG2",
+    "IN2P3-CC",
+    "RAL-LCG2",
+    "CNAF",
+    "PIC",
+    "NDGF-T1",
+    "SARA-MATRIX",
+    "DESY-ZN",
+    "LRZ-LMU",
+    "MWT2",
+    "AGLT2",
+    "SWT2",
+    "NET2",
+    "SLAC",
+    "UKI-NORTHGRID",
+    "IFIC-LCG2",
+    "TOKYO-LCG2",
+    "PRAGUELCG2",
+    "SIGNET",
+    "WUPPERTALPROD",
+    "GOEGRID",
+    "UNIBE-LHEP",
+    "AUSTRALIA-ATLAS",
+    "INFN-NAPOLI",
+    "INFN-MILANO",
+    "GRIF",
+    "BEIJING-LCG2",
 ];
 
 /// Options controlling preset generation.
@@ -50,7 +76,7 @@ impl Default for PresetOptions {
     fn default() -> Self {
         PresetOptions {
             site_count: 50,
-            seed: 0xC65_1_15,
+            seed: 0xC6_51_15,
             min_cores: 100,
             max_cores: 2_000,
             mean_speed: 10.0,
@@ -75,10 +101,9 @@ pub fn wlcg_platform_with(options: PresetOptions) -> PlatformSpec {
     let mut spec = PlatformSpec::new(format!("wlcg-{}-sites", options.site_count));
 
     for i in 0..options.site_count {
-        let name = if i < ATLAS_SITE_NAMES.len() {
-            ATLAS_SITE_NAMES[i].to_string()
-        } else {
-            format!("SITE-{i:03}")
+        let name = match ATLAS_SITE_NAMES.get(i) {
+            Some(known) => known.to_string(),
+            None => format!("SITE-{i:03}"),
         };
         let tier = if i == 0 {
             Tier::Tier0
@@ -133,9 +158,12 @@ pub fn wlcg_platform_with(options: PresetOptions) -> PlatformSpec {
         .collect();
     if let Some(t0) = spec.sites.first().map(|s| s.name.clone()) {
         for t1 in &t1_names {
-            spec.network
-                .links
-                .push(LinkSpec::new(t0.clone(), t1.clone(), 100.0, 5.0 + rng.uniform() * 40.0));
+            spec.network.links.push(LinkSpec::new(
+                t0.clone(),
+                t1.clone(),
+                100.0,
+                5.0 + rng.uniform() * 40.0,
+            ));
         }
     }
     spec

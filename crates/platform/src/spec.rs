@@ -120,12 +120,7 @@ fn default_speed_multiplier() -> f64 {
 impl SiteSpec {
     /// Creates a single-host site spec (the common WLCG modelling choice:
     /// one homogeneous worker-node pool per site).
-    pub fn uniform(
-        name: impl Into<String>,
-        tier: Tier,
-        cores: u32,
-        speed_per_core: f64,
-    ) -> Self {
+    pub fn uniform(name: impl Into<String>, tier: Tier, cores: u32, speed_per_core: f64) -> Self {
         let name = name.into();
         SiteSpec {
             hosts: vec![HostSpec::new(format!("{name}-wn"), cores, speed_per_core)],
@@ -167,7 +162,12 @@ pub struct LinkSpec {
 
 impl LinkSpec {
     /// Creates a link spec, generating a name from the endpoints.
-    pub fn new(from: impl Into<String>, to: impl Into<String>, bandwidth_gbps: f64, latency_ms: f64) -> Self {
+    pub fn new(
+        from: impl Into<String>,
+        to: impl Into<String>,
+        bandwidth_gbps: f64,
+        latency_ms: f64,
+    ) -> Self {
         let from = from.into();
         let to = to.into();
         LinkSpec {
@@ -283,20 +283,20 @@ impl PlatformSpec {
                         host.name
                     )));
                 }
-                if !(host.speed_per_core > 0.0) {
+                if !is_strictly_positive(host.speed_per_core) {
                     return Err(PlatformError::InvalidParameter(format!(
                         "host {} has non-positive speed",
                         host.name
                     )));
                 }
             }
-            if !(site.speed_multiplier > 0.0) {
+            if !is_strictly_positive(site.speed_multiplier) {
                 return Err(PlatformError::InvalidParameter(format!(
                     "site {} has non-positive speed multiplier",
                     site.name
                 )));
             }
-            if !(site.internal_bandwidth_gbps > 0.0) {
+            if !is_strictly_positive(site.internal_bandwidth_gbps) {
                 return Err(PlatformError::InvalidParameter(format!(
                     "site {} has non-positive internal bandwidth",
                     site.name
@@ -309,7 +309,7 @@ impl PlatformSpec {
                     return Err(PlatformError::UnknownEndpoint(endpoint.clone()));
                 }
             }
-            if !(link.bandwidth_gbps > 0.0) || !(link.latency_ms >= 0.0) {
+            if !is_strictly_positive(link.bandwidth_gbps) || !is_non_negative(link.latency_ms) {
                 return Err(PlatformError::InvalidParameter(format!(
                     "link {} has invalid bandwidth/latency",
                     link.name
@@ -323,6 +323,19 @@ impl PlatformSpec {
     pub fn total_cores(&self) -> u64 {
         self.sites.iter().map(|s| s.total_cores()).sum()
     }
+}
+
+/// `x > 0`, with NaN rejected (NaN compares as incomparable, not positive).
+fn is_strictly_positive(x: f64) -> bool {
+    x.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater)
+}
+
+/// `x >= 0`, with NaN rejected.
+fn is_non_negative(x: f64) -> bool {
+    matches!(
+        x.partial_cmp(&0.0),
+        Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+    )
 }
 
 /// Converts Gbit/s to bytes/s.
@@ -415,9 +428,16 @@ mod tests {
 
     #[test]
     fn validate_rejects_reserved_site_name() {
-        let spec = PlatformSpec::new("bad")
-            .with_site(SiteSpec::uniform(MAIN_SERVER, Tier::Tier2, 10, 10.0));
-        assert!(matches!(spec.validate(), Err(PlatformError::DuplicateName(_))));
+        let spec = PlatformSpec::new("bad").with_site(SiteSpec::uniform(
+            MAIN_SERVER,
+            Tier::Tier2,
+            10,
+            10.0,
+        ));
+        assert!(matches!(
+            spec.validate(),
+            Err(PlatformError::DuplicateName(_))
+        ));
     }
 
     #[test]

@@ -7,24 +7,27 @@ use proptest::prelude::*;
 /// Strategy: a platform with 1..=12 sites, random core counts/speeds, and a
 /// star topology with random link parameters.
 fn arb_platform() -> impl Strategy<Value = PlatformSpec> {
-    prop::collection::vec((1u32..4000, 1.0f64..30.0, 0.1f64..200.0, 0.1f64..200.0), 1..12).prop_map(
-        |sites| {
-            let mut spec = PlatformSpec::new("prop");
-            for (i, (cores, speed, bw, latency)) in sites.into_iter().enumerate() {
-                let name = format!("S{i}");
-                let tier = match i % 3 {
-                    0 => Tier::Tier1,
-                    1 => Tier::Tier2,
-                    _ => Tier::Tier3,
-                };
-                spec.sites.push(SiteSpec::uniform(&name, tier, cores, speed));
-                spec.network
-                    .links
-                    .push(LinkSpec::new(name, MAIN_SERVER, bw, latency));
-            }
-            spec
-        },
+    prop::collection::vec(
+        (1u32..4000, 1.0f64..30.0, 0.1f64..200.0, 0.1f64..200.0),
+        1..12,
     )
+    .prop_map(|sites| {
+        let mut spec = PlatformSpec::new("prop");
+        for (i, (cores, speed, bw, latency)) in sites.into_iter().enumerate() {
+            let name = format!("S{i}");
+            let tier = match i % 3 {
+                0 => Tier::Tier1,
+                1 => Tier::Tier2,
+                _ => Tier::Tier3,
+            };
+            spec.sites
+                .push(SiteSpec::uniform(&name, tier, cores, speed));
+            spec.network
+                .links
+                .push(LinkSpec::new(name, MAIN_SERVER, bw, latency));
+        }
+        spec
+    })
 }
 
 proptest! {

@@ -322,7 +322,10 @@ mod tests {
         // The fastest site is saturated with a very deep queue: the policy
         // moves on to the next-best completion-time estimate.
         let busy = view(&[(100, 0, false), (0, 500, false), (100, 0, false)]);
-        assert_eq!(policy.assign_job(&job(1, 36_000.0, 0), &busy), Some(SiteId::new(2)));
+        assert_eq!(
+            policy.assign_job(&job(1, 36_000.0, 0), &busy),
+            Some(SiteId::new(2))
+        );
     }
 
     #[test]
@@ -338,7 +341,10 @@ mod tests {
         }
         // Shares should approach 3:1.
         let ratio = counts[0] as f64 / counts[1] as f64;
-        assert!((2.0..4.5).contains(&ratio), "ratio {ratio}, counts {counts:?}");
+        assert!(
+            (2.0..4.5).contains(&ratio),
+            "ratio {ratio}, counts {counts:?}"
+        );
         assert_eq!(policy.dispatched_work().len(), 2);
     }
 
@@ -348,7 +354,10 @@ mod tests {
         policy.get_resource_information(&info(&[(4, 10.0), (64, 10.0)]));
         let v = view(&[(4, 0, false), (64, 0, false)]);
         // A 16-core job does not fit site 0 at all.
-        assert_eq!(policy.assign_job(&job(16, 1_000.0, 0), &v), Some(SiteId::new(1)));
+        assert_eq!(
+            policy.assign_job(&job(16, 1_000.0, 0), &v),
+            Some(SiteId::new(1))
+        );
     }
 
     #[test]
@@ -393,7 +402,9 @@ mod tests {
         assert!(WeightedFairSharePolicy::new()
             .assign_job(&job(1, 1.0, 0), &v)
             .is_some());
-        assert!(GreedyCostPolicy::new().assign_job(&job(1, 1.0, 0), &v).is_some());
+        assert!(GreedyCostPolicy::new()
+            .assign_job(&job(1, 1.0, 0), &v)
+            .is_some());
         assert!(CapacityProportionalPolicy::new(1)
             .assign_job(&job(1, 1.0, 0), &v)
             .is_some());
@@ -404,9 +415,15 @@ mod tests {
 
     #[test]
     fn policy_names_are_stable() {
-        assert_eq!(ShortestExpectedWaitPolicy::new().name(), "shortest-expected-wait");
+        assert_eq!(
+            ShortestExpectedWaitPolicy::new().name(),
+            "shortest-expected-wait"
+        );
         assert_eq!(WeightedFairSharePolicy::new().name(), "weighted-fair-share");
         assert_eq!(GreedyCostPolicy::new().name(), "greedy-cost");
-        assert_eq!(CapacityProportionalPolicy::new(0).name(), "capacity-proportional");
+        assert_eq!(
+            CapacityProportionalPolicy::new(0).name(),
+            "capacity-proportional"
+        );
     }
 }

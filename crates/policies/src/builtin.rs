@@ -288,10 +288,16 @@ mod tests {
         policy.get_resource_information(&info(&[1.0, 1.0, 1.0]));
         let mut j = job(1);
         j.hist_site = "S2".into();
-        assert_eq!(policy.assign_job(&j, &view(&[10, 10, 10])), Some(SiteId::new(2)));
+        assert_eq!(
+            policy.assign_job(&j, &view(&[10, 10, 10])),
+            Some(SiteId::new(2))
+        );
         // Unknown historical site falls back to least-loaded.
         j.hist_site = "UNKNOWN".into();
-        assert_eq!(policy.assign_job(&j, &view(&[1, 50, 10])), Some(SiteId::new(1)));
+        assert_eq!(
+            policy.assign_job(&j, &view(&[1, 50, 10])),
+            Some(SiteId::new(1))
+        );
     }
 
     #[test]
@@ -344,7 +350,10 @@ mod tests {
         let v = view(&[10, 2, 10]);
         assert_eq!(policy.assign_job(&job(4), &v), Some(SiteId::new(2)));
         // With room everywhere it picks the fastest.
-        assert_eq!(policy.assign_job(&job(1), &view(&[10, 10, 10])), Some(SiteId::new(1)));
+        assert_eq!(
+            policy.assign_job(&job(1), &view(&[10, 10, 10])),
+            Some(SiteId::new(1))
+        );
     }
 
     #[test]

@@ -179,7 +179,9 @@ impl DataPolicyRegistry {
         registry.register("main-server-source", |_| {
             Box::new(MainServerSourcePolicy::new())
         });
-        registry.register("random-source", |seed| Box::new(RandomSourcePolicy::new(seed)));
+        registry.register("random-source", |seed| {
+            Box::new(RandomSourcePolicy::new(seed))
+        });
         registry
     }
 

@@ -47,7 +47,9 @@ impl PolicyRegistry {
     /// Creates a registry pre-populated with every built-in policy.
     pub fn with_builtins() -> Self {
         let mut registry = Self::empty();
-        registry.register("historical-panda", |_| Box::new(HistoricalPandaPolicy::new()));
+        registry.register("historical-panda", |_| {
+            Box::new(HistoricalPandaPolicy::new())
+        });
         registry.register("round-robin", |_| Box::new(RoundRobinPolicy::new()));
         registry.register("random", |seed| Box::new(RandomPolicy::new(seed)));
         registry.register("least-loaded", |_| Box::new(LeastLoadedPolicy::new()));

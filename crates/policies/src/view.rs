@@ -102,7 +102,9 @@ impl GridView {
 
     /// Sites that currently have at least `cores` free cores.
     pub fn sites_with_free_cores(&self, cores: u64) -> impl Iterator<Item = &SiteLoad> {
-        self.sites.iter().filter(move |s| s.available_cores >= cores)
+        self.sites
+            .iter()
+            .filter(move |s| s.available_cores >= cores)
     }
 
     /// Total free cores across the grid.

@@ -314,9 +314,9 @@ mod tests {
     fn split_never_leaves_a_part_empty_when_possible() {
         let d = toy_dataset(5);
         let (train, test) = d.split(0.999, 1);
-        assert!(train.len() >= 1 && test.len() >= 1);
+        assert!(!train.is_empty() && !test.is_empty());
         let (train, test) = d.split(0.001, 1);
-        assert!(train.len() >= 1 && test.len() >= 1);
+        assert!(!train.is_empty() && !test.is_empty());
     }
 
     #[test]
@@ -363,6 +363,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn raw_constructor_rejects_ragged_rows() {
-        Dataset::from_raw(vec![vec![1.0], vec![1.0, 2.0]], vec![0.0, 0.0], Target::Walltime);
+        Dataset::from_raw(
+            vec![vec![1.0], vec![1.0, 2.0]],
+            vec![0.0, 0.0],
+            Target::Walltime,
+        );
     }
 }

@@ -225,13 +225,7 @@ mod tests {
         let a = GradientBoostedTrees::fit(&d, cfg);
         let b = GradientBoostedTrees::fit(&d, cfg);
         assert_eq!(a.predict(&d), b.predict(&d));
-        let c = GradientBoostedTrees::fit(
-            &d,
-            GbdtConfig {
-                seed: 100,
-                ..cfg
-            },
-        );
+        let c = GradientBoostedTrees::fit(&d, GbdtConfig { seed: 100, ..cfg });
         assert_ne!(a.predict(&d), c.predict(&d));
     }
 

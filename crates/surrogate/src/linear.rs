@@ -29,8 +29,8 @@ impl RidgeRegression {
         assert!(lambda >= 0.0, "lambda must be non-negative");
         let n = dataset.len();
         let d = dataset.columns() + 1; // + intercept column
-        // Build the augmented design matrix implicitly: xᵢ = [features, 1].
-        // Normal equations: A = XᵀX + λI (intercept not regularised), b = Xᵀy.
+                                       // Build the augmented design matrix implicitly: xᵢ = [features, 1].
+                                       // Normal equations: A = XᵀX + λI (intercept not regularised), b = Xᵀy.
         let mut a = vec![vec![0.0; d]; d];
         let mut b = vec![0.0; d];
         for row_idx in 0..n {
@@ -46,9 +46,11 @@ impl RidgeRegression {
             }
         }
         // Mirror the upper triangle and add the ridge term.
-        for i in 0..d {
-            for j in 0..i {
-                a[i][j] = a[j][i];
+        for i in 1..d {
+            let (upper_rows, rest) = a.split_at_mut(i);
+            let row = &mut rest[0];
+            for (j, cell) in row.iter_mut().enumerate().take(i) {
+                *cell = upper_rows[j][i];
             }
         }
         let effective_lambda = lambda.max(1e-9);
@@ -99,10 +101,8 @@ fn cholesky_solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
     let mut l = vec![vec![0.0; n]; n];
     for i in 0..n {
         for j in 0..=i {
-            let mut sum = a[i][j];
-            for k in 0..j {
-                sum -= l[i][k] * l[j][k];
-            }
+            let dot: f64 = l[i][..j].iter().zip(&l[j][..j]).map(|(x, y)| x * y).sum();
+            let sum = a[i][j] - dot;
             if i == j {
                 if sum <= 0.0 {
                     return None;

@@ -294,7 +294,10 @@ pub fn select_best(
 ) -> (SurrogateModel, Vec<CrossValidationScore>) {
     let dataset = Dataset::from_examples(examples, target);
     let scores = cross_validate(&dataset, &SurrogateKind::ALL, config, folds, seed);
-    let best_kind = scores.first().map(|s| s.kind).unwrap_or(SurrogateKind::Gbdt);
+    let best_kind = scores
+        .first()
+        .map(|s| s.kind)
+        .unwrap_or(SurrogateKind::Gbdt);
     let model = SurrogateModel::train(best_kind, &dataset, config);
     (model, scores)
 }
@@ -381,7 +384,8 @@ mod tests {
     #[test]
     fn select_best_returns_the_top_ranked_model() {
         let examples = synthetic_examples(400, 3);
-        let (model, scores) = select_best(&examples, Target::Walltime, &TrainConfig::default(), 3, 5);
+        let (model, scores) =
+            select_best(&examples, Target::Walltime, &TrainConfig::default(), 3, 5);
         assert_eq!(model.kind(), scores[0].kind);
         let dataset = Dataset::from_examples(&examples, Target::Walltime);
         assert!(model.evaluate(&dataset).r2 > 0.3);
@@ -400,7 +404,11 @@ mod tests {
         );
         assert_eq!(report.target, Target::QueueTime);
         // Queue time here is a deterministic function of one feature.
-        assert!(report.test_metrics.r2 > 0.9, "{}", report.test_metrics.text_summary());
+        assert!(
+            report.test_metrics.r2 > 0.9,
+            "{}",
+            report.test_metrics.text_summary()
+        );
     }
 
     #[test]

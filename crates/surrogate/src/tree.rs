@@ -93,8 +93,8 @@ impl RegressionTree {
         depth: usize,
     ) -> usize {
         let mean = indices.iter().map(|&i| targets[i]).sum::<f64>() / indices.len() as f64;
-        let can_split = depth < self.config.max_depth
-            && indices.len() >= self.config.min_samples_split;
+        let can_split =
+            depth < self.config.max_depth && indices.len() >= self.config.min_samples_split;
         let best = if can_split {
             self.best_split(dataset, targets, &indices)
         } else {

@@ -195,11 +195,7 @@ impl Trace {
     pub fn summary(&self) -> TraceSummary {
         let work: Vec<f64> = self.jobs.iter().map(|j| j.work_hs23).collect();
         let input: Vec<f64> = self.jobs.iter().map(|j| j.input_bytes as f64).collect();
-        let walltimes: Vec<f64> = self
-            .jobs
-            .iter()
-            .filter_map(|j| j.hist_walltime)
-            .collect();
+        let walltimes: Vec<f64> = self.jobs.iter().filter_map(|j| j.hist_walltime).collect();
         TraceSummary {
             job_count: self.jobs.len(),
             multicore_jobs: self
@@ -448,7 +444,7 @@ mod tests {
         let platform = wlcg_platform(10, 5);
         let trace = TraceGenerator::new(TraceConfig::with_jobs(100, 5)).generate(&platform);
         assert_eq!(trace.hidden_site_multipliers.len(), 10);
-        for (_, &m) in &trace.hidden_site_multipliers {
+        for &m in trace.hidden_site_multipliers.values() {
             assert!(m > 0.0);
         }
     }

@@ -38,7 +38,10 @@ fn main() {
         .run()
         .expect("simulation runs");
 
-    println!("\n=== grid-wide metrics ===\n{}", results.metrics.text_summary());
+    println!(
+        "\n=== grid-wide metrics ===\n{}",
+        results.metrics.text_summary()
+    );
     println!(
         "CPU utilisation over the makespan: {:.1}%",
         results.metrics.cpu_utilisation(total_cores) * 100.0
@@ -46,7 +49,7 @@ fn main() {
 
     // Per-site view: the five busiest sites.
     let mut sites: Vec<_> = results.metrics.per_site.values().collect();
-    sites.sort_by(|a, b| b.finished_jobs.cmp(&a.finished_jobs));
+    sites.sort_by_key(|site| std::cmp::Reverse(site.finished_jobs));
     println!("\nbusiest sites:");
     for site in sites.iter().take(5) {
         println!(

@@ -58,7 +58,12 @@ impl AllocationPolicy for TierAwareBackfill {
                     .max_by_key(|l| l.available_cores)
                     .map(|l| l.site)
             })
-            .or_else(|| view.sites.iter().min_by_key(|l| l.queued_jobs).map(|l| l.site))
+            .or_else(|| {
+                view.sites
+                    .iter()
+                    .min_by_key(|l| l.queued_jobs)
+                    .map(|l| l.site)
+            })
     }
 }
 
@@ -87,11 +92,19 @@ fn main() {
         "{:<22} {:>12} {:>14} {:>14} {:>12}",
         "policy", "makespan_h", "mean_queue_s", "p95_queue_s", "failures"
     );
-    for name in ["tier-aware-backfill", "least-loaded", "round-robin", "random"] {
+    for name in [
+        "tier-aware-backfill",
+        "least-loaded",
+        "round-robin",
+        "random",
+    ] {
         // Register the plugin under a configuration-visible name (the moral
         // equivalent of dropping a shared library next to the simulator).
         let mut reg = PolicyRegistry::with_builtins();
-        reg.register("tier-aware-backfill", |_| Box::new(TierAwareBackfill::new()));
+        reg.register(
+            "tier-aware-backfill",
+            |_| Box::new(TierAwareBackfill::new()),
+        );
         let results = run_policy(&platform, &trace, reg, name);
         let queue = results.metrics.queue_time.as_ref();
         println!(

@@ -41,7 +41,10 @@ fn main() {
 
     let path = std::env::temp_dir().join("cgsim-dashboard.html");
     std::fs::write(&path, results.html_dashboard()).expect("dashboard written");
-    println!("HTML dashboard written to {} (open it in a browser)", path.display());
+    println!(
+        "HTML dashboard written to {} (open it in a browser)",
+        path.display()
+    );
 
     // The same data is available as raw event rows for post-processing.
     println!(

@@ -39,7 +39,11 @@ fn main() {
         &registry,
     )
     .expect("all policies are registered");
-    println!("# Allocation policies ({} jobs, {} sites)\n", trace.len(), 15);
+    println!(
+        "# Allocation policies ({} jobs, {} sites)\n",
+        trace.len(),
+        15
+    );
     println!("{}", report.to_csv());
     let best = report.best_by_makespan().expect("non-empty comparison");
     println!(
@@ -51,7 +55,11 @@ fn main() {
 
     // 2. Data-movement ablation: cache admission policies change WAN traffic.
     println!("\n# Data-movement policies (staged bytes over the WAN)\n");
-    for data_policy in ["default-data-movement", "never-cache", "size-threshold-cache"] {
+    for data_policy in [
+        "default-data-movement",
+        "never-cache",
+        "size-threshold-cache",
+    ] {
         let mut execution = ExecutionConfig::with_policy("least-loaded");
         execution.data_movement_policy = data_policy.to_string();
         let results = Simulation::builder()

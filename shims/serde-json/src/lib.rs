@@ -1,0 +1,76 @@
+//! Offline stand-in for `serde_json`, backed by the shimmed `serde` crate's
+//! value tree and hand-written JSON parser/printer.
+
+pub use serde::{Error, Map, Number, Value};
+
+/// Parses JSON text into any [`serde::Deserialize`] type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = serde::parse(text)?;
+    T::deserialize_value(&value)
+}
+
+/// Renders any [`serde::Serialize`] type as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::format_compact(&value.serialize_value()))
+}
+
+/// Renders any [`serde::Serialize`] type as pretty-printed JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::format_pretty(&value.serialize_value()))
+}
+
+/// Converts any [`serde::Serialize`] type into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.serialize_value())
+}
+
+/// Reconstructs a type from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::deserialize_value(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_containers() {
+        let v: Vec<Option<u64>> = from_str("[1, null, 3]").unwrap();
+        assert_eq!(v, vec![Some(1), None, Some(3)]);
+        assert_eq!(to_string(&v).unwrap(), "[1,null,3]");
+        let m: std::collections::HashMap<String, f64> = from_str("{\"a\": 1.5, \"b\": 2}").unwrap();
+        assert_eq!(m["a"], 1.5);
+        assert_eq!(m["b"], 2.0);
+    }
+
+    #[test]
+    fn value_supports_object_editing() {
+        let mut v: Value = from_str("{\"keep\": 1, \"drop\": true}").unwrap();
+        v.as_object_mut().unwrap().remove("drop");
+        assert_eq!(v.to_string(), "{\"keep\":1}");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s: String = from_str("\"a\\\"b\\\\c\\n\\u0041\"").unwrap();
+        assert_eq!(s, "a\"b\\c\nA");
+        let back = to_string(&s).unwrap();
+        let again: String = from_str(&back).unwrap();
+        assert_eq!(again, s);
+    }
+
+    #[test]
+    fn astral_plane_escapes_and_bad_surrogates() {
+        let s: String = from_str("\"\\ud801\\udc00\"").unwrap();
+        assert_eq!(s, "\u{10400}");
+        assert!(from_str::<String>("\"\\ud800\\ue000\"").is_err());
+        assert!(from_str::<String>("\"\\ud800x\"").is_err());
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&1e300f64).unwrap(), "1e300");
+    }
+}

@@ -131,9 +131,12 @@ fn cmd_simulate(options: &HashMap<String, String>) -> Result<(), String> {
     let execution_path = options
         .get("execution")
         .ok_or("missing --execution <execution.json>")?;
-    let trace_path = options.get("trace").ok_or("missing --trace <trace.jsonl>")?;
+    let trace_path = options
+        .get("trace")
+        .ok_or("missing --trace <trace.jsonl>")?;
 
-    let config = SimulationConfig::load(platform_path, execution_path).map_err(|e| e.to_string())?;
+    let config =
+        SimulationConfig::load(platform_path, execution_path).map_err(|e| e.to_string())?;
     let trace = Trace::load_jsonl(trace_path).map_err(|e| e.to_string())?;
     let mut execution = config.execution.clone();
     if let Some(policy) = options.get("policy") {

@@ -25,7 +25,10 @@ fn calibration_recovers_hidden_site_speeds_and_generalises() {
 
     // Substantial improvement of the geometric-mean error (paper: 76% -> 17%,
     // roughly a 4.5x improvement; we require at least 2x on this small setup).
-    assert!(report.geometric_mean_before > 0.15, "uncalibrated error suspiciously small");
+    assert!(
+        report.geometric_mean_before > 0.15,
+        "uncalibrated error suspiciously small"
+    );
     assert!(
         report.improvement_factor() > 2.0,
         "improvement {}x (before {:.3}, after {:.3})",

@@ -136,8 +136,7 @@ fn policies_differ_but_both_complete_the_workload() {
 #[test]
 fn ml_dataset_is_generated_from_any_run() {
     let results = small_run("least-loaded", 120, 41);
-    let examples =
-        cgsim::monitor::mldataset::build_examples(&results.outcomes, &results.events);
+    let examples = cgsim::monitor::mldataset::build_examples(&results.outcomes, &results.events);
     assert_eq!(examples.len(), 120);
     let csv = cgsim::monitor::mldataset::to_csv(&examples);
     assert_eq!(csv.lines().count(), 121);

@@ -4,8 +4,8 @@
 //! must beat single-site execution by a large factor.
 
 use cgsim::des::stats::scaling_exponent;
-use cgsim::prelude::*;
 use cgsim::platform::SiteSpec;
+use cgsim::prelude::*;
 
 fn run(platform: &PlatformSpec, jobs: usize, seed: u64) -> SimulationResults {
     let mut cfg = TraceConfig::with_jobs(jobs, seed);
@@ -36,7 +36,10 @@ fn job_scaling_is_subquadratic() {
         ys.push(results.engine_events as f64);
     }
     let k = scaling_exponent(&xs, &ys);
-    assert!(k < 1.6, "event-count scaling exponent {k} is not sub-quadratic");
+    assert!(
+        k < 1.6,
+        "event-count scaling exponent {k} is not sub-quadratic"
+    );
 }
 
 #[test]
