@@ -40,6 +40,8 @@ pub struct SimulationResults {
     pub wall_clock_s: f64,
     /// Final per-site dashboard panels.
     pub site_panels: Vec<SitePanel>,
+    /// Grid-level anomaly counters (e.g. invalid policy decisions).
+    pub grid_counters: cgsim_monitor::GridCounters,
     /// Name of the allocation policy used.
     pub policy: String,
 }
@@ -187,6 +189,29 @@ impl SimulationResults {
         store
     }
 
+    /// Serialises the deterministic subset of the results — everything except
+    /// the wall-clock measurement — as pretty-printed JSON. Two runs of the
+    /// same scenario must produce byte-identical output here; the CI
+    /// determinism gate runs the CLI twice and diffs this file.
+    pub fn deterministic_json(&self) -> String {
+        #[derive(Serialize)]
+        struct Deterministic {
+            policy: String,
+            makespan_s: f64,
+            engine_events: u64,
+            grid_counters: cgsim_monitor::GridCounters,
+            metrics: MetricsReport,
+        }
+        serde_json::to_string_pretty(&Deterministic {
+            policy: self.policy.clone(),
+            makespan_s: self.makespan_s,
+            engine_events: self.engine_events,
+            grid_counters: self.grid_counters,
+            metrics: self.metrics.clone(),
+        })
+        .expect("simulation results serialise")
+    }
+
     /// Renders the final dashboard as ASCII.
     pub fn ascii_dashboard(&self) -> String {
         cgsim_monitor::dashboard::ascii_dashboard(self.makespan_s, &self.site_panels)
@@ -233,6 +258,7 @@ mod tests {
             engine_events: 10,
             wall_clock_s: 0.01,
             site_panels: Vec::new(),
+            grid_counters: cgsim_monitor::GridCounters::default(),
             policy: "test".into(),
         }
     }

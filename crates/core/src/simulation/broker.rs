@@ -62,7 +62,24 @@ impl GridModel {
                 self.sites[site.index()].queue.push_back(idx);
                 self.try_start_site(site, ctx);
             }
-            _ => {
+            decision => {
+                // An out-of-range site is a policy bug, not congestion: count
+                // it in the grid-level monitoring counters (and warn once) so
+                // a buggy plugin cannot masquerade as an overloaded grid. The
+                // job itself is parked like any undispatchable job.
+                if let Some(bad) = decision {
+                    self.collector.record_invalid_decision();
+                    if !self.warned_invalid_policy {
+                        self.warned_invalid_policy = true;
+                        eprintln!(
+                            "warning: allocation policy '{}' returned out-of-range {bad} \
+                             (platform has {} sites); parking the job — see the monitor's \
+                             invalid_policy_decisions counter",
+                            self.policy.name(),
+                            self.sites.len()
+                        );
+                    }
+                }
                 self.jobs[idx].site = None;
                 self.jobs[idx].state = JobState::Pending;
                 self.record(now, idx, JobState::Pending);

@@ -28,7 +28,7 @@ mod tests;
 use std::collections::{HashMap, VecDeque};
 
 use cgsim_data::{DatasetId, LruCache, ReplicaCatalog};
-use cgsim_des::fluid::{ActivityId, FluidModel, ResourceId};
+use cgsim_des::fluid::{ActivityMap, FluidModel, ResourceId};
 use cgsim_des::rng::Rng;
 use cgsim_des::{Engine, EventKey, SimTime};
 use cgsim_monitor::{MetricsReport, MonitoringCollector};
@@ -88,11 +88,14 @@ struct GridModel {
     sites: Vec<SiteState>,
     pending: VecDeque<usize>,
     rng: Rng,
-    // Fluid model state.
+    // Fluid model state. The per-activity bookkeeping is slab-parallel to
+    // the fluid model's slots (see `cgsim_des::fluid::ActivityMap`): lookups
+    // are index arithmetic and stale generation-tagged ids are rejected, so
+    // no hashing happens on the per-event hot path.
     fluid: FluidModel,
     link_resources: Vec<ResourceId>,
     cpu_resources: Vec<ResourceId>,
-    activity_map: HashMap<ActivityId, (usize, Phase)>,
+    activity_map: ActivityMap<(usize, Phase)>,
     last_fluid_sync: SimTime,
     fluid_event: Option<EventKey>,
     // Data management state.
@@ -101,6 +104,8 @@ struct GridModel {
     task_datasets: HashMap<u64, DatasetId>,
     // Monitoring.
     collector: MonitoringCollector,
+    /// Whether the out-of-range-policy warning has been emitted (log once).
+    warned_invalid_policy: bool,
 }
 
 impl GridModel {
@@ -156,13 +161,14 @@ impl GridModel {
             fluid,
             link_resources,
             cpu_resources,
-            activity_map: HashMap::new(),
+            activity_map: ActivityMap::new(),
             last_fluid_sync: SimTime::ZERO,
             fluid_event: None,
             catalog: ReplicaCatalog::new(),
             caches,
             task_datasets: HashMap::new(),
             collector,
+            warned_invalid_policy: false,
         }
     }
 }
@@ -341,6 +347,7 @@ impl Simulation {
         let report = engine.run(&mut model);
 
         let site_panels = model.site_panels();
+        let grid_counters = model.collector.grid_counters();
         let (events, outcomes) = model.collector.into_parts();
         let metrics = MetricsReport::from_outcomes(&outcomes);
         SimulationResults {
@@ -351,6 +358,7 @@ impl Simulation {
             engine_events: report.events_processed,
             wall_clock_s: started.elapsed().as_secs_f64(),
             site_panels,
+            grid_counters,
             policy: policy_name,
         }
     }

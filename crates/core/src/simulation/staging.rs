@@ -34,14 +34,15 @@ impl GridModel {
     }
 
     /// Advances the fluid model to `now` and returns the (job, phase) pairs
-    /// whose activity completed.
+    /// whose activity completed, in the fluid model's deterministic
+    /// (slot-ordered) completion order.
     pub(super) fn advance_fluid(&mut self, now: SimTime) -> Vec<(usize, Phase)> {
         let dt = now.saturating_sub(self.last_fluid_sync);
         self.last_fluid_sync = now;
         let finished = self.fluid.advance(dt);
         finished
             .into_iter()
-            .filter_map(|aid| self.activity_map.remove(&aid))
+            .filter_map(|aid| self.activity_map.remove(aid))
             .collect()
     }
 

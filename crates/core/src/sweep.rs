@@ -8,6 +8,9 @@
 //! trace and execution configuration; results come back in the order the
 //! points were supplied regardless of which thread ran them.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use cgsim_platform::PlatformSpec;
 use cgsim_policies::PolicyRegistry;
 use cgsim_workload::Trace;
@@ -92,39 +95,45 @@ pub fn run_sweep(
         .map(|n| n.get())
         .unwrap_or(4)
         .min(points.len());
-    let chunk = points.len().div_ceil(threads);
-    let indexed: Vec<(usize, SweepPoint)> = points.into_iter().enumerate().collect();
-    let mut outcomes: Vec<Option<Result<SweepOutcome, SimulationError>>> = Vec::new();
-    outcomes.resize_with(indexed.len(), || None);
 
-    let chunks: Vec<Vec<(usize, SweepPoint)>> = indexed.chunks(chunk).map(|c| c.to_vec()).collect();
-    let collected: Vec<Vec<(usize, Result<SweepOutcome, SimulationError>)>> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk_points| {
-                    scope.spawn(|| {
-                        chunk_points
-                            .into_iter()
-                            .map(|(i, p)| (i, run_one(p)))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("sweep worker panicked"))
-                .collect()
-        });
+    // Self-scheduling fan-out: workers pull the next unclaimed point off a
+    // shared atomic counter. Contiguous chunking would hand every large point
+    // of a monotone job-scaling sweep to the same worker (the last chunk),
+    // serialising most of the work; with self-scheduling a worker that drew a
+    // cheap point simply comes back for another, so the load balances itself
+    // whatever the point-size distribution. Results land in their input slot,
+    // so outcome order is identical to the serial run.
+    let slots: Vec<Mutex<Option<SweepPoint>>> =
+        points.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    let results: Vec<Mutex<Option<Result<SweepOutcome, SimulationError>>>> =
+        (0..slots.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
 
-    for chunk_results in collected {
-        for (i, result) in chunk_results {
-            outcomes[i] = Some(result);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let point = slots[i]
+                    .lock()
+                    .expect("sweep point mutex poisoned")
+                    .take()
+                    .expect("each sweep point is claimed exactly once");
+                let outcome = run_one(point);
+                *results[i].lock().expect("sweep result mutex poisoned") = Some(outcome);
+            });
         }
-    }
-    outcomes
+    });
+
+    results
         .into_iter()
-        .map(|o| o.expect("every sweep point produced a result"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep result mutex poisoned")
+                .expect("every sweep point produced a result")
+        })
         .collect()
 }
 
@@ -219,18 +228,54 @@ mod tests {
             .collect()
     }
 
+    /// Sweep points whose sizes are heavily skewed: many tiny points followed
+    /// by a few large ones (the shape of a monotone job-scaling sweep, where
+    /// contiguous chunking used to pile all the expensive points onto the
+    /// last worker).
+    fn skewed_points() -> Vec<SweepPoint> {
+        (0..9)
+            .map(|i| {
+                let platform = example_platform();
+                let jobs = if i >= 7 { 400 } else { 20 };
+                let trace =
+                    TraceGenerator::new(TraceConfig::with_jobs(jobs, i as u64)).generate(&platform);
+                SweepPoint::new(
+                    format!("skewed-{i}"),
+                    platform,
+                    trace,
+                    ExecutionConfig::default(),
+                )
+            })
+            .collect()
+    }
+
+    fn assert_sweeps_agree(serial: &[SweepOutcome], parallel: &[SweepOutcome]) {
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(parallel) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.results.metrics.total_jobs, b.results.metrics.total_jobs);
+            assert!((a.results.makespan_s - b.results.makespan_s).abs() < 1e-9);
+            assert_eq!(a.results.engine_events, b.results.engine_events);
+        }
+    }
+
     #[test]
     fn serial_and_parallel_sweeps_agree_exactly() {
         let registry = PolicyRegistry::with_builtins();
         let serial = run_sweep(points(5), false, &registry).unwrap();
         let parallel = run_sweep(points(5), true, &registry).unwrap();
         assert_eq!(serial.len(), 5);
-        assert_eq!(parallel.len(), 5);
-        for (a, b) in serial.iter().zip(&parallel) {
-            assert_eq!(a.label, b.label);
-            assert_eq!(a.results.metrics.total_jobs, b.results.metrics.total_jobs);
-            assert!((a.results.makespan_s - b.results.makespan_s).abs() < 1e-9);
-            assert_eq!(a.results.engine_events, b.results.engine_events);
+        assert_sweeps_agree(&serial, &parallel);
+    }
+
+    #[test]
+    fn skewed_point_sizes_agree_between_serial_and_parallel() {
+        let registry = PolicyRegistry::with_builtins();
+        let serial = run_sweep(skewed_points(), false, &registry).unwrap();
+        let parallel = run_sweep(skewed_points(), true, &registry).unwrap();
+        assert_sweeps_agree(&serial, &parallel);
+        for (i, o) in parallel.iter().enumerate() {
+            assert_eq!(o.label, format!("skewed-{i}"), "input order preserved");
         }
     }
 

@@ -1,4 +1,9 @@
 //! Staging plans: which bytes must move where for a job to run at a site.
+//!
+//! Plans are pure descriptions — the simulation core executes each
+//! [`TransferRequest`] as an activity of the deterministic slab-indexed
+//! fluid model (`cgsim_des::fluid`), so planning here stays independent of
+//! activity handles and needs no knowledge of slot/generation semantics.
 
 use cgsim_platform::{NodeId, Platform};
 use serde::{Deserialize, Serialize};

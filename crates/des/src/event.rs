@@ -8,11 +8,14 @@
 //! parameter vector.
 //!
 //! Events can be cancelled through the [`EventKey`] returned by
-//! [`EventQueue::schedule`]; cancellation is lazy (a tombstone set), so it is
-//! O(log n) amortised and does not disturb the heap.
+//! [`EventQueue::schedule`]; cancellation is lazy (a tombstone in the status
+//! table), so it is O(1) and does not disturb the heap. The queue tracks the
+//! status of every event it has ever issued — pending, delivered or
+//! cancelled — in a flat `Vec` indexed by sequence number (one byte per
+//! event), so a cancel racing a delivery is detected instead of corrupting
+//! the live count: cancelling an already-popped key is a reported no-op.
 
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 use crate::time::SimTime;
 
@@ -36,6 +39,17 @@ pub struct ScheduledEvent<E> {
     pub key: EventKey,
     /// The payload.
     pub event: E,
+}
+
+/// Lifecycle of one scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventStatus {
+    /// Scheduled and not yet popped or cancelled.
+    Pending,
+    /// Popped by [`EventQueue::pop`] and handed to the caller.
+    Delivered,
+    /// Cancelled (or dropped by [`EventQueue::clear`]) before delivery.
+    Cancelled,
 }
 
 /// Internal heap entry ordered so the `BinaryHeap` (a max-heap) pops the
@@ -70,9 +84,11 @@ impl<E> Ord for HeapEntry<E> {
 /// A deterministic, cancellable, time-ordered event queue.
 pub struct EventQueue<E> {
     heap: BinaryHeap<HeapEntry<E>>,
-    cancelled: HashSet<u64>,
-    next_seq: u64,
-    scheduled_total: u64,
+    /// Status of every event ever scheduled, indexed by sequence number.
+    status: Vec<EventStatus>,
+    /// Number of `Pending` events (the live count; never underflows because
+    /// every decrement is guarded by a `Pending` status check).
+    live: usize,
     cancelled_total: u64,
 }
 
@@ -87,9 +103,8 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            next_seq: 0,
-            scheduled_total: 0,
+            status: Vec::new(),
+            live: 0,
             cancelled_total: 0,
         }
     }
@@ -98,41 +113,46 @@ impl<E> EventQueue<E> {
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
             heap: BinaryHeap::with_capacity(cap),
-            cancelled: HashSet::new(),
-            next_seq: 0,
-            scheduled_total: 0,
+            status: Vec::with_capacity(cap),
+            live: 0,
             cancelled_total: 0,
         }
     }
 
     /// Schedules `event` at absolute time `time` and returns a cancellation key.
     pub fn schedule(&mut self, time: SimTime, event: E) -> EventKey {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.scheduled_total += 1;
+        let seq = self.status.len() as u64;
+        self.status.push(EventStatus::Pending);
+        self.live += 1;
         self.heap.push(HeapEntry { time, seq, event });
         EventKey(seq)
     }
 
     /// Cancels a previously scheduled event. Returns `true` if the event was
-    /// still pending (i.e. had not been popped or cancelled before).
+    /// still pending — i.e. had not been popped or cancelled before. A key
+    /// whose event was already delivered is a no-op reporting `false` (it
+    /// must not leave a tombstone behind, or the live count would drift).
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        if key.0 >= self.next_seq {
-            return false;
+        match self.status.get_mut(key.0 as usize) {
+            Some(status @ EventStatus::Pending) => {
+                *status = EventStatus::Cancelled;
+                self.live -= 1;
+                self.cancelled_total += 1;
+                true
+            }
+            _ => false,
         }
-        let inserted = self.cancelled.insert(key.0);
-        if inserted {
-            self.cancelled_total += 1;
-        }
-        inserted
     }
 
     /// Removes and returns the next (earliest) non-cancelled event.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
+            let status = &mut self.status[entry.seq as usize];
+            if *status != EventStatus::Pending {
+                continue; // cancelled tombstone — drop it
             }
+            *status = EventStatus::Delivered;
+            self.live -= 1;
             return Some(ScheduledEvent {
                 time: entry.time,
                 key: EventKey(entry.seq),
@@ -146,31 +166,28 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         // Drop cancelled entries lazily so the peek is accurate.
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-            } else {
+            if self.status[entry.seq as usize] == EventStatus::Pending {
                 return Some(entry.time);
             }
+            self.heap.pop();
         }
         None
     }
 
-    /// Number of events currently pending (including not-yet-skipped
-    /// cancelled entries' complement, i.e. this is the *live* count).
+    /// Number of events currently pending (scheduled, not yet delivered or
+    /// cancelled).
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live
     }
 
     /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
     }
 
     /// Total number of events ever scheduled on this queue.
     pub fn scheduled_total(&self) -> u64 {
-        self.scheduled_total
+        self.status.len() as u64
     }
 
     /// Total number of events ever cancelled on this queue.
@@ -178,10 +195,23 @@ impl<E> EventQueue<E> {
         self.cancelled_total
     }
 
-    /// Removes every pending event.
+    /// Removes every pending event (their keys then behave like cancelled
+    /// ones: a later `cancel` reports `false`).
+    ///
+    /// The status table is deliberately *not* truncated: sequence numbers
+    /// keep growing monotonically, so an `EventKey` issued before the clear
+    /// can never alias an event scheduled after it. The cost is one byte per
+    /// event ever scheduled for the queue's lifetime — bounded by the run's
+    /// total event count, which the engine already tracks (a fresh queue per
+    /// simulation keeps it per-run).
     pub fn clear(&mut self) {
-        self.heap.clear();
-        self.cancelled.clear();
+        for entry in self.heap.drain() {
+            let status = &mut self.status[entry.seq as usize];
+            if *status == EventStatus::Pending {
+                *status = EventStatus::Cancelled;
+            }
+        }
+        self.live = 0;
     }
 }
 
@@ -229,6 +259,28 @@ mod tests {
     }
 
     #[test]
+    fn cancel_after_delivery_is_rejected() {
+        // Regression: cancelling a key whose event was already popped used to
+        // insert a permanent tombstone, making `len()` underflow (panic in
+        // debug, a huge bogus count in release) on the next computation.
+        let mut q = EventQueue::new();
+        let k = q.schedule(SimTime::from_secs(1.0), "a");
+        let delivered = q.pop().unwrap();
+        assert_eq!(delivered.key, k);
+        assert!(!q.cancel(k), "consumed key must not be cancellable");
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+        assert_eq!(q.cancelled_total(), 0);
+
+        // The queue keeps functioning normally afterwards.
+        let k2 = q.schedule(SimTime::from_secs(2.0), "b");
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(k2));
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
     fn peek_time_skips_cancelled() {
         let mut q = EventQueue::new();
         let k = q.schedule(SimTime::from_secs(1.0), "a");
@@ -248,5 +300,15 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cleared_keys_cannot_be_cancelled() {
+        let mut q = EventQueue::new();
+        let k = q.schedule(SimTime::ZERO, 1);
+        q.clear();
+        assert!(!q.cancel(k));
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
     }
 }

@@ -22,8 +22,32 @@
 //! rate of every activity, so the next completion time is simply
 //! `min(remaining_i / rate_i)` — this is what the discrete-event loop uses to
 //! schedule the next "transfer finished" event.
-
-use std::collections::HashMap;
+//!
+//! # Slab layout and determinism
+//!
+//! Activities live in a *slab*: a dense `Vec` of slots addressed by index,
+//! with freed slots kept on a LIFO free list and reused. An [`ActivityId`] is
+//! a `(slot, generation)` pair packed into a `u64`; every release bumps the
+//! slot's generation, so a stale handle held after its activity finished (or
+//! after the slot was recycled by a newer activity) is rejected by every
+//! lookup instead of silently aliasing the new occupant.
+//!
+//! The layout exists for two reasons:
+//!
+//! * **Determinism.** Share recomputation iterates resources and slots in
+//!   strictly ascending index order, and per-resource user lists are kept
+//!   sorted by slot index. There is no hash map anywhere on the path, so
+//!   floating-point accumulation order — and therefore every transfer rate,
+//!   every completion time and ultimately whole simulations — is bit-for-bit
+//!   identical between two runs of the same scenario. (A randomly seeded
+//!   `HashMap` iteration order, as used before this layout, could legally
+//!   reorder the additions and change the low bits of the allocation between
+//!   runs of the same binary.)
+//! * **Speed.** `recompute_shares` runs on every activity start/finish — the
+//!   hottest path of the whole simulator. Slab indices make every per-round
+//!   structure a flat `Vec` indexed by `usize`; the `weight_sum` / `residual`
+//!   / `frozen` scratch buffers are owned by the model and reused across
+//!   calls, so steady-state recomputation performs no allocation at all.
 
 use crate::define_id;
 use crate::time::SimTime;
@@ -34,16 +58,41 @@ define_id!(
     "resource"
 );
 
-/// Identifier of a fluid activity (e.g. one file transfer).
+/// Generation-tagged handle of a fluid activity (e.g. one file transfer).
+///
+/// Packs a slab slot index (low 32 bits) and the slot's generation at
+/// creation time (high 32 bits). The generation lets the model reject stale
+/// handles: once an activity completes or is removed, its slot's generation
+/// is bumped, so every later lookup through the old id returns `None` even if
+/// the slot has been recycled for a new activity.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 #[serde(transparent)]
-pub struct ActivityId(pub u64);
+pub struct ActivityId(u64);
+
+impl ActivityId {
+    /// Packs a slot index and generation into an id.
+    fn pack(slot: u32, generation: u32) -> Self {
+        ActivityId((u64::from(generation) << 32) | u64::from(slot))
+    }
+
+    /// The slab slot this id points at.
+    #[inline]
+    pub fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// The slot generation this id was created under.
+    #[inline]
+    pub fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 impl std::fmt::Display for ActivityId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "activity#{}", self.0)
+        write!(f, "activity#{}@{}", self.slot(), self.generation())
     }
 }
 
@@ -64,25 +113,36 @@ pub const TIME_RESOLUTION_S: f64 = 1e-6;
 #[derive(Debug, Clone)]
 struct ResourceState {
     capacity: f64,
-    /// Activities currently demanding this resource.
-    users: Vec<ActivityId>,
+    /// Slots of the activities currently demanding this resource, kept sorted
+    /// by slot index so iteration order is independent of insertion history.
+    users: Vec<u32>,
 }
 
-#[derive(Debug, Clone)]
-struct ActivityState {
+/// One slab slot. Freed slots keep their `resources` allocation for reuse.
+#[derive(Debug, Clone, Default)]
+struct ActivitySlot {
+    generation: u32,
+    live: bool,
     remaining: f64,
     weight: f64,
-    resources: Vec<ResourceId>,
     rate: f64,
+    resources: Vec<ResourceId>,
 }
 
 /// The fluid sharing model: a bipartite graph of resources and activities.
 #[derive(Debug, Clone, Default)]
 pub struct FluidModel {
     resources: Vec<ResourceState>,
-    activities: HashMap<ActivityId, ActivityState>,
-    next_activity: u64,
+    slots: Vec<ActivitySlot>,
+    /// LIFO free list of released slots (deterministic reuse order).
+    free: Vec<u32>,
+    live_count: usize,
     shares_valid: bool,
+    // Reusable scratch buffers for `recompute_shares` (no steady-state
+    // allocation on the hot path).
+    scratch_residual: Vec<f64>,
+    scratch_weight_sum: Vec<f64>,
+    scratch_frozen: Vec<bool>,
 }
 
 impl FluidModel {
@@ -132,7 +192,7 @@ impl FluidModel {
 
     /// Number of in-flight activities.
     pub fn activity_count(&self) -> usize {
-        self.activities.len()
+        self.live_count
     }
 
     /// Starts an activity requiring `amount` units of work across the listed
@@ -161,44 +221,81 @@ impl FluidModel {
             !resources.is_empty(),
             "an activity must use at least one resource"
         );
-        let id = ActivityId(self.next_activity);
-        self.next_activity += 1;
-        for &r in resources {
-            self.resources[r.index()].users.push(id);
+        let slot_idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                let idx = self.slots.len();
+                assert!(idx < u32::MAX as usize, "fluid slab exhausted");
+                self.slots.push(ActivitySlot::default());
+                idx as u32
+            }
+        };
+        let slot = &mut self.slots[slot_idx as usize];
+        slot.live = true;
+        slot.remaining = amount;
+        slot.weight = weight;
+        slot.rate = 0.0;
+        slot.resources.clear();
+        slot.resources.extend_from_slice(resources);
+        let generation = slot.generation;
+        for r in resources {
+            let users = &mut self.resources[r.index()].users;
+            let pos = users.binary_search(&slot_idx).unwrap_or_else(|p| p);
+            users.insert(pos, slot_idx);
         }
-        self.activities.insert(
-            id,
-            ActivityState {
-                remaining: amount,
-                weight,
-                resources: resources.to_vec(),
-                rate: 0.0,
-            },
-        );
+        self.live_count += 1;
         self.shares_valid = false;
-        id
+        ActivityId::pack(slot_idx, generation)
+    }
+
+    /// Resolves an id to its slot index, rejecting stale generations.
+    fn slot_of(&self, id: ActivityId) -> Option<usize> {
+        let idx = id.slot() as usize;
+        let slot = self.slots.get(idx)?;
+        (slot.live && slot.generation == id.generation()).then_some(idx)
+    }
+
+    /// Unlinks a slot from its resources, bumps its generation (invalidating
+    /// every outstanding id) and returns it to the free list.
+    fn release_slot(&mut self, slot_idx: u32) {
+        let resources = std::mem::take(&mut self.slots[slot_idx as usize].resources);
+        for r in &resources {
+            let users = &mut self.resources[r.index()].users;
+            if let Ok(pos) = users.binary_search(&slot_idx) {
+                users.remove(pos);
+            }
+        }
+        let slot = &mut self.slots[slot_idx as usize];
+        slot.resources = resources;
+        slot.resources.clear();
+        slot.live = false;
+        slot.generation = slot.generation.wrapping_add(1);
+        slot.remaining = 0.0;
+        slot.rate = 0.0;
+        slot.weight = 0.0;
+        self.free.push(slot_idx);
+        self.live_count -= 1;
     }
 
     /// Removes an activity regardless of remaining work (e.g. a cancelled
     /// transfer). Returns the remaining amount, if the activity existed.
     pub fn remove_activity(&mut self, id: ActivityId) -> Option<f64> {
-        let state = self.activities.remove(&id)?;
-        for r in &state.resources {
-            self.resources[r.index()].users.retain(|&a| a != id);
-        }
+        let idx = self.slot_of(id)?;
+        let remaining = self.slots[idx].remaining;
+        self.release_slot(idx as u32);
         self.shares_valid = false;
-        Some(state.remaining)
+        Some(remaining)
     }
 
-    /// Remaining work of an activity.
+    /// Remaining work of an activity (`None` for stale/unknown ids).
     pub fn remaining(&self, id: ActivityId) -> Option<f64> {
-        self.activities.get(&id).map(|a| a.remaining)
+        self.slot_of(id).map(|idx| self.slots[idx].remaining)
     }
 
-    /// Current max-min fair rate of an activity (0 until shares are computed).
+    /// Current max-min fair rate of an activity (`None` for stale ids).
     pub fn rate(&mut self, id: ActivityId) -> Option<f64> {
         self.ensure_shares();
-        self.activities.get(&id).map(|a| a.rate)
+        self.slot_of(id).map(|idx| self.slots[idx].rate)
     }
 
     /// Recomputes the max-min fair allocation if anything changed.
@@ -211,33 +308,42 @@ impl FluidModel {
     }
 
     /// Progressive-filling max-min fairness.
+    ///
+    /// Every loop below walks a flat `Vec` in ascending index order, so the
+    /// floating-point accumulation order is a pure function of the model's
+    /// call history — the bit-for-bit reproducibility contract of the crate.
     fn recompute_shares(&mut self) {
-        // Residual capacity per resource and per-resource unfrozen weight sum.
         let n_res = self.resources.len();
-        let mut residual: Vec<f64> = self.resources.iter().map(|r| r.capacity).collect();
-        let mut frozen: HashMap<ActivityId, bool> =
-            self.activities.keys().map(|&id| (id, false)).collect();
-        // Activities with zero remaining work finish "instantly"; give them a
-        // nominal rate so next_completion returns 0 for them.
-        for (_, act) in self.activities.iter_mut() {
-            act.rate = 0.0;
+        let mut residual = std::mem::take(&mut self.scratch_residual);
+        let mut weight_sum = std::mem::take(&mut self.scratch_weight_sum);
+        let mut frozen = std::mem::take(&mut self.scratch_frozen);
+        residual.clear();
+        residual.extend(self.resources.iter().map(|r| r.capacity));
+        weight_sum.clear();
+        weight_sum.resize(n_res, 0.0);
+        frozen.clear();
+        frozen.resize(self.slots.len(), false);
+
+        let mut unfrozen = 0usize;
+        for slot in self.slots.iter_mut().filter(|s| s.live) {
+            slot.rate = 0.0;
+            unfrozen += 1;
         }
 
-        let mut unfrozen_count = self.activities.len();
-        // Each iteration freezes at least one activity, so at most n iterations.
-        while unfrozen_count > 0 {
+        // Each iteration freezes at least one activity, so at most n rounds.
+        while unfrozen > 0 {
             // Weight of unfrozen activities crossing each resource.
-            let mut weight_sum = vec![0.0f64; n_res];
-            for (id, act) in &self.activities {
-                if frozen[id] {
-                    continue;
+            for (idx, res) in self.resources.iter().enumerate() {
+                let mut sum = 0.0;
+                for &u in &res.users {
+                    if !frozen[u as usize] {
+                        sum += self.slots[u as usize].weight;
+                    }
                 }
-                for r in &act.resources {
-                    weight_sum[r.index()] += act.weight;
-                }
+                weight_sum[idx] = sum;
             }
-            // Fair share increment per unit weight = min over used resources of
-            // residual / weight_sum.
+            // Fair share increment per unit weight = min over used resources
+            // of residual / weight_sum (first such resource on ties).
             let mut bottleneck: Option<(usize, f64)> = None;
             for (idx, &w) in weight_sum.iter().enumerate() {
                 if w > EPSILON {
@@ -255,30 +361,33 @@ impl FluidModel {
                 break;
             };
 
-            // Freeze every unfrozen activity crossing the bottleneck resource.
+            // Freeze every unfrozen activity crossing the bottleneck
+            // resource, in ascending slot order.
             let mut froze_any = false;
-            let to_freeze: Vec<ActivityId> = self
-                .activities
-                .iter()
-                .filter(|(id, act)| {
-                    !frozen[*id] && act.resources.iter().any(|r| r.index() == bottleneck_idx)
-                })
-                .map(|(&id, _)| id)
-                .collect();
-            for id in to_freeze {
-                let act = self.activities.get_mut(&id).expect("activity exists");
-                act.rate = fair_rate_per_weight * act.weight;
-                for r in &act.resources {
-                    residual[r.index()] = (residual[r.index()] - act.rate).max(0.0);
+            let mut cursor = 0;
+            while cursor < self.resources[bottleneck_idx].users.len() {
+                let slot_idx = self.resources[bottleneck_idx].users[cursor] as usize;
+                cursor += 1;
+                if frozen[slot_idx] {
+                    continue;
                 }
-                *frozen.get_mut(&id).expect("tracked") = true;
-                unfrozen_count -= 1;
+                let rate = fair_rate_per_weight * self.slots[slot_idx].weight;
+                for r in &self.slots[slot_idx].resources {
+                    residual[r.index()] = (residual[r.index()] - rate).max(0.0);
+                }
+                self.slots[slot_idx].rate = rate;
+                frozen[slot_idx] = true;
+                unfrozen -= 1;
                 froze_any = true;
             }
             if !froze_any {
                 break;
             }
         }
+
+        self.scratch_residual = residual;
+        self.scratch_weight_sum = weight_sum;
+        self.scratch_frozen = frozen;
     }
 
     /// Time until the next activity completes at current rates, if any
@@ -286,13 +395,13 @@ impl FluidModel {
     pub fn time_to_next_completion(&mut self) -> Option<SimTime> {
         self.ensure_shares();
         let mut best: Option<f64> = None;
-        for act in self.activities.values() {
-            let t = if act.remaining <= EPSILON
-                || (act.rate > EPSILON && act.remaining <= act.rate * TIME_RESOLUTION_S)
+        for slot in self.slots.iter().filter(|s| s.live) {
+            let t = if slot.remaining <= EPSILON
+                || (slot.rate > EPSILON && slot.remaining <= slot.rate * TIME_RESOLUTION_S)
             {
                 0.0
-            } else if act.rate > EPSILON {
-                act.remaining / act.rate
+            } else if slot.rate > EPSILON {
+                slot.remaining / slot.rate
             } else {
                 continue;
             };
@@ -306,29 +415,28 @@ impl FluidModel {
 
     /// Advances every in-flight activity by `dt` of virtual time and returns
     /// the activities that completed (remaining work reached zero), removing
-    /// them from the model.
+    /// them from the model. The returned ids are in ascending slot order — a
+    /// deterministic order for downstream event scheduling.
     pub fn advance(&mut self, dt: SimTime) -> Vec<ActivityId> {
         self.ensure_shares();
         let dt = dt.as_secs();
         let mut finished = Vec::new();
-        for (id, act) in self.activities.iter_mut() {
-            act.remaining -= act.rate * dt;
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            if !slot.live {
+                continue;
+            }
+            slot.remaining -= slot.rate * dt;
             // An activity is done when its remaining work is gone *or* would
             // be gone within the fluid model's time resolution — the latter
             // absorbs floating-point residue that would otherwise stall the
             // event loop on sub-resolvable completion times.
-            if act.remaining <= EPSILON || act.remaining <= act.rate * TIME_RESOLUTION_S {
-                act.remaining = 0.0;
-                finished.push(*id);
+            if slot.remaining <= EPSILON || slot.remaining <= slot.rate * TIME_RESOLUTION_S {
+                slot.remaining = 0.0;
+                finished.push(ActivityId::pack(idx as u32, slot.generation));
             }
         }
-        // Deterministic order for downstream event scheduling.
-        finished.sort();
         for id in &finished {
-            let state = self.activities.remove(id).expect("present");
-            for r in &state.resources {
-                self.resources[r.index()].users.retain(|a| a != id);
-            }
+            self.release_slot(id.slot());
         }
         if !finished.is_empty() {
             self.shares_valid = false;
@@ -339,23 +447,103 @@ impl FluidModel {
     /// Total allocated rate on a resource (diagnostics / tests).
     pub fn allocated_on(&mut self, resource: ResourceId) -> f64 {
         self.ensure_shares();
-        self.activities
-            .values()
-            .filter(|a| a.resources.contains(&resource))
-            .map(|a| a.rate)
+        self.slots
+            .iter()
+            .filter(|s| s.live && s.resources.contains(&resource))
+            .map(|s| s.rate)
             .sum()
     }
 
-    /// Current rates of all activities (diagnostics / tests), sorted by id.
+    /// Current rates of all activities (diagnostics / tests), in ascending
+    /// slot order.
     pub fn rates(&mut self) -> Vec<(ActivityId, f64)> {
         self.ensure_shares();
-        let mut v: Vec<_> = self
-            .activities
+        self.slots
             .iter()
-            .map(|(&id, a)| (id, a.rate))
-            .collect();
-        v.sort_by_key(|(id, _)| *id);
-        v
+            .enumerate()
+            .filter(|(_, s)| s.live)
+            .map(|(idx, s)| (ActivityId::pack(idx as u32, s.generation), s.rate))
+            .collect()
+    }
+}
+
+/// A secondary map keyed by [`ActivityId`], slab-parallel to [`FluidModel`].
+///
+/// Stores one value per live activity in a dense `Vec` indexed by the id's
+/// slot, with the generation recorded alongside so stale ids miss instead of
+/// aliasing a recycled slot. This replaces `HashMap<ActivityId, T>` in
+/// consumers (the simulation core keeps its per-activity `(job, phase)`
+/// bookkeeping here): lookups are O(1) index arithmetic and iteration-free,
+/// and no hashing ever happens on the per-event path.
+#[derive(Debug, Clone)]
+pub struct ActivityMap<T> {
+    entries: Vec<Option<(u32, T)>>,
+    len: usize,
+}
+
+impl<T> Default for ActivityMap<T> {
+    fn default() -> Self {
+        ActivityMap {
+            entries: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T> ActivityMap<T> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Associates `value` with `id`, returning the previous value for the
+    /// same id. A value left behind by a stale id on the same slot is
+    /// discarded silently.
+    pub fn insert(&mut self, id: ActivityId, value: T) -> Option<T> {
+        let idx = id.slot() as usize;
+        if idx >= self.entries.len() {
+            self.entries.resize_with(idx + 1, || None);
+        }
+        let previous = self.entries[idx].take();
+        self.entries[idx] = Some((id.generation(), value));
+        match previous {
+            Some((generation, old)) if generation == id.generation() => Some(old),
+            Some(_) => None, // overwrote a stale entry; occupancy unchanged
+            None => {
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    /// The value associated with `id`, if current.
+    pub fn get(&self, id: ActivityId) -> Option<&T> {
+        match self.entries.get(id.slot() as usize)? {
+            Some((generation, value)) if *generation == id.generation() => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Removes and returns the value associated with `id`, if current.
+    pub fn remove(&mut self, id: ActivityId) -> Option<T> {
+        let entry = self.entries.get_mut(id.slot() as usize)?;
+        match entry {
+            Some((generation, _)) if *generation == id.generation() => {
+                self.len -= 1;
+                entry.take().map(|(_, value)| value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 }
 
@@ -414,10 +602,8 @@ mod tests {
     #[test]
     fn classic_max_min_three_flows() {
         // Two links of capacity 10; flow A uses link1, flow B uses link2,
-        // flow C uses both. Max-min allocation: all get 5, then A and B grow
-        // to 5 more? No: progressive filling gives C=5, A=5, B=5; residual on
-        // each link is 0 after freezing at the shared bottleneck... Actually
-        // both links saturate simultaneously at rate 5, so A=B=C=5.
+        // flow C uses both. Both links saturate simultaneously at rate 5, so
+        // the max-min allocation is A=B=C=5.
         let mut m = FluidModel::new();
         let l1 = m.add_resource(10.0);
         let l2 = m.add_resource(10.0);
@@ -570,5 +756,158 @@ mod tests {
         assert_eq!(completed, 3);
         // Total work 600 through a 50-unit link, always saturated => 12s.
         assert!((elapsed - 12.0).abs() < 1e-6, "elapsed={elapsed}");
+    }
+
+    #[test]
+    fn slots_are_reused_and_stale_ids_rejected() {
+        let mut m = FluidModel::new();
+        let link = m.add_resource(100.0);
+        let a = m.add_activity(1e6, &[link]);
+        assert_eq!(a.slot(), 0);
+        assert_eq!(a.generation(), 0);
+        m.remove_activity(a).unwrap();
+
+        // The freed slot is recycled under a new generation.
+        let b = m.add_activity(2e6, &[link]);
+        assert_eq!(b.slot(), 0);
+        assert_eq!(b.generation(), 1);
+        assert_ne!(a, b);
+
+        // The stale id misses every lookup instead of aliasing b.
+        assert_eq!(m.remaining(a), None);
+        assert_eq!(m.rate(a), None);
+        assert_eq!(m.remove_activity(a), None);
+        assert!((m.remaining(b).unwrap() - 2e6).abs() < 1e-9);
+        assert_eq!(m.activity_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_resources_in_route_are_tolerated() {
+        // A route listing the same resource twice inserts the slot twice into
+        // that resource's user list; release must remove both copies (one per
+        // occurrence in the activity's resource list), leaving no dangling
+        // slot index behind.
+        let mut m = FluidModel::new();
+        let link = m.add_resource(100.0);
+        let a = m.add_activity(100.0, &[link, link]);
+        // The duplicated entry counts the weight twice, halving the rate —
+        // same as the pre-slab behaviour.
+        assert!((m.rate(a).unwrap() - 50.0).abs() < 1e-9);
+        m.remove_activity(a).unwrap();
+
+        // The slot recycles cleanly: a fresh activity not crossing the
+        // duplicated entry sees the full capacity, completes, and the model
+        // drains to empty (a stale user entry would corrupt the weight sums
+        // or panic the freezing loop).
+        let b = m.add_activity(100.0, &[link]);
+        assert!((m.rate(b).unwrap() - 100.0).abs() < 1e-9);
+        let done = m.advance(SimTime::from_secs(1.0));
+        assert_eq!(done, vec![b]);
+        assert_eq!(m.activity_count(), 0);
+        assert!(m.time_to_next_completion().is_none());
+    }
+
+    #[test]
+    fn completed_activity_id_is_stale_after_advance() {
+        let mut m = FluidModel::new();
+        let link = m.add_resource(100.0);
+        let a = m.add_activity(100.0, &[link]);
+        let done = m.advance(SimTime::from_secs(1.0));
+        assert_eq!(done, vec![a]);
+        assert_eq!(m.remaining(a), None);
+        assert_eq!(m.rate(a), None);
+    }
+
+    #[test]
+    fn rates_are_identical_under_permuted_insertion_order() {
+        // Exactly representable capacities and unit weights: the max-min
+        // allocation is then order-independent *bit for bit*, so two models
+        // holding the same activity set in different slots must agree.
+        let build = |order: &[usize]| {
+            let mut m = FluidModel::new();
+            let l1 = m.add_resource(8.0);
+            let l2 = m.add_resource(2.0);
+            let l3 = m.add_resource(16.0);
+            let routes: [Vec<ResourceId>; 4] = [vec![l1], vec![l1, l2], vec![l2, l3], vec![l3]];
+            let mut ids = vec![None; routes.len()];
+            for &k in order {
+                ids[k] = Some(m.add_activity(1e6, &routes[k]));
+            }
+            let rates: Vec<f64> = ids
+                .into_iter()
+                .map(|id| m.rate(id.expect("all inserted")).unwrap())
+                .collect();
+            rates
+        };
+        let forward = build(&[0, 1, 2, 3]);
+        let reversed = build(&[3, 2, 1, 0]);
+        let shuffled = build(&[2, 0, 3, 1]);
+        for (i, r) in forward.iter().enumerate() {
+            assert_eq!(r.to_bits(), reversed[i].to_bits(), "activity {i}");
+            assert_eq!(r.to_bits(), shuffled[i].to_bits(), "activity {i}");
+        }
+    }
+
+    #[test]
+    fn recompute_is_identical_across_independently_built_models() {
+        // Same construction sequence → bit-identical rates, including after
+        // churn (removals re-sorting the user lists and recycling slots).
+        let build = || {
+            let mut m = FluidModel::new();
+            let links: Vec<_> = (0..6).map(|i| m.add_resource(10.0 + i as f64)).collect();
+            let mut ids = Vec::new();
+            for i in 0..40 {
+                let route = vec![links[i % 6], links[(i * 5 + 2) % 6]];
+                ids.push(m.add_activity(1e5 + i as f64, &route));
+            }
+            for i in (0..40).step_by(3) {
+                m.remove_activity(ids[i]);
+            }
+            for i in 0..10 {
+                m.add_activity(5e4 + i as f64, &[links[i % 6]]);
+            }
+            let rates: Vec<((u32, u32), u64)> = m
+                .rates()
+                .into_iter()
+                .map(|(id, r)| ((id.slot(), id.generation()), r.to_bits()))
+                .collect();
+            rates
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn activity_map_tracks_generations() {
+        let mut m = FluidModel::new();
+        let link = m.add_resource(100.0);
+        let mut map: ActivityMap<&str> = ActivityMap::new();
+
+        let a = m.add_activity(1e6, &[link]);
+        assert_eq!(map.insert(a, "first"), None);
+        assert_eq!(map.get(a), Some(&"first"));
+        assert_eq!(map.len(), 1);
+
+        m.remove_activity(a).unwrap();
+        let b = m.add_activity(1e6, &[link]);
+        assert_eq!(b.slot(), a.slot(), "slot is recycled");
+
+        // The stale id no longer resolves; the new id takes over the slot.
+        assert_eq!(map.insert(b, "second"), None);
+        assert_eq!(map.len(), 1, "stale entry replaced, not accumulated");
+        assert_eq!(map.get(a), None);
+        assert_eq!(map.remove(a), None);
+        assert_eq!(map.remove(b), Some("second"));
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn activity_id_display_shows_slot_and_generation() {
+        let mut m = FluidModel::new();
+        let link = m.add_resource(1.0);
+        let a = m.add_activity(1.0, &[link]);
+        assert_eq!(format!("{a}"), "activity#0@0");
+        m.remove_activity(a).unwrap();
+        let b = m.add_activity(1.0, &[link]);
+        assert_eq!(format!("{b}"), "activity#0@1");
     }
 }

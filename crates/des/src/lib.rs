@@ -69,6 +69,6 @@ pub mod time;
 
 pub use engine::{Context, Engine, EventHandler, RunReport, StopReason};
 pub use event::{EventKey, EventQueue, ScheduledEvent};
-pub use fluid::{ActivityId, FluidModel, ResourceId};
+pub use fluid::{ActivityId, ActivityMap, FluidModel, ResourceId};
 pub use rng::Rng;
 pub use time::SimTime;

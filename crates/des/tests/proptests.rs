@@ -53,6 +53,62 @@ proptest! {
         }
     }
 
+    /// Arbitrary interleavings of pops and (possibly stale) cancels never
+    /// corrupt the live count: `len()` always equals scheduled − delivered −
+    /// cancelled. Regression property for the cancel-after-delivery bug,
+    /// where a consumed key left a permanent tombstone and `len()`
+    /// underflowed `usize`.
+    #[test]
+    fn event_queue_len_is_always_consistent(
+        times in prop::collection::vec(0.0f64..1e3, 1..100),
+        ops in prop::collection::vec((any::<bool>(), 0usize..100), 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        let mut keys = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            keys.push(q.schedule(SimTime::from_secs(t), i));
+        }
+        let mut delivered = 0usize;
+        let mut cancelled = 0usize;
+        for &(do_pop, k) in &ops {
+            if do_pop {
+                if q.pop().is_some() {
+                    delivered += 1;
+                }
+            } else if q.cancel(keys[k % keys.len()]) {
+                cancelled += 1;
+            }
+        }
+        prop_assert_eq!(q.len(), times.len() - delivered - cancelled);
+        prop_assert_eq!(q.cancelled_total() as usize, cancelled);
+        prop_assert_eq!(q.scheduled_total() as usize, times.len());
+    }
+
+    /// Two models built from the same scenario description produce
+    /// bit-identical max-min rates — the determinism contract of the
+    /// slab-indexed fluid model.
+    #[test]
+    fn fluid_rates_reproducible_across_rebuilds(
+        caps in prop::collection::vec(1.0f64..1000.0, 1..8),
+        activities in prop::collection::vec((0usize..8, 0usize..8, 1.0f64..1e6), 1..40),
+    ) {
+        let build = || {
+            let mut m = FluidModel::new();
+            let ids: Vec<_> = caps.iter().map(|&c| m.add_resource(c)).collect();
+            for &(a, b, work) in &activities {
+                let r1 = ids[a % ids.len()];
+                let r2 = ids[b % ids.len()];
+                let route = if r1 == r2 { vec![r1] } else { vec![r1, r2] };
+                m.add_activity(work, &route);
+            }
+            m.rates()
+                .into_iter()
+                .map(|(id, r)| (id, r.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(build(), build());
+    }
+
     /// Max-min sharing never over-allocates any resource and never assigns a
     /// negative rate.
     #[test]

@@ -51,12 +51,23 @@ pub struct SiteCounters {
     pub failed: u64,
 }
 
+/// Grid-level (main-server) counters not attributable to any single site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct GridCounters {
+    /// Allocation-policy decisions referencing a site outside the platform
+    /// (a buggy plugin returning an out-of-range `SiteId`). The concerned
+    /// jobs are parked on the pending list; without this counter such a
+    /// plugin is indistinguishable from an overloaded grid.
+    pub invalid_policy_decisions: u64,
+}
+
 /// The monitoring collector.
 #[derive(Debug, Clone)]
 pub struct MonitoringCollector {
     config: MonitoringConfig,
     site_names: Vec<String>,
     counters: Vec<SiteCounters>,
+    grid_counters: GridCounters,
     events: Vec<EventRecord>,
     outcomes: Vec<JobOutcome>,
     next_event_id: u64,
@@ -71,11 +82,24 @@ impl MonitoringCollector {
             config,
             site_names,
             counters,
+            grid_counters: GridCounters::default(),
             events: Vec::new(),
             outcomes: Vec::new(),
             next_event_id: 0,
             transitions_seen: 0,
         }
+    }
+
+    /// Records an allocation-policy decision that referenced a site outside
+    /// the platform (the job is parked, not lost — but the defect must show
+    /// up in monitoring rather than masquerade as grid congestion).
+    pub fn record_invalid_decision(&mut self) {
+        self.grid_counters.invalid_policy_decisions += 1;
+    }
+
+    /// Grid-level counters (main-server anomalies).
+    pub fn grid_counters(&self) -> GridCounters {
+        self.grid_counters
     }
 
     /// Records a job state transition at a site (`site_index` indexes the
@@ -236,6 +260,18 @@ mod tests {
         }
         assert_eq!(c.events().len(), 10);
         assert_eq!(c.transitions_seen(), 100);
+    }
+
+    #[test]
+    fn invalid_decisions_accumulate_in_grid_counters() {
+        let mut c = collector();
+        assert_eq!(c.grid_counters(), GridCounters::default());
+        c.record_invalid_decision();
+        c.record_invalid_decision();
+        assert_eq!(c.grid_counters().invalid_policy_decisions, 2);
+        // Site counters are untouched by grid-level anomalies.
+        assert_eq!(c.site_counters(0), SiteCounters::default());
+        assert_eq!(c.site_counters(1), SiteCounters::default());
     }
 
     #[test]

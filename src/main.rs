@@ -197,6 +197,10 @@ fn report(results: &SimulationResults, options: &HashMap<String, String>) -> Res
             .map_err(|e| e.to_string())?;
         std::fs::write(dir.join("dashboard.html"), results.html_dashboard())
             .map_err(|e| e.to_string())?;
+        // Deterministic result summary (no wall-clock): the CI determinism
+        // gate runs the same scenario twice and diffs this file.
+        std::fs::write(dir.join("results.json"), results.deterministic_json())
+            .map_err(|e| e.to_string())?;
         let examples =
             cgsim::monitor::mldataset::build_examples(&results.outcomes, &results.events);
         std::fs::write(
