@@ -1,0 +1,74 @@
+//! Fault-injection overhead: 1k jobs under site churn.
+//!
+//! Measures a full 6-site, 1 000-job simulation in three regimes:
+//!
+//! * `clean` — no fault plan attached (the baseline every other scenario in
+//!   the suite runs in),
+//! * `empty_plan` — a zero-event plan attached; must cost the same as
+//!   `clean` (the fault hooks on the hot path are a branch on empty state),
+//! * `site_churn` — every site bouncing with a 2 h MTTF / 20 min MTTR plus
+//!   WAN-wide degradation, exercising kill/resubmit, staged-data
+//!   invalidation and fluid re-rating.
+//!
+//! The committed baseline lives in `BENCH_faults.json` at the repository
+//! root; the fault-free hot-path guarantee is additionally covered by
+//! re-running `--bench fluid` against `BENCH_fluid.json`.
+
+use cgsim_core::{ExecutionConfig, Simulation};
+use cgsim_faults::{parse_fault_spec, FaultPlan, FaultTopology};
+use cgsim_platform::presets::wlcg_platform;
+use cgsim_platform::{Platform, PlatformSpec};
+use cgsim_workload::{Trace, TraceConfig, TraceGenerator};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const SITES: usize = 6;
+const JOBS: usize = 1_000;
+
+fn scenario() -> (PlatformSpec, Trace) {
+    let platform = wlcg_platform(SITES, 42);
+    let trace = TraceGenerator::new(TraceConfig::with_jobs(JOBS, 42)).generate(&platform);
+    (platform, trace)
+}
+
+fn churn_plan(platform_spec: &PlatformSpec, jobs: usize) -> FaultPlan {
+    let config = parse_fault_spec(
+        "outage:site=all,mttf=2h,mttr=20m;degrade:link=all,factor=0.3,mttf=4h,mttr=30m;kill:rate=2",
+    )
+    .expect("spec parses");
+    let platform = Platform::build(platform_spec).expect("platform builds");
+    FaultPlan::generate(&config, &FaultTopology::for_platform(&platform, jobs), 7)
+}
+
+fn run(platform: &PlatformSpec, trace: &Trace, plan: Option<&FaultPlan>) -> f64 {
+    let mut builder = Simulation::builder()
+        .platform_spec(platform)
+        .expect("platform builds")
+        .trace(trace.clone())
+        .policy_name("least-loaded")
+        .execution(ExecutionConfig::default());
+    if let Some(plan) = plan {
+        builder = builder.fault_plan(plan.clone());
+    }
+    let results = builder.run().expect("simulation runs");
+    results.makespan_s
+}
+
+fn bench_faults(c: &mut Criterion) {
+    let (platform, trace) = scenario();
+    let plan = churn_plan(&platform, trace.len());
+    let empty = FaultPlan::empty();
+
+    let mut group = c.benchmark_group("faults_1k_jobs");
+    group.sample_size(10);
+    group.bench_function("clean", |b| b.iter(|| run(&platform, &trace, None)));
+    group.bench_function("empty_plan", |b| {
+        b.iter(|| run(&platform, &trace, Some(&empty)))
+    });
+    group.bench_function("site_churn", |b| {
+        b.iter(|| run(&platform, &trace, Some(&plan)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_faults);
+criterion_main!(benches);

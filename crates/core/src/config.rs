@@ -31,6 +31,12 @@ pub struct ExecutionConfig {
     pub failure_probability: f64,
     /// How many times a failed job is re-submitted before being declared failed.
     pub max_retries: u32,
+    /// How many times a fault-interrupted job (site outage, partial node
+    /// loss, targeted kill) is resubmitted before being declared failed.
+    /// Separate from `max_retries` so operators can study retry budgets for
+    /// infrastructure faults independently of application failures.
+    #[serde(default = "default_fault_max_retries")]
+    pub fault_max_retries: u32,
     /// Replica-source selection strategy for input staging.
     pub source_selection: SourceSelection,
     /// Name of the data-movement policy to instantiate from the data-policy
@@ -59,6 +65,10 @@ fn default_data_movement_policy() -> String {
     "default-data-movement".to_string()
 }
 
+fn default_fault_max_retries() -> u32 {
+    3
+}
+
 impl Default for ExecutionConfig {
     fn default() -> Self {
         ExecutionConfig {
@@ -66,6 +76,7 @@ impl Default for ExecutionConfig {
             seed: 1,
             failure_probability: 0.0,
             max_retries: 1,
+            fault_max_retries: default_fault_max_retries(),
             source_selection: SourceSelection::LowestLatency,
             data_movement_policy: default_data_movement_policy(),
             enable_output_transfers: true,
@@ -160,9 +171,11 @@ mod tests {
             serde_json::from_str(&ExecutionConfig::default().to_json()).unwrap();
         json.as_object_mut().unwrap().remove("queue_model");
         json.as_object_mut().unwrap().remove("data_movement_policy");
+        json.as_object_mut().unwrap().remove("fault_max_retries");
         let cfg = ExecutionConfig::from_json(&json.to_string()).unwrap();
         assert!(cfg.queue_model.is_zero());
         assert_eq!(cfg.data_movement_policy, "default-data-movement");
+        assert_eq!(cfg.fault_max_retries, 3);
     }
 
     #[test]

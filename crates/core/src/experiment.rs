@@ -7,6 +7,7 @@
 //! compare the operational metrics — behind one call, so policy studies do
 //! not have to re-implement the bookkeeping.
 
+use cgsim_faults::FaultPlan;
 use cgsim_platform::PlatformSpec;
 use cgsim_policies::PolicyRegistry;
 use cgsim_workload::Trace;
@@ -34,6 +35,12 @@ pub struct ComparisonRow {
     pub throughput_per_hour: f64,
     /// Bytes staged across the WAN.
     pub staged_bytes: u64,
+    /// Whole-site outages applied by fault injection during the run.
+    pub site_outages: u64,
+    /// Jobs killed mid-flight by fault injection.
+    pub interrupted_jobs: u64,
+    /// Fault-interrupted jobs that were resubmitted.
+    pub fault_retries: u64,
     /// Simulator wall-clock cost of the run (s).
     pub wall_clock_s: f64,
 }
@@ -64,14 +71,16 @@ impl ComparisonReport {
         })
     }
 
-    /// CSV rendering (one row per policy).
+    /// CSV rendering (one row per policy), including the reliability columns
+    /// so faulted policy comparisons show interruption/retry behaviour, not
+    /// just makespan.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "policy,makespan_s,mean_queue_time_s,p95_queue_time_s,mean_walltime_s,failure_rate,throughput_per_hour,staged_bytes,wall_clock_s\n",
+            "policy,makespan_s,mean_queue_time_s,p95_queue_time_s,mean_walltime_s,failure_rate,throughput_per_hour,staged_bytes,site_outages,interrupted_jobs,fault_retries,wall_clock_s\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{},{:.3},{:.3},{:.3},{:.3},{:.4},{:.3},{},{:.4}\n",
+                "{},{:.3},{:.3},{:.3},{:.3},{:.4},{:.3},{},{},{},{},{:.4}\n",
                 r.policy,
                 r.makespan_s,
                 r.mean_queue_time_s,
@@ -80,6 +89,9 @@ impl ComparisonReport {
                 r.failure_rate,
                 r.throughput_per_hour,
                 r.staged_bytes,
+                r.site_outages,
+                r.interrupted_jobs,
+                r.fault_retries,
                 r.wall_clock_s
             ));
         }
@@ -99,6 +111,20 @@ pub fn compare_policies(
     execution: &ExecutionConfig,
     registry: &PolicyRegistry,
 ) -> Result<ComparisonReport, SimulationError> {
+    compare_policies_faulted(platform, trace, policies, execution, registry, None)
+}
+
+/// [`compare_policies`] under fault injection: every policy runs against the
+/// *same* fault plan, so the reliability columns (outages, interruptions,
+/// fault retries) isolate how each policy copes with identical churn.
+pub fn compare_policies_faulted(
+    platform: &PlatformSpec,
+    trace: &Trace,
+    policies: &[&str],
+    execution: &ExecutionConfig,
+    registry: &PolicyRegistry,
+    fault_plan: Option<&FaultPlan>,
+) -> Result<ComparisonReport, SimulationError> {
     let mut rows = Vec::with_capacity(policies.len());
     for &policy in policies {
         let policy_box = registry
@@ -106,13 +132,16 @@ pub fn compare_policies(
             .ok_or_else(|| SimulationError::UnknownPolicy(policy.to_string()))?;
         let mut run_execution = execution.clone();
         run_execution.allocation_policy = policy.to_string();
-        let results = Simulation::builder()
+        let mut builder = Simulation::builder()
             .platform_spec(platform)
             .map_err(|e| SimulationError::Platform(e.to_string()))?
             .trace(trace.clone())
             .policy(policy_box)
-            .execution(run_execution)
-            .run()?;
+            .execution(run_execution);
+        if let Some(plan) = fault_plan {
+            builder = builder.fault_plan(plan.clone());
+        }
+        let results = builder.run()?;
         let metrics = &results.metrics;
         rows.push(ComparisonRow {
             policy: policy.to_string(),
@@ -123,6 +152,9 @@ pub fn compare_policies(
             failure_rate: metrics.failure_rate,
             throughput_per_hour: metrics.throughput_per_hour,
             staged_bytes: metrics.staged_bytes,
+            site_outages: results.grid_counters.site_outages,
+            interrupted_jobs: results.grid_counters.job_interruptions,
+            fault_retries: results.grid_counters.fault_retries,
             wall_clock_s: results.wall_clock_s,
         });
     }

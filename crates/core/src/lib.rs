@@ -54,7 +54,7 @@ pub mod simulation;
 pub mod sweep;
 
 pub use config::{ComputeMode, ExecutionConfig, SimulationConfig};
-pub use experiment::{compare_policies, ComparisonReport, ComparisonRow};
+pub use experiment::{compare_policies, compare_policies_faulted, ComparisonReport, ComparisonRow};
 pub use queue_model::QueueModel;
 pub use results::SimulationResults;
 pub use simulation::{Simulation, SimulationBuilder, SimulationError};

@@ -25,13 +25,30 @@ impl GridModel {
             .record_transition(now.as_secs(), job_id, state, site_index, avail, queued);
     }
 
-    /// Records the terminal state, outcome, and frees resources.
+    /// Records the terminal state, outcome, and frees resources, then lets
+    /// the site pick up queued work.
     pub(super) fn finalize(
         &mut self,
         idx: usize,
         state: JobState,
         ctx: &mut Context<'_, GridEvent>,
     ) {
+        let site = self.finalize_no_restart(idx, state, ctx);
+        self.after_release(site, ctx);
+    }
+
+    /// The restart-free part of [`finalize`]: terminal bookkeeping without
+    /// the `after_release` re-dispatch. The fault-injection paths use this
+    /// directly so a kill performed while site capacity is being rewritten
+    /// cannot immediately resurrect queued work on stale numbers; callers
+    /// run `after_release`/`drain_pending` once their bookkeeping is
+    /// consistent. Returns the site the job was at.
+    pub(super) fn finalize_no_restart(
+        &mut self,
+        idx: usize,
+        state: JobState,
+        ctx: &mut Context<'_, GridEvent>,
+    ) -> cgsim_platform::SiteId {
         let now = ctx.now();
         let site = self.jobs[idx].site.expect("terminal job has a site");
         self.release_cores(idx, site);
@@ -64,7 +81,16 @@ impl GridModel {
         let record = self.jobs[idx].record.clone();
         self.policy.on_job_completed(&record, site, &view);
 
-        self.after_release(site, ctx);
+        // Once the whole workload is terminal, stop the fault-event chain so
+        // an attached fault plan cannot keep the engine (and the makespan)
+        // alive past the last job.
+        self.completed_jobs += 1;
+        if self.completed_jobs == self.jobs.len() {
+            if let Some(key) = self.fault_key.take() {
+                ctx.cancel(key);
+            }
+        }
+        site
     }
 
     /// Builds the final per-site dashboard panels.
@@ -78,10 +104,15 @@ impl GridModel {
                 SitePanel {
                     site: s.name.clone(),
                     total_cores: s.total_cores,
-                    busy_cores: s.total_cores - state.available_cores,
+                    busy_cores: s
+                        .total_cores
+                        .saturating_sub(state.available_cores)
+                        .saturating_sub(self.availability.cores_lost(s.id)),
                     queued_jobs: state.queue.len() as u64,
                     running_jobs: state.running.len() as u64,
                     finished_jobs: counters.finished,
+                    interrupted_jobs: counters.interrupted,
+                    up: self.availability.site_up(s.id),
                     running_sample: state
                         .running
                         .iter()

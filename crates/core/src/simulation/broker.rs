@@ -38,6 +38,7 @@ impl GridModel {
                     running_jobs: state.running.len() as u64,
                     finished_jobs: self.collector.site_counters(s.id.index()).finished,
                     has_input_replica: has_replica,
+                    up: self.availability.site_up(s.id),
                 }
             })
             .collect();
@@ -54,7 +55,7 @@ impl GridModel {
         let view = self.grid_view(now, idx);
         let decision = self.policy.assign_job(&self.jobs[idx].record, &view);
         match decision {
-            Some(site) if site.index() < self.sites.len() => {
+            Some(site) if site.index() < self.sites.len() && self.availability.site_up(site) => {
                 self.jobs[idx].site = Some(site);
                 self.jobs[idx].assign_time = now.as_secs();
                 self.jobs[idx].state = JobState::Assigned;
@@ -65,19 +66,24 @@ impl GridModel {
             decision => {
                 // An out-of-range site is a policy bug, not congestion: count
                 // it in the grid-level monitoring counters (and warn once) so
-                // a buggy plugin cannot masquerade as an overloaded grid. The
-                // job itself is parked like any undispatchable job.
+                // a buggy plugin cannot masquerade as an overloaded grid. A
+                // *down* site is legitimate congestion (the policy may not be
+                // availability-aware): the job is parked silently and the
+                // pending list drains when the site recovers. Either way the
+                // job is parked like any undispatchable job.
                 if let Some(bad) = decision {
-                    self.collector.record_invalid_decision();
-                    if !self.warned_invalid_policy {
-                        self.warned_invalid_policy = true;
-                        eprintln!(
-                            "warning: allocation policy '{}' returned out-of-range {bad} \
-                             (platform has {} sites); parking the job — see the monitor's \
-                             invalid_policy_decisions counter",
-                            self.policy.name(),
-                            self.sites.len()
-                        );
+                    if bad.index() >= self.sites.len() {
+                        self.collector.record_invalid_decision();
+                        if !self.warned_invalid_policy {
+                            self.warned_invalid_policy = true;
+                            eprintln!(
+                                "warning: allocation policy '{}' returned out-of-range {bad} \
+                                 (platform has {} sites); parking the job — see the monitor's \
+                                 invalid_policy_decisions counter",
+                                self.policy.name(),
+                                self.sites.len()
+                            );
+                        }
                     }
                 }
                 self.jobs[idx].site = None;
@@ -104,6 +110,9 @@ impl GridModel {
     /// queue-time model of §4.2) with its cores already reserved, then begins
     /// staging its input.
     pub(super) fn try_start_site(&mut self, site: SiteId, ctx: &mut Context<'_, GridEvent>) {
+        if !self.availability.site_up(site) {
+            return;
+        }
         while let Some(&front) = self.sites[site.index()].queue.front() {
             let needed = self.jobs[front].record.cores as u64;
             if self.sites[site.index()].available_cores < needed {
@@ -112,8 +121,16 @@ impl GridModel {
             self.sites[site.index()].queue.pop_front();
             self.sites[site.index()].available_cores -= needed;
             self.sites[site.index()].running.push(front);
+            self.jobs[front].holds_cores = true;
 
-            let total_cores = self.platform.site(site).total_cores.max(1);
+            // Busy fraction over the cores the site *currently* has (total
+            // minus partial node losses).
+            let total_cores = self
+                .platform
+                .site(site)
+                .total_cores
+                .saturating_sub(self.availability.cores_lost(site))
+                .max(1);
             let busy_fraction =
                 1.0 - self.sites[site.index()].available_cores as f64 / total_cores as f64;
             let delay = self
@@ -121,7 +138,8 @@ impl GridModel {
                 .queue_model
                 .dispatch_delay(self.sites[site.index()].queue.len() as u64, busy_fraction);
             if delay > 0.0 {
-                ctx.schedule_in(SimTime::from_secs(delay), GridEvent::PilotStart(front));
+                let key = ctx.schedule_in(SimTime::from_secs(delay), GridEvent::PilotStart(front));
+                self.jobs[front].timer = Some(key);
             } else {
                 self.start_staging(front, site, ctx);
             }

@@ -17,6 +17,11 @@ pub(super) enum GridEvent {
     /// The scheduling/pilot overhead of a picked job elapses (job index); the
     /// job then starts staging its input (queue-time model, §4.2).
     PilotStart(usize),
+    /// The next fault of the attached fault plan fires (index into the
+    /// plan's event list). Faults are chained — each one schedules its
+    /// successor — so an exhausted workload stops fault processing by
+    /// cancelling a single pending event.
+    Fault(usize),
 }
 
 impl EventHandler<GridEvent> for GridModel {
@@ -36,13 +41,18 @@ impl EventHandler<GridEvent> for GridModel {
                 self.reschedule_fluid(ctx);
             }
             GridEvent::ExecutionDone(idx) => {
+                self.jobs[idx].timer = None;
                 self.finish_execution(idx, ctx);
             }
             GridEvent::PilotStart(idx) => {
+                self.jobs[idx].timer = None;
                 let site = self.jobs[idx]
                     .site
                     .expect("job waiting for its pilot has a site");
                 self.start_staging(idx, site, ctx);
+            }
+            GridEvent::Fault(index) => {
+                self.handle_fault(index, ctx);
             }
         }
     }

@@ -1,0 +1,229 @@
+//! Fault-plan replay: applying scheduled infrastructure faults to the live
+//! simulation state.
+//!
+//! The plan itself is generated up front by `cgsim-faults`; this module is
+//! the runtime half of the subsystem. Every fault event first synchronises
+//! the fluid model to the current instant (so work done at the old rates is
+//! credited before capacities change), then mutates availability state:
+//!
+//! * **site outage** — jobs holding cores are killed (their pending engine
+//!   timers cancelled, their fluid activities removed), queued jobs are
+//!   bounced back to the main server, and every replica staged at the site
+//!   is invalidated (cache wiped, catalog evicted),
+//! * **partial node loss** — the lost cores are reclaimed from the free
+//!   pool, killing the most recently started jobs if the free pool cannot
+//!   cover the loss,
+//! * **link degradation** — the link's fluid capacity is rescaled, which
+//!   re-rates every in-flight transfer through max-min fairness,
+//! * **job kill** — one targeted job is killed if it currently holds cores.
+//!
+//! Killed jobs consume a fault retry (`ExecutionConfig::fault_max_retries`)
+//! and are resubmitted through the allocation policy — which hears about
+//! every interruption via `AllocationPolicy::on_job_interrupted`, so
+//! policies can blacklist flapping sites — or are finalized as failed when
+//! the budget is exhausted.
+
+use cgsim_des::{Context, SimTime};
+use cgsim_faults::FaultAction;
+use cgsim_platform::{LinkId, NodeId, SiteId};
+use cgsim_workload::JobState;
+
+use super::events::GridEvent;
+use super::GridModel;
+
+impl GridModel {
+    /// Applies fault-plan event `index` and chains the next one.
+    pub(super) fn handle_fault(&mut self, index: usize, ctx: &mut Context<'_, GridEvent>) {
+        self.fault_key = None;
+        let now = ctx.now();
+        // Credit all in-flight fluid work at the pre-fault rates before any
+        // capacity or activity-set change.
+        let completed = self.advance_fluid(now);
+        self.handle_completed_activities(completed, ctx);
+
+        let action = self.fault_plan[index].action;
+        match action {
+            FaultAction::SiteDown { site } if site < self.sites.len() => {
+                let site = SiteId::new(site);
+                // Overlapping outage processes nest; only the up -> down
+                // transition kills work.
+                if self.availability.site_down_begin(site) {
+                    self.collector.record_site_outage();
+                    self.take_site_down(site, ctx);
+                }
+            }
+            FaultAction::SiteUp { site } if site < self.sites.len() => {
+                let site = SiteId::new(site);
+                if self.availability.site_down_end(site) {
+                    // Back up: reconsider parked work.
+                    self.after_release(site, ctx);
+                }
+            }
+            FaultAction::NodeLoss { site, fraction } if site < self.sites.len() => {
+                self.apply_node_loss(SiteId::new(site), fraction, ctx);
+            }
+            FaultAction::NodeRestore { site } if site < self.sites.len() => {
+                self.apply_node_restore(SiteId::new(site), ctx);
+            }
+            FaultAction::LinkDegrade { link, factor } if link < self.link_resources.len() => {
+                self.collector.record_link_degradation();
+                self.availability
+                    .link_degrade_begin(LinkId::new(link), factor);
+                self.apply_link_capacity(link);
+            }
+            FaultAction::LinkRestore { link } if link < self.link_resources.len() => {
+                // Overlapping degradations nest: the link only returns to
+                // nominal bandwidth when the last one ends.
+                self.availability.link_degrade_end(LinkId::new(link));
+                self.apply_link_capacity(link);
+            }
+            // Only jobs currently occupying cores can be killed; anything
+            // else (pending, queued, already terminal) is a no-op.
+            FaultAction::KillJob { job } if job < self.jobs.len() && self.jobs[job].holds_cores => {
+                let site = self.jobs[job].site.expect("job holding cores has a site");
+                self.interrupt_job(job, ctx);
+                self.after_release(site, ctx);
+            }
+            // A target outside this scenario's topology (plan generated for a
+            // different platform/trace): ignore rather than corrupt state.
+            _ => {}
+        }
+
+        self.reschedule_fluid(ctx);
+        self.schedule_next_fault(index + 1, ctx);
+    }
+
+    /// Schedules fault-plan event `index`, unless the plan or the workload
+    /// is exhausted.
+    pub(super) fn schedule_next_fault(&mut self, index: usize, ctx: &mut Context<'_, GridEvent>) {
+        if self.completed_jobs >= self.jobs.len() {
+            return;
+        }
+        if let Some(event) = self.fault_plan.get(index) {
+            let key = ctx.schedule_at(SimTime::from_secs(event.time_s), GridEvent::Fault(index));
+            self.fault_key = Some(key);
+        }
+    }
+
+    /// A whole site goes dark: kill holders, bounce the queue, wipe staged
+    /// data.
+    fn take_site_down(&mut self, site: SiteId, ctx: &mut Context<'_, GridEvent>) {
+        let now = ctx.now();
+        // Queued jobs hold no cores; they go back to the main server without
+        // consuming a fault retry.
+        let queued: Vec<usize> = self.sites[site.index()].queue.drain(..).collect();
+        for idx in queued {
+            self.jobs[idx].site = None;
+            self.jobs[idx].state = JobState::Pending;
+            self.record(now, idx, JobState::Pending);
+            self.pending.push_back(idx);
+        }
+        // Kill every job holding cores (pilot wait, staging, executing,
+        // shipping output), in start order — deterministic.
+        let victims: Vec<usize> = self.sites[site.index()].running.clone();
+        for idx in victims {
+            self.interrupt_job(idx, ctx);
+        }
+        // Outages invalidate staged data: replicas and cache entries at the
+        // site are gone; later jobs re-stage over the WAN.
+        self.catalog.evict_node(NodeId::Site(site));
+        self.caches[site.index()].clear();
+        // Bounced and killed jobs re-enter through the allocation policy,
+        // which now sees the site as down.
+        self.drain_pending(ctx);
+    }
+
+    /// Partial node loss: reclaim `fraction` of the site's cores. Losses
+    /// from overlapping processes stack (capped at the site's core count).
+    fn apply_node_loss(&mut self, site: SiteId, fraction: f64, ctx: &mut Context<'_, GridEvent>) {
+        let total = self.platform.site(site).total_cores;
+        let lost = ((total as f64) * fraction.clamp(0.0, 1.0)).round() as u64;
+        let lost = lost.min(total.saturating_sub(self.availability.cores_lost(site)));
+        self.availability.node_loss_begin(site, lost);
+        self.collector.record_node_loss();
+        let mut need = lost;
+        loop {
+            let available = self.sites[site.index()].available_cores;
+            let take = need.min(available);
+            self.sites[site.index()].available_cores -= take;
+            need -= take;
+            if need == 0 {
+                break;
+            }
+            // Free cores cannot cover the loss: kill the most recently
+            // started job (LIFO — deterministic) and reclaim its cores.
+            let Some(&victim) = self.sites[site.index()].running.last() else {
+                break;
+            };
+            self.interrupt_job(victim, ctx);
+        }
+        self.update_cpu_capacity(site);
+        // Capacity bookkeeping is consistent again; let survivors restart.
+        self.after_release(site, ctx);
+    }
+
+    /// The most recent outstanding node loss at the site ends; its cores
+    /// return to the free pool.
+    fn apply_node_restore(&mut self, site: SiteId, ctx: &mut Context<'_, GridEvent>) {
+        let restored = self.availability.node_loss_end(site);
+        self.sites[site.index()].available_cores += restored;
+        self.update_cpu_capacity(site);
+        self.after_release(site, ctx);
+    }
+
+    /// Pushes the current availability-scaled bandwidth of `link` into the
+    /// fluid model, re-rating every transfer crossing it.
+    fn apply_link_capacity(&mut self, link: usize) {
+        let base = self.platform.links()[link].bandwidth_bps.max(1.0);
+        let factor = self.availability.link_factor(LinkId::new(link));
+        self.fluid
+            .set_capacity(self.link_resources[link], base * factor);
+    }
+
+    /// Pushes the current availability-scaled compute capacity of `site`
+    /// into the fluid model (relevant for time-shared execution).
+    fn update_cpu_capacity(&mut self, site: SiteId) {
+        let usable = self
+            .platform
+            .site(site)
+            .total_cores
+            .saturating_sub(self.availability.cores_lost(site));
+        let capacity = (usable as f64 * self.platform.effective_speed(site)).max(1.0);
+        self.fluid
+            .set_capacity(self.cpu_resources[site.index()], capacity);
+    }
+
+    /// Kills one job mid-flight: cancels its pending timer and fluid
+    /// activity, releases its cores, notifies the policy, and either
+    /// resubmits it (fault-retry budget permitting) or fails it for good.
+    pub(super) fn interrupt_job(&mut self, idx: usize, ctx: &mut Context<'_, GridEvent>) {
+        let now = ctx.now();
+        let site = self.jobs[idx].site.expect("interrupted job has a site");
+        if let Some(key) = self.jobs[idx].timer.take() {
+            ctx.cancel(key);
+        }
+        if let Some(activity) = self.jobs[idx].activity.take() {
+            self.fluid.remove_activity(activity);
+            self.activity_map.remove(activity);
+        }
+        self.release_cores(idx, site);
+        self.collector.record_interruption(site.index());
+
+        let view = self.grid_view(now, idx);
+        let record = self.jobs[idx].record.clone();
+        self.policy.on_job_interrupted(&record, site, &view);
+
+        if self.jobs[idx].fault_retries < self.execution.fault_max_retries {
+            self.jobs[idx].fault_retries += 1;
+            self.collector.record_fault_retry();
+            self.jobs[idx].site = None;
+            self.jobs[idx].state = JobState::Pending;
+            self.record(now, idx, JobState::Pending);
+            self.pending.push_back(idx);
+        } else {
+            // Retry budget exhausted. Terminal bookkeeping only — the caller
+            // re-dispatches once its own capacity bookkeeping is consistent.
+            self.finalize_no_restart(idx, JobState::Failed, ctx);
+        }
+    }
+}

@@ -1,7 +1,8 @@
 //! The per-job state machine: Input/Execute/Output phases, failure draws and
 //! retries.
 
-use cgsim_des::Context;
+use cgsim_des::fluid::ActivityId;
+use cgsim_des::{Context, EventKey};
 use cgsim_platform::{NodeId, SiteId};
 use cgsim_policies::CachePolicy;
 use cgsim_workload::{ideal_walltime, JobRecord, JobState};
@@ -25,11 +26,24 @@ pub(super) struct JobRuntime {
     pub(super) state: JobState,
     pub(super) site: Option<SiteId>,
     pub(super) retries: u32,
+    /// Resubmissions consumed by fault interruptions (separate budget from
+    /// the application-failure `retries`).
+    pub(super) fault_retries: u32,
     pub(super) submit_time: f64,
     pub(super) assign_time: f64,
     pub(super) start_time: f64,
     pub(super) end_time: f64,
     pub(super) staged_bytes: u64,
+    /// Pending engine timer (pilot start or dedicated-core completion), kept
+    /// so fault injection can cancel the in-flight event when it kills the
+    /// job.
+    pub(super) timer: Option<EventKey>,
+    /// In-flight fluid activity (staging, time-shared execution or output
+    /// transfer), kept for the same cancellation purpose.
+    pub(super) activity: Option<ActivityId>,
+    /// True while the job holds reserved cores at its site (from the queue
+    /// pop in `try_start_site` until release).
+    pub(super) holds_cores: bool,
 }
 
 impl JobRuntime {
@@ -40,11 +54,15 @@ impl JobRuntime {
             state: JobState::Pending,
             site: None,
             retries: 0,
+            fault_retries: 0,
             submit_time: record.submit_time,
             assign_time: 0.0,
             start_time: 0.0,
             end_time: 0.0,
             staged_bytes: 0,
+            timer: None,
+            activity: None,
+            holds_cores: false,
         }
     }
 }
@@ -81,10 +99,11 @@ impl GridModel {
             ComputeMode::DedicatedCores => {
                 let speed = self.platform.effective_speed(site);
                 let walltime = ideal_walltime(record.work_hs23, record.cores, speed);
-                ctx.schedule_in(
+                let key = ctx.schedule_in(
                     cgsim_des::SimTime::from_secs(walltime),
                     GridEvent::ExecutionDone(idx),
                 );
+                self.jobs[idx].timer = Some(key);
             }
             ComputeMode::TimeShared => {
                 let resource = self.cpu_resources[site.index()];
@@ -96,6 +115,7 @@ impl GridModel {
                     .fluid
                     .add_weighted_activity(amount, &[resource], weight);
                 self.activity_map.insert(activity, (idx, Phase::Execute));
+                self.jobs[idx].activity = Some(activity);
                 self.handle_completed_activities(completed, ctx);
                 self.reschedule_fluid(ctx);
             }
@@ -131,8 +151,15 @@ impl GridModel {
         }
     }
 
-    /// Returns a job's cores to its site.
+    /// Returns a job's cores to its site. Idempotent: a job that does not
+    /// currently hold cores (already released, or interrupted before its
+    /// queue pop) is a no-op, so the fault-injection paths and the normal
+    /// lifecycle cannot double-release.
     pub(super) fn release_cores(&mut self, idx: usize, site: SiteId) {
+        if !self.jobs[idx].holds_cores {
+            return;
+        }
+        self.jobs[idx].holds_cores = false;
         let cores = self.jobs[idx].record.cores as u64;
         let state = &mut self.sites[site.index()];
         state.available_cores += cores;
@@ -146,6 +173,7 @@ impl GridModel {
         ctx: &mut Context<'_, GridEvent>,
     ) {
         for (idx, phase) in completed {
+            self.jobs[idx].activity = None;
             match phase {
                 Phase::Input => {
                     let site = self.jobs[idx].site.expect("staging job has a site");

@@ -20,6 +20,7 @@
 mod accounting;
 mod broker;
 mod events;
+mod faults;
 mod job_runtime;
 mod staging;
 #[cfg(test)]
@@ -31,8 +32,9 @@ use cgsim_data::{DatasetId, LruCache, ReplicaCatalog};
 use cgsim_des::fluid::{ActivityMap, FluidModel, ResourceId};
 use cgsim_des::rng::Rng;
 use cgsim_des::{Engine, EventKey, SimTime};
+use cgsim_faults::{FaultEvent, FaultPlan};
 use cgsim_monitor::{MetricsReport, MonitoringCollector};
-use cgsim_platform::{Platform, PlatformSpec};
+use cgsim_platform::{GridAvailability, Platform, PlatformSpec};
 use cgsim_policies::{
     AllocationPolicy, DataMovementPolicy, DataPolicyRegistry, GridInfo, PolicyRegistry,
 };
@@ -106,6 +108,15 @@ struct GridModel {
     collector: MonitoringCollector,
     /// Whether the out-of-range-policy warning has been emitted (log once).
     warned_invalid_policy: bool,
+    // Fault injection.
+    /// Dynamic per-site/per-link availability (all-up without a fault plan).
+    availability: GridAvailability,
+    /// The attached fault schedule (empty without a plan).
+    fault_plan: Vec<FaultEvent>,
+    /// Pending fault-chain event, cancelled when the workload completes.
+    fault_key: Option<EventKey>,
+    /// Jobs that reached a terminal state so far.
+    completed_jobs: usize,
 }
 
 impl GridModel {
@@ -115,6 +126,8 @@ impl GridModel {
         policy: Box<dyn AllocationPolicy>,
         data_policy: Box<dyn DataMovementPolicy>,
         execution: ExecutionConfig,
+        fault_plan: Vec<FaultEvent>,
+        fault_key: Option<EventKey>,
     ) -> Self {
         let mut fluid = FluidModel::new();
         let link_resources: Vec<ResourceId> = platform
@@ -148,6 +161,7 @@ impl GridModel {
         let collector = MonitoringCollector::new(site_names, execution.monitoring.clone());
 
         let jobs = trace.jobs.iter().map(JobRuntime::new).collect();
+        let availability = GridAvailability::all_up(&platform);
 
         GridModel {
             rng: Rng::new(execution.seed),
@@ -169,6 +183,10 @@ impl GridModel {
             task_datasets: HashMap::new(),
             collector,
             warned_invalid_policy: false,
+            availability,
+            fault_plan,
+            fault_key,
+            completed_jobs: 0,
         }
     }
 }
@@ -183,6 +201,7 @@ pub struct SimulationBuilder {
     data_policy: Option<Box<dyn DataMovementPolicy>>,
     data_registry: DataPolicyRegistry,
     execution: ExecutionConfig,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Default for SimulationBuilder {
@@ -196,6 +215,7 @@ impl Default for SimulationBuilder {
             data_policy: None,
             data_registry: DataPolicyRegistry::with_builtins(),
             execution: ExecutionConfig::default(),
+            fault_plan: None,
         }
     }
 }
@@ -260,6 +280,14 @@ impl SimulationBuilder {
         self
     }
 
+    /// Attaches a fault-injection plan (site outages, link degradation, job
+    /// kills) replayed during the run. An empty plan is bit-for-bit
+    /// equivalent to attaching none.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Builds the simulation.
     pub fn build(self) -> Result<Simulation, SimulationError> {
         let platform = self
@@ -295,6 +323,7 @@ impl SimulationBuilder {
             policy,
             data_policy,
             execution: self.execution,
+            fault_plan: self.fault_plan,
         })
     }
 
@@ -311,6 +340,7 @@ pub struct Simulation {
     policy: Box<dyn AllocationPolicy>,
     data_policy: Box<dyn DataMovementPolicy>,
     execution: ExecutionConfig,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Simulation {
@@ -337,12 +367,27 @@ impl Simulation {
             engine.schedule_at(SimTime::from_secs(job.submit_time), GridEvent::Submit(idx));
         }
 
+        // Kick off the fault chain: only the first plan event is scheduled
+        // up front; each fault schedules its successor, and the chain is cut
+        // when the workload completes. An empty plan (or an empty trace)
+        // schedules nothing, keeping such runs bit-identical to plan-free
+        // ones.
+        let fault_events = self.fault_plan.map(|plan| plan.events).unwrap_or_default();
+        let fault_key = match fault_events.first() {
+            Some(first) if !self.trace.jobs.is_empty() => {
+                Some(engine.schedule_at(SimTime::from_secs(first.time_s), GridEvent::Fault(0)))
+            }
+            _ => None,
+        };
+
         let mut model = GridModel::new(
             self.platform,
             &self.trace,
             self.policy,
             self.data_policy,
             self.execution,
+            fault_events,
+            fault_key,
         );
         let report = engine.run(&mut model);
 

@@ -125,6 +125,7 @@ impl GridModel {
         let completed = self.advance_fluid(now);
         let activity = self.fluid.add_activity(bytes as f64, &resources);
         self.activity_map.insert(activity, (idx, Phase::Input));
+        self.jobs[idx].activity = Some(activity);
         self.handle_completed_activities(completed, ctx);
         self.reschedule_fluid(ctx);
     }
@@ -145,6 +146,7 @@ impl GridModel {
         let completed = self.advance_fluid(now);
         let activity = self.fluid.add_activity(bytes as f64, &resources);
         self.activity_map.insert(activity, (idx, Phase::Output));
+        self.jobs[idx].activity = Some(activity);
         self.handle_completed_activities(completed, ctx);
         self.reschedule_fluid(ctx);
     }

@@ -99,6 +99,16 @@ impl LruCache {
         self.entries.iter().any(|&(d, _)| d == dataset)
     }
 
+    /// Drops every cached dataset (a site outage wipes the site cache);
+    /// statistics are preserved, evictions are not counted. Returns the
+    /// number of datasets dropped.
+    pub fn clear(&mut self) -> usize {
+        let dropped = self.entries.len();
+        self.entries.clear();
+        self.used_bytes = 0;
+        dropped
+    }
+
     /// Inserts a dataset of the given size, evicting least-recently-used
     /// entries as needed. Datasets larger than the whole cache are not
     /// admitted. Returns the evicted datasets.
@@ -173,6 +183,22 @@ mod tests {
         cache.insert(ds(1), 40);
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.used_bytes(), 40);
+    }
+
+    #[test]
+    fn clear_drops_everything_but_keeps_stats() {
+        let mut cache = LruCache::new(100);
+        cache.insert(ds(1), 40);
+        cache.insert(ds(2), 40);
+        assert!(cache.lookup(ds(1)));
+        assert_eq!(cache.clear(), 2);
+        assert!(cache.is_empty());
+        assert_eq!(cache.used_bytes(), 0);
+        assert!(!cache.contains(ds(1)));
+        assert_eq!(cache.stats().hits, 1);
+        // The cache keeps working after a wipe.
+        cache.insert(ds(3), 10);
+        assert!(cache.contains(ds(3)));
     }
 
     #[test]

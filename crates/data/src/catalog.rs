@@ -105,6 +105,17 @@ impl ReplicaCatalog {
         self.replicas[dataset.index()].remove(&location)
     }
 
+    /// Removes every replica held at `location` (a site outage invalidates
+    /// all data staged there). Returns the number of replicas dropped.
+    /// Datasets whose only replica lived at `location` keep their catalog
+    /// entry but become sourceless until re-replicated.
+    pub fn evict_node(&mut self, location: NodeId) -> usize {
+        self.replicas
+            .iter_mut()
+            .map(|locations| locations.remove(&location) as usize)
+            .sum()
+    }
+
     /// True if `location` holds a replica of `dataset`.
     pub fn has_replica(&self, dataset: DatasetId, location: NodeId) -> bool {
         self.replicas[dataset.index()].contains(&location)
@@ -196,6 +207,23 @@ mod tests {
         assert_eq!(cat.replica_count(), 2);
         assert!(cat.remove_replica(ds, cern));
         assert!(!cat.remove_replica(ds, cern));
+    }
+
+    #[test]
+    fn evict_node_drops_all_replicas_at_that_node() {
+        let p = platform();
+        let cern = NodeId::Site(p.site_by_name("CERN").unwrap());
+        let mut cat = ReplicaCatalog::new();
+        let a = cat.register("a", 1, 10, NodeId::MainServer);
+        let b = cat.register("b", 1, 10, NodeId::MainServer);
+        cat.add_replica(a, cern);
+        cat.add_replica(b, cern);
+        assert_eq!(cat.evict_node(cern), 2);
+        assert!(!cat.has_replica(a, cern));
+        assert!(!cat.has_replica(b, cern));
+        // Main-server copies survive; re-evicting is a no-op.
+        assert!(cat.has_replica(a, NodeId::MainServer));
+        assert_eq!(cat.evict_node(cern), 0);
     }
 
     #[test]

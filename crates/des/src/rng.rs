@@ -163,6 +163,25 @@ impl Rng {
         -u.ln() / rate
     }
 
+    /// Weibull variate with the given scale and shape, via inversion:
+    /// `scale * (-ln(1 - u))^(1/shape)`. Shape 1 reduces to the exponential
+    /// distribution with mean `scale`; shape > 1 models wear-out failures,
+    /// shape < 1 infant-mortality clustering (reliability modelling for the
+    /// fault-injection subsystem).
+    pub fn weibull(&mut self, scale: f64, shape: f64) -> f64 {
+        assert!(
+            scale > 0.0 && shape > 0.0,
+            "weibull scale and shape must be positive"
+        );
+        let u = loop {
+            let u = self.uniform();
+            if u > 1e-300 {
+                break u;
+            }
+        };
+        scale * (-u.ln()).powf(1.0 / shape)
+    }
+
     /// Poisson variate with mean `lambda` (Knuth's algorithm for small lambda,
     /// normal approximation above 30).
     pub fn poisson(&mut self, lambda: f64) -> u64 {
@@ -311,6 +330,19 @@ mod tests {
             );
         }
         assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let mut rng = Rng::new(15);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.weibull(2.0, 1.0)).sum::<f64>() / n as f64;
+        // Shape 1 => mean equals the scale.
+        assert!((mean - 2.0).abs() < 0.05, "mean={mean}");
+        // Shape 2 (Rayleigh): mean = scale * Γ(1.5) ≈ 0.8862 * scale.
+        let mean2: f64 = (0..n).map(|_| rng.weibull(2.0, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean2 - 2.0 * 0.886_226_9).abs() < 0.05, "mean2={mean2}");
+        assert!((0..1000).all(|_| rng.weibull(1.0, 0.5) >= 0.0));
     }
 
     #[test]

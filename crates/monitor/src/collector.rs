@@ -49,6 +49,9 @@ pub struct SiteCounters {
     pub finished: u64,
     /// Jobs failed at the site so far.
     pub failed: u64,
+    /// Jobs killed mid-flight at the site by fault injection (outages,
+    /// node loss, targeted kills).
+    pub interrupted: u64,
 }
 
 /// Grid-level (main-server) counters not attributable to any single site.
@@ -59,6 +62,17 @@ pub struct GridCounters {
     /// jobs are parked on the pending list; without this counter such a
     /// plugin is indistinguishable from an overloaded grid.
     pub invalid_policy_decisions: u64,
+    /// Whole-site outages applied by fault injection (up → down
+    /// transitions; overlapping outage processes count once).
+    pub site_outages: u64,
+    /// Partial node-loss events applied by fault injection.
+    pub node_losses: u64,
+    /// Link-degradation events applied by fault injection.
+    pub link_degradations: u64,
+    /// Jobs killed mid-flight by fault injection, across all sites.
+    pub job_interruptions: u64,
+    /// Fault-interrupted jobs resubmitted for another attempt.
+    pub fault_retries: u64,
 }
 
 /// The monitoring collector.
@@ -100,6 +114,34 @@ impl MonitoringCollector {
     /// Grid-level counters (main-server anomalies).
     pub fn grid_counters(&self) -> GridCounters {
         self.grid_counters
+    }
+
+    /// Records a whole-site outage (an up → down transition).
+    pub fn record_site_outage(&mut self) {
+        self.grid_counters.site_outages += 1;
+    }
+
+    /// Records a partial node-loss event.
+    pub fn record_node_loss(&mut self) {
+        self.grid_counters.node_losses += 1;
+    }
+
+    /// Records a link-degradation event.
+    pub fn record_link_degradation(&mut self) {
+        self.grid_counters.link_degradations += 1;
+    }
+
+    /// Records a job killed mid-flight by fault injection at the given site.
+    pub fn record_interruption(&mut self, site_index: usize) {
+        self.grid_counters.job_interruptions += 1;
+        if let Some(counters) = self.counters.get_mut(site_index) {
+            counters.interrupted += 1;
+        }
+    }
+
+    /// Records the resubmission of a fault-interrupted job.
+    pub fn record_fault_retry(&mut self) {
+        self.grid_counters.fault_retries += 1;
     }
 
     /// Records a job state transition at a site (`site_index` indexes the
@@ -272,6 +314,29 @@ mod tests {
         // Site counters are untouched by grid-level anomalies.
         assert_eq!(c.site_counters(0), SiteCounters::default());
         assert_eq!(c.site_counters(1), SiteCounters::default());
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let mut c = collector();
+        c.record_site_outage();
+        c.record_node_loss();
+        c.record_link_degradation();
+        c.record_link_degradation();
+        c.record_interruption(1);
+        c.record_interruption(1);
+        c.record_interruption(0);
+        c.record_fault_retry();
+        let grid = c.grid_counters();
+        assert_eq!(grid.site_outages, 1);
+        assert_eq!(grid.node_losses, 1);
+        assert_eq!(grid.link_degradations, 2);
+        assert_eq!(grid.job_interruptions, 3);
+        assert_eq!(grid.fault_retries, 1);
+        assert_eq!(c.site_counters(1).interrupted, 2);
+        assert_eq!(c.site_counters(0).interrupted, 1);
+        // Interruptions are not terminal outcomes.
+        assert_eq!(c.site_counters(1).failed, 0);
     }
 
     #[test]

@@ -21,12 +21,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod availability;
 pub mod error;
 pub mod platform;
 pub mod presets;
 pub mod spec;
 pub mod topology;
 
+pub use availability::{GridAvailability, SiteAvailability};
 pub use error::PlatformError;
 pub use platform::{Host, HostId, Link, LinkId, NodeId, Platform, Route, Site, SiteId};
 pub use presets::{example_platform, wlcg_platform, PresetOptions};

@@ -306,6 +306,7 @@ mod tests {
                     running_jobs: 0,
                     finished_jobs: 0,
                     has_input_replica: replica,
+                    up: true,
                 })
                 .collect(),
             pending_jobs: 0,

@@ -23,19 +23,22 @@ use cgsim_workload::JobRecord;
 use crate::plugin::AllocationPolicy;
 use crate::view::{GridInfo, GridView};
 
-/// Returns the site with the most available cores that can fit `cores`,
-/// or, if none fits, the site with the most available cores overall.
+/// Returns the up site with the most available cores that can fit `cores`,
+/// or, if none fits, the up site with the shortest queue. Sites taken down
+/// by fault injection are never chosen (jobs sent there would only be
+/// parked); when every site is down the job stays pending.
 fn least_loaded_site(view: &GridView, cores: u64) -> Option<SiteId> {
     let fitting = view
         .sites
         .iter()
-        .filter(|s| s.available_cores >= cores)
+        .filter(|s| s.up && s.available_cores >= cores)
         .max_by_key(|s| (s.available_cores, std::cmp::Reverse(s.queued_jobs)));
     match fitting {
         Some(s) => Some(s.site),
         None => view
             .sites
             .iter()
+            .filter(|s| s.up)
             .min_by_key(|s| s.queued_jobs)
             .map(|s| s.site),
     }
@@ -235,6 +238,106 @@ impl AllocationPolicy for DataAwarePolicy {
     }
 }
 
+/// Blacklist flapping sites: least-loaded allocation that refuses to send
+/// work to a site after fault injection has interrupted too many of the
+/// policy's jobs there. Strikes decay on successful completions, so a site
+/// that stabilises after an incident eventually earns its way back; if every
+/// candidate site is blacklisted the policy falls back to plain least-loaded
+/// rather than starving the job.
+///
+/// This is the reference consumer of the
+/// [`AllocationPolicy::on_job_interrupted`] hook — the retry/resubmit path of
+/// the fault subsystem routes every interruption through it.
+#[derive(Debug)]
+pub struct BlacklistFlappingPolicy {
+    /// Interruption strikes per site.
+    strikes: Vec<f64>,
+    /// Strikes at which a site is considered flapping.
+    threshold: f64,
+    /// Strike credit restored by one successful completion at the site.
+    decay: f64,
+}
+
+impl Default for BlacklistFlappingPolicy {
+    fn default() -> Self {
+        BlacklistFlappingPolicy {
+            strikes: Vec::new(),
+            threshold: 2.0,
+            decay: 0.25,
+        }
+    }
+}
+
+impl BlacklistFlappingPolicy {
+    /// Creates the policy with the default threshold (2 interruptions).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the policy with a custom blacklist threshold.
+    pub fn with_threshold(threshold: f64) -> Self {
+        BlacklistFlappingPolicy {
+            threshold: threshold.max(1.0),
+            ..Self::default()
+        }
+    }
+
+    fn ensure_sites(&mut self, n: usize) {
+        if self.strikes.len() < n {
+            self.strikes.resize(n, 0.0);
+        }
+    }
+
+    fn blacklisted(&self, site: SiteId) -> bool {
+        self.strikes
+            .get(site.index())
+            .is_some_and(|&s| s >= self.threshold)
+    }
+}
+
+impl AllocationPolicy for BlacklistFlappingPolicy {
+    fn name(&self) -> &str {
+        "blacklist-flapping"
+    }
+
+    fn get_resource_information(&mut self, info: &GridInfo) {
+        self.ensure_sites(info.site_count());
+    }
+
+    fn assign_job(&mut self, job: &JobRecord, view: &GridView) -> Option<SiteId> {
+        self.ensure_sites(view.sites.len());
+        let cores = job.cores as u64;
+        let trusted = view
+            .sites
+            .iter()
+            .filter(|s| s.up && !self.blacklisted(s.site) && s.available_cores >= cores)
+            .max_by_key(|s| (s.available_cores, std::cmp::Reverse(s.queued_jobs)));
+        if let Some(s) = trusted {
+            return Some(s.site);
+        }
+        // No trusted site can start the job now: queue at the trusted site
+        // with the shortest queue, or fall back to plain least-loaded when
+        // the blacklist has eaten the whole grid.
+        view.sites
+            .iter()
+            .filter(|s| s.up && !self.blacklisted(s.site))
+            .min_by_key(|s| s.queued_jobs)
+            .map(|s| s.site)
+            .or_else(|| least_loaded_site(view, cores))
+    }
+
+    fn on_job_completed(&mut self, _job: &JobRecord, site: SiteId, _view: &GridView) {
+        self.ensure_sites(site.index() + 1);
+        let strikes = &mut self.strikes[site.index()];
+        *strikes = (*strikes - self.decay).max(0.0);
+    }
+
+    fn on_job_interrupted(&mut self, _job: &JobRecord, site: SiteId, _view: &GridView) {
+        self.ensure_sites(site.index() + 1);
+        self.strikes[site.index()] += 1.0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +362,7 @@ mod tests {
                     running_jobs: 0,
                     finished_jobs: 0,
                     has_input_replica: false,
+                    up: true,
                 })
                 .collect(),
             pending_jobs: 0,
@@ -368,6 +472,46 @@ mod tests {
     }
 
     #[test]
+    fn least_loaded_avoids_down_sites() {
+        let mut policy = LeastLoadedPolicy::new();
+        let mut v = view(&[5, 80, 20]);
+        v.sites[1].up = false;
+        // The biggest site is down -> next best up site wins.
+        assert_eq!(policy.assign_job(&job(1), &v), Some(SiteId::new(2)));
+        v.sites[0].up = false;
+        v.sites[2].up = false;
+        // Everything down -> park the job.
+        assert_eq!(policy.assign_job(&job(1), &v), None);
+    }
+
+    #[test]
+    fn blacklist_flapping_learns_from_interruptions() {
+        let mut policy = BlacklistFlappingPolicy::new();
+        let v = view(&[50, 80, 20]);
+        // Initially behaves like least-loaded.
+        assert_eq!(policy.assign_job(&job(1), &v), Some(SiteId::new(1)));
+        // Two interruptions at site 1 blacklist it.
+        policy.on_job_interrupted(&job(1), SiteId::new(1), &v);
+        policy.on_job_interrupted(&job(1), SiteId::new(1), &v);
+        assert_eq!(policy.assign_job(&job(1), &v), Some(SiteId::new(0)));
+        // Successful completions decay the strikes back below the threshold.
+        for _ in 0..8 {
+            policy.on_job_completed(&job(1), SiteId::new(1), &v);
+        }
+        assert_eq!(policy.assign_job(&job(1), &v), Some(SiteId::new(1)));
+    }
+
+    #[test]
+    fn blacklist_flapping_falls_back_when_grid_is_blacklisted() {
+        let mut policy = BlacklistFlappingPolicy::with_threshold(1.0);
+        let v = view(&[10, 20]);
+        policy.on_job_interrupted(&job(1), SiteId::new(0), &v);
+        policy.on_job_interrupted(&job(1), SiteId::new(1), &v);
+        // Both sites blacklisted -> still places the job (plain least-loaded).
+        assert_eq!(policy.assign_job(&job(1), &v), Some(SiteId::new(1)));
+    }
+
+    #[test]
     fn policies_report_names() {
         assert_eq!(HistoricalPandaPolicy::new().name(), "historical-panda");
         assert_eq!(RoundRobinPolicy::new().name(), "round-robin");
@@ -375,5 +519,6 @@ mod tests {
         assert_eq!(LeastLoadedPolicy::new().name(), "least-loaded");
         assert_eq!(FastestAvailablePolicy::new().name(), "fastest-available");
         assert_eq!(DataAwarePolicy::new().name(), "data-aware");
+        assert_eq!(BlacklistFlappingPolicy::new().name(), "blacklist-flapping");
     }
 }

@@ -38,8 +38,8 @@ pub use advanced::{
     WeightedFairSharePolicy,
 };
 pub use builtin::{
-    DataAwarePolicy, FastestAvailablePolicy, HistoricalPandaPolicy, LeastLoadedPolicy,
-    RandomPolicy, RoundRobinPolicy,
+    BlacklistFlappingPolicy, DataAwarePolicy, FastestAvailablePolicy, HistoricalPandaPolicy,
+    LeastLoadedPolicy, RandomPolicy, RoundRobinPolicy,
 };
 pub use data_builtin::{
     DataPolicyRegistry, MainServerSourcePolicy, NeverCachePolicy, RandomSourcePolicy,

@@ -40,6 +40,13 @@ pub trait AllocationPolicy: Send {
 
     /// Called when a job reaches a terminal state.
     fn on_job_completed(&mut self, _job: &JobRecord, _site: SiteId, _view: &GridView) {}
+
+    /// Called when an infrastructure fault kills a job mid-flight at `site`
+    /// (a site outage, partial node loss, or a targeted job kill). The job
+    /// will be resubmitted through `assign_job` if it has fault retries
+    /// left, so stateful policies can use this hook to blacklist flapping
+    /// sites before the resubmission arrives.
+    fn on_job_interrupted(&mut self, _job: &JobRecord, _site: SiteId, _view: &GridView) {}
 }
 
 /// The data-movement plugin interface: choose where job input is read from

@@ -16,8 +16,8 @@ use crate::advanced::{
     WeightedFairSharePolicy,
 };
 use crate::builtin::{
-    DataAwarePolicy, FastestAvailablePolicy, HistoricalPandaPolicy, LeastLoadedPolicy,
-    RandomPolicy, RoundRobinPolicy,
+    BlacklistFlappingPolicy, DataAwarePolicy, FastestAvailablePolicy, HistoricalPandaPolicy,
+    LeastLoadedPolicy, RandomPolicy, RoundRobinPolicy,
 };
 use crate::plugin::AllocationPolicy;
 
@@ -57,6 +57,9 @@ impl PolicyRegistry {
             Box::new(FastestAvailablePolicy::new())
         });
         registry.register("data-aware", |_| Box::new(DataAwarePolicy::new()));
+        registry.register("blacklist-flapping", |_| {
+            Box::new(BlacklistFlappingPolicy::new())
+        });
         registry.register("shortest-expected-wait", |_| {
             Box::new(ShortestExpectedWaitPolicy::new())
         });
@@ -112,6 +115,7 @@ mod tests {
             "least-loaded",
             "fastest-available",
             "data-aware",
+            "blacklist-flapping",
             "shortest-expected-wait",
             "weighted-fair-share",
             "greedy-cost",
@@ -121,7 +125,7 @@ mod tests {
             let policy = registry.create(name, 42).unwrap();
             assert_eq!(policy.name(), name);
         }
-        assert_eq!(registry.names().len(), 10);
+        assert_eq!(registry.names().len(), 11);
         assert!(registry.create("nope", 0).is_none());
     }
 

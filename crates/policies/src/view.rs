@@ -81,6 +81,9 @@ pub struct SiteLoad {
     /// True when the input dataset of the job being placed already has a
     /// replica (or cache entry) at this site.
     pub has_input_replica: bool,
+    /// True when the site is currently up (fault injection can take sites
+    /// down mid-run; jobs dispatched to a down site are parked instead).
+    pub up: bool,
 }
 
 /// Dynamic snapshot of the grid at dispatch time.
@@ -105,6 +108,11 @@ impl GridView {
         self.sites
             .iter()
             .filter(move |s| s.available_cores >= cores)
+    }
+
+    /// Sites currently up (not taken down by fault injection).
+    pub fn available_sites(&self) -> impl Iterator<Item = &SiteLoad> {
+        self.sites.iter().filter(|s| s.up)
     }
 
     /// Total free cores across the grid.
@@ -141,6 +149,7 @@ mod tests {
                     running_jobs: 5,
                     finished_jobs: 1,
                     has_input_replica: false,
+                    up: true,
                 },
                 SiteLoad {
                     site: SiteId::new(1),
@@ -149,6 +158,7 @@ mod tests {
                     running_jobs: 0,
                     finished_jobs: 0,
                     has_input_replica: true,
+                    up: false,
                 },
             ],
             pending_jobs: 3,
@@ -156,5 +166,7 @@ mod tests {
         assert_eq!(view.total_available_cores(), 104);
         assert_eq!(view.sites_with_free_cores(8).count(), 1);
         assert_eq!(view.load(SiteId::new(1)).available_cores, 4);
+        assert_eq!(view.available_sites().count(), 1);
+        assert_eq!(view.available_sites().next().unwrap().site, SiteId::new(0));
     }
 }

@@ -18,6 +18,7 @@
 //! | [`workload`] | `cgsim-workload` | PanDA-like job records, synthetic trace generation, trace I/O |
 //! | [`data`] | `cgsim-data` | replica catalog, storage elements, LRU caches, staging plans |
 //! | [`policies`] | `cgsim-policies` | the plugin traits, policy registry and built-in policies |
+//! | [`faults`] | `cgsim-faults` | deterministic fault-injection plans: outages, degradation, job kills |
 //! | [`core`] | `cgsim-core` | the simulation core: main server, site receivers, job lifecycle |
 //! | [`monitor`] | `cgsim-monitor` | event-level datasets, metrics, table store, dashboards, ML export |
 //! | [`calibrate`] | `cgsim-calibrate` | calibration objectives and the four optimisers of §4.2 |
@@ -52,6 +53,7 @@ pub use cgsim_calibrate as calibrate;
 pub use cgsim_core as core;
 pub use cgsim_data as data;
 pub use cgsim_des as des;
+pub use cgsim_faults as faults;
 pub use cgsim_monitor as monitor;
 pub use cgsim_platform as platform;
 pub use cgsim_policies as policies;
@@ -63,11 +65,12 @@ pub mod prelude {
     pub use cgsim_baseline::BaselineSimulator;
     pub use cgsim_calibrate::{Calibrator, OptimizerKind, SensitivityStudy};
     pub use cgsim_core::{
-        compare_policies, run_sweep, ComputeMode, ExecutionConfig, QueueModel, Simulation,
-        SimulationConfig, SimulationResults, SweepPoint,
+        compare_policies, compare_policies_faulted, run_sweep, ComputeMode, ExecutionConfig,
+        QueueModel, Simulation, SimulationConfig, SimulationResults, SweepPoint,
     };
     pub use cgsim_data::SourceSelection;
     pub use cgsim_des::SimTime;
+    pub use cgsim_faults::{parse_fault_spec, FaultPlan, FaultPlanConfig, FaultTopology};
     pub use cgsim_monitor::{MetricsReport, MonitoringConfig};
     pub use cgsim_platform::presets::{example_platform, wlcg_platform};
     pub use cgsim_platform::{Platform, PlatformSpec, SiteId, SiteSpec, Tier};

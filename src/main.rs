@@ -60,8 +60,19 @@ USAGE:
     cgsim init      --dir <DIR> [--sites N] [--jobs N] [--seed N]
     cgsim simulate  --platform <platform.json> --execution <execution.json>
                     --trace <trace.jsonl> [--output <DIR>] [--policy NAME]
+                    [--faults SPEC] [--fault-seed N]
     cgsim demo      [--sites N] [--jobs N] [--policy NAME] [--seed N] [--output DIR]
+                    [--faults SPEC] [--fault-seed N]
     cgsim policies            list the registered allocation policies
+
+FAULT SPECS (semicolon-separated clauses; durations take s/m/h/d suffixes):
+    outage:site=2,mttf=4h,mttr=30m[,shape=1.5]   random outages (site=all for every site)
+    maint:site=1,start=6h,duration=1h[,period=24h]
+    incident:sites=0+2,mttf=24h,mttr=45m         correlated multi-site incidents
+    nodeloss:site=0,fraction=0.25,mttf=8h,mttr=1h
+    degrade:link=all,factor=0.3,mttf=6h,mttr=15m  (link=<i> is the i-th WAN link)
+    kill:rate=1.5                                 job kills per simulated hour
+    horizon=48h                                   fault-generation horizon
 ";
 
 fn parse_options(args: &[String]) -> HashMap<String, String> {
@@ -123,6 +134,31 @@ fn cmd_init(options: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds a fault plan from `--faults` / `--fault-seed`, resolving link
+/// selectors against the platform's WAN links. Returns `None` when no
+/// `--faults` spec was given.
+fn build_fault_plan(
+    options: &HashMap<String, String>,
+    platform_spec: &PlatformSpec,
+    trace_len: usize,
+) -> Result<Option<FaultPlan>, String> {
+    let Some(spec_text) = options.get("faults") else {
+        return Ok(None);
+    };
+    let config = parse_fault_spec(spec_text)?;
+    let platform = Platform::build(platform_spec).map_err(|e| e.to_string())?;
+    let topology = FaultTopology::for_platform(&platform, trace_len);
+    let fault_seed = get_u64(options, "fault-seed", 7);
+    let plan = FaultPlan::generate(&config, &topology, fault_seed);
+    println!(
+        "fault plan: {} events over {:.1} h (fault seed {})",
+        plan.len(),
+        config.horizon_s / 3600.0,
+        fault_seed
+    );
+    Ok(Some(plan))
+}
+
 /// `cgsim simulate`: run the three input files through the simulator.
 fn cmd_simulate(options: &HashMap<String, String>) -> Result<(), String> {
     let platform_path = options
@@ -148,13 +184,16 @@ fn cmd_simulate(options: &HashMap<String, String>) -> Result<(), String> {
         config.platform.sites.len(),
         execution.allocation_policy
     );
-    let results = Simulation::builder()
+    let fault_plan = build_fault_plan(options, &config.platform, trace.len())?;
+    let mut builder = Simulation::builder()
         .platform_spec(&config.platform)
         .map_err(|e| e.to_string())?
         .trace(trace)
-        .execution(execution)
-        .run()
-        .map_err(|e| e.to_string())?;
+        .execution(execution);
+    if let Some(plan) = fault_plan {
+        builder = builder.fault_plan(plan);
+    }
+    let results = builder.run().map_err(|e| e.to_string())?;
     report(&results, options)
 }
 
@@ -171,19 +210,36 @@ fn cmd_demo(options: &HashMap<String, String>) -> Result<(), String> {
     let platform = wlcg_platform(sites, seed);
     let trace = TraceGenerator::new(TraceConfig::with_jobs(jobs, seed)).generate(&platform);
     println!("simulating {jobs} jobs on {sites} sites with policy '{policy}'");
-    let results = Simulation::builder()
+    let fault_plan = build_fault_plan(options, &platform, trace.len())?;
+    let mut builder = Simulation::builder()
         .platform_spec(&platform)
         .map_err(|e| e.to_string())?
         .trace(trace)
         .policy_name(&policy)
-        .execution(ExecutionConfig::with_policy(&policy))
-        .run()
-        .map_err(|e| e.to_string())?;
+        .execution(ExecutionConfig::with_policy(&policy));
+    if let Some(plan) = fault_plan {
+        builder = builder.fault_plan(plan);
+    }
+    let results = builder.run().map_err(|e| e.to_string())?;
     report(&results, options)
 }
 
 fn report(results: &SimulationResults, options: &HashMap<String, String>) -> Result<(), String> {
     println!("\n{}", results.metrics.text_summary());
+    let faults = &results.grid_counters;
+    if faults.site_outages + faults.node_losses + faults.link_degradations > 0
+        || faults.job_interruptions > 0
+    {
+        println!(
+            "faults: {} site outages, {} node losses, {} link degradations; \
+             {} jobs interrupted, {} fault retries",
+            faults.site_outages,
+            faults.node_losses,
+            faults.link_degradations,
+            faults.job_interruptions,
+            faults.fault_retries
+        );
+    }
     println!(
         "simulator wall-clock: {:.3}s for {} events",
         results.wall_clock_s, results.engine_events
