@@ -2,82 +2,62 @@
 //!
 //! The fluid model recomputes the progressive-filling allocation every time
 //! an activity starts or finishes — it is the hottest path of the whole
-//! simulator once traces carry real staging traffic. This bench measures the
-//! per-event pattern directly: a slab pre-populated with N concurrent
-//! activities over a contended multi-link topology, then a fixed number of
-//! churn steps (retire one activity, admit a replacement, recompute). The
-//! committed baseline for these numbers lives in `BENCH_fluid.json` at the
-//! repository root; future perf PRs compare against it.
+//! simulator once traces carry real staging traffic. Two groups measure the
+//! two regimes of the incremental solver (see `cgsim_bench::fluid_hot` for
+//! the topologies):
+//!
+//! * `fluid_contended_churn` — one giant component; the dense control that
+//!   must stay within noise of the pre-incremental baseline.
+//! * `fluid_sparse_churn` — one island dirtied per recompute; the sparse
+//!   common case whose per-recompute cost should be ~component-sized,
+//!   independent of N.
+//!
+//! The committed baseline for these numbers lives in `BENCH_fluid.json` at
+//! the repository root; future perf PRs compare against it, and CI runs the
+//! sparse @1k case as a regression gate (`fluid_perf_gate`).
 
-use cgsim_des::fluid::{ActivityId, FluidModel, ResourceId};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-/// Number of shared links in the synthetic topology. Every activity crosses
-/// two of them, so each link carries ~2N/32 concurrent flows and progressive
-/// filling needs several freezing rounds per recomputation.
-const LINKS: usize = 32;
+use cgsim_bench::fluid_hot::{build_contended, build_sparse, contended_churn, sparse_churn};
+use cgsim_des::SimTime;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// Churn steps (activity completions + admissions) measured per iteration.
 const CHURN_STEPS: usize = 100;
 
-fn route(links: &[ResourceId], i: usize) -> Vec<ResourceId> {
-    let a = links[i % LINKS];
-    let b = links[(i * 7 + 3) % LINKS];
-    if a == b {
-        vec![a]
-    } else {
-        vec![a, b]
-    }
-}
-
-fn build_contended(n: usize) -> (FluidModel, Vec<ResourceId>, Vec<ActivityId>) {
-    let mut m = FluidModel::new();
-    let links: Vec<ResourceId> = (0..LINKS)
-        .map(|i| m.add_resource(1e9 + (i as f64) * 1e7))
-        .collect();
-    let ids: Vec<ActivityId> = (0..n)
-        .map(|i| m.add_activity(1e12, &route(&links, i)))
-        .collect();
-    (m, links, ids)
-}
-
-/// One measured iteration: `CHURN_STEPS` retire/admit/recompute cycles at a
-/// steady concurrency of `ids.len()` activities on a long-lived model (the
-/// model is built *outside* the timed region, so only the churn hot path is
-/// measured). `step_base` carries the admission counter across iterations to
-/// keep the route mix rotating. Returns an accumulator so the work cannot be
-/// optimised away.
-fn churn(
-    m: &mut FluidModel,
-    links: &[ResourceId],
-    ids: &mut [ActivityId],
-    step_base: &mut usize,
-) -> f64 {
-    let mut acc = 0.0;
-    for _ in 0..CHURN_STEPS {
-        let step = *step_base;
-        *step_base += 1;
-        let slot = step % ids.len();
-        m.remove_activity(ids[slot]);
-        ids[slot] = m.add_activity(1e12, &route(links, ids.len() + step));
-        // Forces a full share recomputation, as the event loop does.
-        acc += m.time_to_next_completion().map_or(0.0, |t| t.as_secs());
-    }
-    acc
-}
-
-fn bench_fluid(c: &mut Criterion) {
+fn bench_fluid_contended(c: &mut Criterion) {
     let mut group = c.benchmark_group("fluid_contended_churn");
     group.sample_size(10);
     for &n in &[100usize, 1_000, 5_000] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let (mut m, links, mut ids) = build_contended(n);
             let mut step_base = 0usize;
-            b.iter(|| churn(&mut m, &links, &mut ids, &mut step_base));
+            b.iter(|| contended_churn(&mut m, &links, &mut ids, &mut step_base, CHURN_STEPS));
+            // Exercise the reuse-buffer APIs outside the timed region and
+            // keep the final state observable.
+            let mut rates = Vec::new();
+            m.rates_into(&mut rates);
+            let mut done = Vec::new();
+            m.advance_into(SimTime::ZERO, &mut done);
+            black_box((rates.len(), done.len()));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_fluid);
+fn bench_fluid_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fluid_sparse_churn");
+    group.sample_size(10);
+    for &n in &[1_000usize, 5_000, 20_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let (mut m, links, mut ids) = build_sparse(n);
+            let mut step_base = 0usize;
+            b.iter(|| sparse_churn(&mut m, &links, &mut ids, &mut step_base, CHURN_STEPS));
+            let mut rates = Vec::new();
+            m.rates_into(&mut rates);
+            black_box(rates.len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fluid_contended, bench_fluid_sparse);
 criterion_main!(benches);

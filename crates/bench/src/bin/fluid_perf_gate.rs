@@ -1,0 +1,80 @@
+//! CI perf gate for the fluid solver's sparse-churn hot path.
+//!
+//! Re-times the `fluid_sparse_churn` @1k scenario (the exact topology the
+//! bench measures, shared via `cgsim_bench::fluid_hot`) at reduced
+//! iterations and compares the per-recompute cost against the committed
+//! baseline in `BENCH_fluid.json`. Exits non-zero when the measured cost
+//! exceeds 2× the committed value — a deliberately coarse threshold that
+//! survives CI-runner noise while still catching an accidental return to
+//! O(N) global recomputation (which would be ~40× at this concurrency).
+//!
+//! Run as: `cargo run --release -p cgsim-bench --bin fluid_perf_gate`
+
+use std::time::Instant;
+
+use cgsim_bench::fluid_hot::{build_sparse, sparse_churn};
+
+/// Concurrency of the gated scenario (must match a committed entry).
+const N: usize = 1_000;
+/// Churn steps per timed repetition (bounded so the gate stays in CI noise
+/// territory of milliseconds, not minutes).
+const STEPS: usize = 5_000;
+/// Repetitions; the best (least-noisy) one is compared.
+const REPS: usize = 3;
+/// Allowed regression factor over the committed per-recompute cost.
+const MAX_REGRESSION: f64 = 2.0;
+
+fn committed_sparse_us(json: &str) -> Option<f64> {
+    let value: serde_json::Value = serde_json::from_str(json).ok()?;
+    value
+        .get("results")?
+        .as_array()?
+        .iter()
+        .find(|entry| {
+            entry.get("case").and_then(|c| c.as_str()) == Some("sparse_churn")
+                && entry
+                    .get("concurrent_activities")
+                    .and_then(|n| n.as_f64())
+                    .map(|n| n as usize)
+                    == Some(N)
+        })?
+        .get("per_recompute_us")?
+        .as_f64()
+}
+
+fn main() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fluid.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read committed baseline {path}: {e}"));
+    let committed = committed_sparse_us(&text).unwrap_or_else(|| {
+        panic!("BENCH_fluid.json has no sparse_churn entry at {N} concurrent activities")
+    });
+
+    let mut best_us = f64::INFINITY;
+    for _ in 0..REPS {
+        let (mut m, links, mut ids) = build_sparse(N);
+        let mut step_base = 0usize;
+        // Warm up: populate the completion heap and solve every component
+        // once so the timed region measures steady-state churn only.
+        let _ = m.time_to_next_completion();
+        let start = Instant::now();
+        let acc = sparse_churn(&mut m, &links, &mut ids, &mut step_base, STEPS);
+        let elapsed = start.elapsed().as_secs_f64();
+        std::hint::black_box(acc);
+        best_us = best_us.min(elapsed / STEPS as f64 * 1e6);
+    }
+
+    let limit = committed * MAX_REGRESSION;
+    println!(
+        "fluid perf gate: sparse_churn@{N} measured {best_us:.3} µs/recompute \
+         (committed {committed:.3} µs, limit {limit:.3} µs)"
+    );
+    if best_us > limit {
+        eprintln!(
+            "fluid perf gate FAILED: sparse-churn per-recompute cost regressed \
+             more than {MAX_REGRESSION}x over the committed BENCH_fluid.json baseline"
+        );
+        std::process::exit(1);
+    }
+    println!("fluid perf gate: OK");
+}

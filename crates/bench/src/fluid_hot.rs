@@ -1,0 +1,161 @@
+//! Fluid-solver hot-path scenarios shared by `benches/fluid.rs` and the CI
+//! perf-gate binary (`src/bin/fluid_perf_gate.rs`).
+//!
+//! Two topologies probe the two regimes of the incremental max-min solver:
+//!
+//! * **Contended** — 32 shared links with every activity crossing two of
+//!   them: the whole graph is one connected component, so every churn step
+//!   dirties (and re-solves) everything. This is the dense control: it
+//!   measures the full progressive-filling pass plus the incremental
+//!   machinery's overhead, and must stay within noise of the pre-incremental
+//!   baseline committed in `BENCH_fluid.json`.
+//! * **Sparse** — many independent two-link "islands" of
+//!   [`ISLAND_ACTS`] activities each: one churn step dirties a single
+//!   island, so the per-recompute cost is ~component-sized and independent
+//!   of the total concurrency N. This is the common production shape (one
+//!   transfer finishes, one starts, most of the grid untouched) and the case
+//!   the ≥5× @5k speedup target in ISSUE 4 refers to.
+//!
+//! Keeping the builders here (not in the bench file) means the CI gate times
+//! exactly the scenario the committed baseline numbers describe.
+
+use cgsim_des::fluid::{ActivityId, FluidModel, ResourceId};
+
+/// Number of shared links in the contended topology. Every activity crosses
+/// two of them, so each link carries ~2N/32 concurrent flows and progressive
+/// filling needs several freezing rounds per recomputation.
+pub const CONTENDED_LINKS: usize = 32;
+
+/// Activities per independent island in the sparse topology.
+pub const ISLAND_ACTS: usize = 4;
+
+/// Route of contended activity `i`: two (occasionally one) of the 32 links.
+pub fn contended_route(links: &[ResourceId], i: usize) -> Vec<ResourceId> {
+    let a = links[i % CONTENDED_LINKS];
+    let b = links[(i * 7 + 3) % CONTENDED_LINKS];
+    if a == b {
+        vec![a]
+    } else {
+        vec![a, b]
+    }
+}
+
+/// Builds the contended topology pre-populated with `n` activities.
+pub fn build_contended(n: usize) -> (FluidModel, Vec<ResourceId>, Vec<ActivityId>) {
+    let mut m = FluidModel::new();
+    let links: Vec<ResourceId> = (0..CONTENDED_LINKS)
+        .map(|i| m.add_resource(1e9 + (i as f64) * 1e7))
+        .collect();
+    let ids: Vec<ActivityId> = (0..n)
+        .map(|i| m.add_activity(1e12, &contended_route(&links, i)))
+        .collect();
+    (m, links, ids)
+}
+
+/// `steps` retire/admit/recompute cycles at steady concurrency on the
+/// contended topology. `step_base` carries the admission counter across
+/// iterations to keep the route mix rotating. Returns an accumulator so the
+/// work cannot be optimised away.
+pub fn contended_churn(
+    m: &mut FluidModel,
+    links: &[ResourceId],
+    ids: &mut [ActivityId],
+    step_base: &mut usize,
+    steps: usize,
+) -> f64 {
+    let mut acc = 0.0;
+    for _ in 0..steps {
+        let step = *step_base;
+        *step_base += 1;
+        let slot = step % ids.len();
+        m.remove_activity(ids[slot]);
+        ids[slot] = m.add_activity(1e12, &contended_route(links, ids.len() + step));
+        // Forces a share recomputation + completion query, as the event loop
+        // does on every admit.
+        acc += m.time_to_next_completion().map_or(0.0, |t| t.as_secs());
+    }
+    acc
+}
+
+/// Route of a sparse-island activity: one of the island's two links, or both.
+pub fn sparse_route(links: &[ResourceId], island: usize, variant: usize) -> Vec<ResourceId> {
+    let l0 = links[2 * island];
+    let l1 = links[2 * island + 1];
+    match variant % 3 {
+        0 => vec![l0],
+        1 => vec![l1],
+        _ => vec![l0, l1],
+    }
+}
+
+/// Builds the sparse topology: `n / ISLAND_ACTS` disjoint two-link islands
+/// holding `n` activities in total.
+pub fn build_sparse(n: usize) -> (FluidModel, Vec<ResourceId>, Vec<ActivityId>) {
+    let islands = (n / ISLAND_ACTS).max(1);
+    let mut m = FluidModel::new();
+    let links: Vec<ResourceId> = (0..2 * islands)
+        .map(|i| m.add_resource(1e9 + (i as f64) * 1e6))
+        .collect();
+    let ids: Vec<ActivityId> = (0..n)
+        .map(|j| {
+            let island = j % islands;
+            m.add_activity(1e12, &sparse_route(&links, island, j / islands))
+        })
+        .collect();
+    (m, links, ids)
+}
+
+/// `steps` sparse churn cycles: each step retires and re-admits one activity
+/// inside a single island (1 change per recompute), leaving every other
+/// component untouched — the incremental solver's sweet spot.
+pub fn sparse_churn(
+    m: &mut FluidModel,
+    links: &[ResourceId],
+    ids: &mut [ActivityId],
+    step_base: &mut usize,
+    steps: usize,
+) -> f64 {
+    let n = ids.len();
+    let islands = links.len() / 2;
+    let mut acc = 0.0;
+    for _ in 0..steps {
+        let step = *step_base;
+        *step_base += 1;
+        let victim = step % n;
+        let island = victim % islands;
+        m.remove_activity(ids[victim]);
+        ids[victim] = m.add_activity(
+            1e12,
+            &sparse_route(links, island, step / n + victim / islands),
+        );
+        acc += m.time_to_next_completion().map_or(0.0, |t| t.as_secs());
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_topology_is_island_disjoint() {
+        let (mut m, links, ids) = build_sparse(64);
+        assert_eq!(links.len(), 2 * (64 / ISLAND_ACTS));
+        assert_eq!(ids.len(), 64);
+        assert_eq!(m.activity_count(), 64);
+        let _ = m.time_to_next_completion();
+    }
+
+    #[test]
+    fn churn_keeps_concurrency_steady() {
+        let (mut m, links, mut ids) = build_sparse(32);
+        let mut step = 0;
+        sparse_churn(&mut m, &links, &mut ids, &mut step, 100);
+        assert_eq!(m.activity_count(), 32);
+
+        let (mut m, links, mut ids) = build_contended(50);
+        let mut step = 0;
+        contended_churn(&mut m, &links, &mut ids, &mut step, 100);
+        assert_eq!(m.activity_count(), 50);
+    }
+}

@@ -10,4 +10,5 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod fluid_hot;
 pub mod scenarios;

@@ -109,15 +109,7 @@ impl GridModel {
                 let resource = self.cpu_resources[site.index()];
                 let weight = record.cores as f64;
                 let amount = record.work_hs23 / cgsim_workload::parallel_efficiency(record.cores);
-                let now_t = ctx.now();
-                let completed = self.advance_fluid(now_t);
-                let activity = self
-                    .fluid
-                    .add_weighted_activity(amount, &[resource], weight);
-                self.activity_map.insert(activity, (idx, Phase::Execute));
-                self.jobs[idx].activity = Some(activity);
-                self.handle_completed_activities(completed, ctx);
-                self.reschedule_fluid(ctx);
+                self.start_fluid_activity(idx, Phase::Execute, amount, &[resource], weight, ctx);
             }
         }
     }

@@ -29,7 +29,7 @@ mod tests;
 use std::collections::{HashMap, VecDeque};
 
 use cgsim_data::{DatasetId, LruCache, ReplicaCatalog};
-use cgsim_des::fluid::{ActivityMap, FluidModel, ResourceId};
+use cgsim_des::fluid::{ActivityId, ActivityMap, FluidModel, ResourceId};
 use cgsim_des::rng::Rng;
 use cgsim_des::{Engine, EventKey, SimTime};
 use cgsim_faults::{FaultEvent, FaultPlan};
@@ -100,6 +100,11 @@ struct GridModel {
     activity_map: ActivityMap<(usize, Phase)>,
     last_fluid_sync: SimTime,
     fluid_event: Option<EventKey>,
+    /// Reused buffer for `FluidModel::advance_into` (no allocation on the
+    /// per-event fluid sync).
+    fluid_done_scratch: Vec<ActivityId>,
+    /// Reused buffer for staging-route resource lists.
+    route_scratch: Vec<ResourceId>,
     // Data management state.
     catalog: ReplicaCatalog,
     caches: Vec<LruCache>,
@@ -178,6 +183,8 @@ impl GridModel {
             activity_map: ActivityMap::new(),
             last_fluid_sync: SimTime::ZERO,
             fluid_event: None,
+            fluid_done_scratch: Vec::new(),
+            route_scratch: Vec::new(),
             catalog: ReplicaCatalog::new(),
             caches,
             task_datasets: HashMap::new(),

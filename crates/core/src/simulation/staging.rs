@@ -1,6 +1,6 @@
 //! Staging-plan execution against the fluid network model and the replica
 //! catalog: input stage-in, output stage-out, and the fluid bookkeeping
-//! shared by both.
+//! shared by both (and by time-shared execution in `job_runtime`).
 
 use cgsim_data::transfer::plan_staging;
 use cgsim_data::DatasetId;
@@ -35,15 +35,20 @@ impl GridModel {
 
     /// Advances the fluid model to `now` and returns the (job, phase) pairs
     /// whose activity completed, in the fluid model's deterministic
-    /// (slot-ordered) completion order.
+    /// (slot-ordered) completion order. The `ActivityId` buffer is reused
+    /// across calls, so the common no-completion sync allocates nothing.
     pub(super) fn advance_fluid(&mut self, now: SimTime) -> Vec<(usize, Phase)> {
         let dt = now.saturating_sub(self.last_fluid_sync);
         self.last_fluid_sync = now;
-        let finished = self.fluid.advance(dt);
-        finished
-            .into_iter()
-            .filter_map(|aid| self.activity_map.remove(aid))
-            .collect()
+        let mut finished = std::mem::take(&mut self.fluid_done_scratch);
+        self.fluid.advance_into(dt, &mut finished);
+        let completed = finished
+            .iter()
+            .filter_map(|&aid| self.activity_map.remove(aid))
+            .collect();
+        finished.clear();
+        self.fluid_done_scratch = finished;
+        completed
     }
 
     /// (Re)schedules the next fluid completion event.
@@ -56,14 +61,50 @@ impl GridModel {
         }
     }
 
-    /// The fluid resources along the route between two endpoints.
-    pub(super) fn route_resources(&self, from: NodeId, to: NodeId) -> Vec<ResourceId> {
-        self.platform
-            .route(from, to)
-            .links
-            .iter()
-            .map(|l| self.link_resources[l.index()])
-            .collect()
+    /// Starts one fluid activity for a job phase: syncs the model to `now`,
+    /// admits the activity, records the (job, phase) bookkeeping, then routes
+    /// any completions the sync surfaced and re-arms the completion event.
+    /// This is the single admission path shared by input staging, output
+    /// stage-out and time-shared execution.
+    pub(super) fn start_fluid_activity(
+        &mut self,
+        idx: usize,
+        phase: Phase,
+        amount: f64,
+        resources: &[ResourceId],
+        weight: f64,
+        ctx: &mut Context<'_, GridEvent>,
+    ) {
+        let completed = self.advance_fluid(ctx.now());
+        let activity = self.fluid.add_weighted_activity(amount, resources, weight);
+        self.activity_map.insert(activity, (idx, phase));
+        self.jobs[idx].activity = Some(activity);
+        self.handle_completed_activities(completed, ctx);
+        self.reschedule_fluid(ctx);
+    }
+
+    /// Starts a network transfer phase over the route `from -> to`, reusing
+    /// the model-owned route buffer (no per-transfer allocation).
+    fn start_transfer(
+        &mut self,
+        idx: usize,
+        phase: Phase,
+        bytes: u64,
+        from: NodeId,
+        to: NodeId,
+        ctx: &mut Context<'_, GridEvent>,
+    ) {
+        let mut route = std::mem::take(&mut self.route_scratch);
+        route.clear();
+        route.extend(
+            self.platform
+                .route(from, to)
+                .links
+                .iter()
+                .map(|l| self.link_resources[l.index()]),
+        );
+        self.start_fluid_activity(idx, phase, bytes as f64, &route, 1.0, ctx);
+        self.route_scratch = route;
     }
 
     /// Begins input staging for a job whose cores were just allocated.
@@ -118,16 +159,10 @@ impl GridModel {
         self.record(now, idx, JobState::Staging);
         let bytes = self.jobs[idx].record.input_bytes;
         self.jobs[idx].staged_bytes += bytes;
-        let resources = self.route_resources(source, destination);
         // Latency is added as a constant amount of "extra bytes" at the
         // bottleneck rate; for WAN transfers of GB-scale inputs it is
         // negligible, which matches the fluid approximation of SimGrid.
-        let completed = self.advance_fluid(now);
-        let activity = self.fluid.add_activity(bytes as f64, &resources);
-        self.activity_map.insert(activity, (idx, Phase::Input));
-        self.jobs[idx].activity = Some(activity);
-        self.handle_completed_activities(completed, ctx);
-        self.reschedule_fluid(ctx);
+        self.start_transfer(idx, Phase::Input, bytes, source, destination, ctx);
     }
 
     /// Ships a finished job's output back to the main server over the fluid
@@ -139,15 +174,13 @@ impl GridModel {
         ctx: &mut Context<'_, GridEvent>,
     ) {
         let bytes = self.jobs[idx].record.output_bytes;
-        let destination = NodeId::MainServer;
-        let source = NodeId::Site(site);
-        let resources = self.route_resources(source, destination);
-        let now = ctx.now();
-        let completed = self.advance_fluid(now);
-        let activity = self.fluid.add_activity(bytes as f64, &resources);
-        self.activity_map.insert(activity, (idx, Phase::Output));
-        self.jobs[idx].activity = Some(activity);
-        self.handle_completed_activities(completed, ctx);
-        self.reschedule_fluid(ctx);
+        self.start_transfer(
+            idx,
+            Phase::Output,
+            bytes,
+            NodeId::Site(site),
+            NodeId::MainServer,
+            ctx,
+        );
     }
 }

@@ -9,15 +9,33 @@
 //!
 //! Events can be cancelled through the [`EventKey`] returned by
 //! [`EventQueue::schedule`]; cancellation is lazy (a tombstone in the status
-//! table), so it is O(1) and does not disturb the heap. The queue tracks the
-//! status of every event it has ever issued — pending, delivered or
-//! cancelled — in a flat `Vec` indexed by sequence number (one byte per
-//! event), so a cancel racing a delivery is detected instead of corrupting
-//! the live count: cancelling an already-popped key is a reported no-op.
+//! table), so it is O(1) amortised and does not disturb the heap. Two
+//! mechanisms keep memory bounded under heavy cancellation (fault injection
+//! cancels timers constantly):
+//!
+//! * **Heap tombstone compaction.** Whenever cancelled tombstones outnumber
+//!   live entries (beyond a small slack), the heap is rebuilt from its live
+//!   entries only. Rebuilding cannot change pop order: the `(time, seq)` key
+//!   is a total order, so the pop sequence is independent of the heap's
+//!   internal layout.
+//! * **Status-table windowing.** Statuses are kept in a `VecDeque` starting
+//!   at sequence `base`; once the oldest events are all delivered or
+//!   cancelled, the front of the window is dropped. A key below the window
+//!   is by construction not pending, so `cancel` on it is a reported no-op —
+//!   exactly as before.
+//!
+//! The queue additionally maintains the invariant that the heap top is never
+//! a tombstone (skimming happens inside `cancel`/`pop`, the only operations
+//! that can put a tombstone on top). That makes [`EventQueue::peek_time`] an
+//! honest `&self` accessor instead of a `&mut self` lazy skim.
 
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::SimTime;
+
+/// Extra tombstones tolerated in the heap before compaction kicks in (avoids
+/// rebuild thrash on tiny queues).
+const COMPACT_SLACK: usize = 64;
 
 /// Opaque handle identifying a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -84,8 +102,13 @@ impl<E> Ord for HeapEntry<E> {
 /// A deterministic, cancellable, time-ordered event queue.
 pub struct EventQueue<E> {
     heap: BinaryHeap<HeapEntry<E>>,
-    /// Status of every event ever scheduled, indexed by sequence number.
-    status: Vec<EventStatus>,
+    /// Status window of recent events, indexed by `seq - base`. Events below
+    /// `base` are all retired (delivered or cancelled).
+    status: VecDeque<EventStatus>,
+    /// Sequence number of `status.front()`.
+    base: u64,
+    /// Total number of events ever scheduled.
+    scheduled_total: u64,
     /// Number of `Pending` events (the live count; never underflows because
     /// every decrement is guarded by a `Pending` status check).
     live: usize,
@@ -103,7 +126,9 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            status: Vec::new(),
+            status: VecDeque::new(),
+            base: 0,
+            scheduled_total: 0,
             live: 0,
             cancelled_total: 0,
         }
@@ -113,16 +138,59 @@ impl<E> EventQueue<E> {
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
             heap: BinaryHeap::with_capacity(cap),
-            status: Vec::with_capacity(cap),
+            status: VecDeque::with_capacity(cap),
+            base: 0,
+            scheduled_total: 0,
             live: 0,
             cancelled_total: 0,
         }
     }
 
+    /// Status of `seq`, if it is still inside the window. A sequence below
+    /// the window is retired (delivered or cancelled) by construction.
+    fn status_of(&self, seq: u64) -> Option<EventStatus> {
+        let offset = seq.checked_sub(self.base)?;
+        self.status.get(offset as usize).copied()
+    }
+
+    fn is_pending(&self, seq: u64) -> bool {
+        self.status_of(seq) == Some(EventStatus::Pending)
+    }
+
+    /// Drops the retired prefix of the status window.
+    fn compact_status(&mut self) {
+        while matches!(self.status.front(), Some(s) if *s != EventStatus::Pending) {
+            self.status.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// Restores the invariant that the heap top is not a tombstone.
+    fn skim(&mut self) {
+        while let Some(entry) = self.heap.peek() {
+            if self.is_pending(entry.seq) {
+                return;
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Rebuilds the heap from its live entries once tombstones dominate.
+    fn maybe_compact_heap(&mut self) {
+        if self.heap.len() > 2 * self.live + COMPACT_SLACK {
+            let entries = std::mem::take(&mut self.heap).into_vec();
+            self.heap = entries
+                .into_iter()
+                .filter(|e| self.is_pending(e.seq))
+                .collect();
+        }
+    }
+
     /// Schedules `event` at absolute time `time` and returns a cancellation key.
     pub fn schedule(&mut self, time: SimTime, event: E) -> EventKey {
-        let seq = self.status.len() as u64;
-        self.status.push(EventStatus::Pending);
+        let seq = self.scheduled_total;
+        self.scheduled_total += 1;
+        self.status.push_back(EventStatus::Pending);
         self.live += 1;
         self.heap.push(HeapEntry { time, seq, event });
         EventKey(seq)
@@ -133,11 +201,17 @@ impl<E> EventQueue<E> {
     /// whose event was already delivered is a no-op reporting `false` (it
     /// must not leave a tombstone behind, or the live count would drift).
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        match self.status.get_mut(key.0 as usize) {
+        let Some(offset) = key.0.checked_sub(self.base) else {
+            return false; // below the window: retired long ago
+        };
+        match self.status.get_mut(offset as usize) {
             Some(status @ EventStatus::Pending) => {
                 *status = EventStatus::Cancelled;
                 self.live -= 1;
                 self.cancelled_total += 1;
+                self.compact_status();
+                self.skim();
+                self.maybe_compact_heap();
                 true
             }
             _ => false,
@@ -146,32 +220,40 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the next (earliest) non-cancelled event.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        while let Some(entry) = self.heap.pop() {
-            let status = &mut self.status[entry.seq as usize];
-            if *status != EventStatus::Pending {
-                continue; // cancelled tombstone — drop it
+        // The skim invariant guarantees the top entry (if any) is pending.
+        let entry = self.heap.pop()?;
+        debug_assert!(self.is_pending(entry.seq), "tombstone surfaced on top");
+        if let Some(offset) = entry.seq.checked_sub(self.base) {
+            if let Some(status) = self.status.get_mut(offset as usize) {
+                *status = EventStatus::Delivered;
             }
-            *status = EventStatus::Delivered;
-            self.live -= 1;
-            return Some(ScheduledEvent {
-                time: entry.time,
-                key: EventKey(entry.seq),
-                event: entry.event,
-            });
         }
-        None
+        self.live -= 1;
+        self.compact_status();
+        self.skim();
+        self.maybe_compact_heap();
+        Some(ScheduledEvent {
+            time: entry.time,
+            key: EventKey(entry.seq),
+            event: entry.event,
+        })
     }
 
     /// Returns the time of the next non-cancelled event without removing it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drop cancelled entries lazily so the peek is accurate.
-        while let Some(entry) = self.heap.peek() {
-            if self.status[entry.seq as usize] == EventStatus::Pending {
-                return Some(entry.time);
-            }
-            self.heap.pop();
-        }
-        None
+    ///
+    /// The skim invariant (tombstones never rest on top of the heap) makes
+    /// this a plain `&self` read; it is exact, not an upper bound.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|entry| entry.time)
+    }
+
+    /// Returns the time and key of the next non-cancelled event without
+    /// removing it (cancellation-safe peek for callers that need to decide
+    /// whether to cancel what they are looking at).
+    pub fn peek_key(&self) -> Option<(SimTime, EventKey)> {
+        self.heap
+            .peek()
+            .map(|entry| (entry.time, EventKey(entry.seq)))
     }
 
     /// Number of events currently pending (scheduled, not yet delivered or
@@ -187,7 +269,7 @@ impl<E> EventQueue<E> {
 
     /// Total number of events ever scheduled on this queue.
     pub fn scheduled_total(&self) -> u64 {
-        self.status.len() as u64
+        self.scheduled_total
     }
 
     /// Total number of events ever cancelled on this queue.
@@ -195,23 +277,33 @@ impl<E> EventQueue<E> {
         self.cancelled_total
     }
 
+    /// Number of entries physically held by the heap, live plus tombstones
+    /// (diagnostics: compaction keeps this within `2·len() + O(1)`).
+    pub fn heap_entries(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Width of the status window (diagnostics: windowing keeps this bounded
+    /// by the span between the oldest pending event and the newest one).
+    pub fn status_entries(&self) -> usize {
+        self.status.len()
+    }
+
     /// Removes every pending event (their keys then behave like cancelled
     /// ones: a later `cancel` reports `false`).
     ///
-    /// The status table is deliberately *not* truncated: sequence numbers
-    /// keep growing monotonically, so an `EventKey` issued before the clear
-    /// can never alias an event scheduled after it. The cost is one byte per
-    /// event ever scheduled for the queue's lifetime — bounded by the run's
-    /// total event count, which the engine already tracks (a fresh queue per
-    /// simulation keeps it per-run).
+    /// Sequence numbers keep growing monotonically across a clear, so an
+    /// `EventKey` issued before the clear can never alias an event scheduled
+    /// after it.
     pub fn clear(&mut self) {
-        for entry in self.heap.drain() {
-            let status = &mut self.status[entry.seq as usize];
+        self.heap.clear();
+        for status in self.status.iter_mut() {
             if *status == EventStatus::Pending {
                 *status = EventStatus::Cancelled;
             }
         }
         self.live = 0;
+        self.compact_status();
     }
 }
 
@@ -290,6 +382,19 @@ mod tests {
     }
 
     #[test]
+    fn peek_key_identifies_the_next_event() {
+        let mut q = EventQueue::new();
+        let k1 = q.schedule(SimTime::from_secs(1.0), "a");
+        let k2 = q.schedule(SimTime::from_secs(2.0), "b");
+        assert_eq!(q.peek_key(), Some((SimTime::from_secs(1.0), k1)));
+        // Cancelling exactly what was peeked is safe and exposes the next.
+        assert!(q.cancel(k1));
+        assert_eq!(q.peek_key(), Some((SimTime::from_secs(2.0), k2)));
+        q.cancel(k2);
+        assert_eq!(q.peek_key(), None);
+    }
+
+    #[test]
     fn counters_track_activity() {
         let mut q = EventQueue::new();
         let k = q.schedule(SimTime::ZERO, 1);
@@ -310,5 +415,65 @@ mod tests {
         assert!(!q.cancel(k));
         assert_eq!(q.len(), 0);
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn tombstone_compaction_bounds_memory_and_preserves_pop_order() {
+        // Heavy-cancellation regression: waves of schedule-then-cancel (the
+        // fault injector's timer pattern) must not grow the heap or the
+        // status window without bound, and the survivors must pop in exactly
+        // the order a cancellation-free queue would produce.
+        let mut q = EventQueue::new();
+        let mut survivors = Vec::new();
+        for wave in 0..100u64 {
+            let mut keys = Vec::new();
+            for i in 0..100u64 {
+                let t = SimTime::from_secs((wave * 100 + (i * 37) % 100) as f64);
+                let payload = wave * 100 + i;
+                keys.push((q.schedule(t, payload), t, payload));
+            }
+            for (n, &(key, t, payload)) in keys.iter().enumerate() {
+                if n % 100 < 99 {
+                    assert!(q.cancel(key));
+                } else {
+                    survivors.push((t, key.sequence(), payload));
+                }
+                assert!(
+                    q.heap_entries() <= 2 * q.len() + 64,
+                    "heap grew unboundedly: {} entries for {} live",
+                    q.heap_entries(),
+                    q.len()
+                );
+            }
+        }
+        survivors.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut popped = Vec::new();
+        while let Some(ev) = q.pop() {
+            popped.push(ev.event);
+        }
+        let expected: Vec<u64> = survivors.iter().map(|&(_, _, p)| p).collect();
+        assert_eq!(popped, expected);
+        // Fully drained: both stores are empty again.
+        assert_eq!(q.heap_entries(), 0);
+        assert_eq!(q.status_entries(), 0);
+        assert_eq!(q.scheduled_total(), 10_000);
+    }
+
+    #[test]
+    fn status_window_retires_delivered_prefix() {
+        let mut q = EventQueue::new();
+        for i in 0..1000 {
+            q.schedule(SimTime::from_secs(i as f64), i);
+        }
+        for _ in 0..1000 {
+            q.pop().unwrap();
+        }
+        assert_eq!(q.status_entries(), 0, "fully drained window must be empty");
+        // Keys from the retired window are not cancellable, and new events
+        // keep working.
+        assert!(!q.cancel(EventKey(0)));
+        let k = q.schedule(SimTime::ZERO, 1000);
+        assert_eq!(k.sequence(), 1000);
+        assert!(q.cancel(k));
     }
 }

@@ -23,6 +23,54 @@
 //! `min(remaining_i / rate_i)` — this is what the discrete-event loop uses to
 //! schedule the next "transfer finished" event.
 //!
+//! # Incremental recomputation: components and dirtiness
+//!
+//! Re-running progressive filling over the *whole* bipartite graph on every
+//! admit/retire/re-rate makes each event O(N) in the number of concurrent
+//! activities and whole runs O(N²). The model therefore maintains the
+//! **connected components** of the constraint graph (resources are connected
+//! when a live activity crosses both) and re-solves only the components a
+//! change touched:
+//!
+//! * A union-find over resources records connectivity. Admitting an activity
+//!   unions its route; because unions cannot be undone, retires leave the
+//!   partition a *conservative over-approximation* (components may stay
+//!   merged after the bridging activity left). That is always correct: the
+//!   progressive-filling rounds of two disconnected sub-graphs never interact
+//!   — running the algorithm on their union performs the exact same
+//!   floating-point operations on each side, in the same order, as running it
+//!   on each part alone (the global bottleneck, when it lies in part A, is
+//!   also A's local bottleneck, and freezing it only touches A's residuals).
+//!   The partition is re-tightened by rebuilding the union-find from the live
+//!   activity set once retires since the last rebuild exceed the live count.
+//! * Every mutation marks the resources it touched **dirty**: an admit marks
+//!   its (freshly unioned) route, a retire marks every resource of the
+//!   departing activity (so a later rebuild cannot strand a stale
+//!   sub-component), a capacity change marks the resource. `ensure_shares`
+//!   resolves the dirty components only; untouched components keep their
+//!   frozen rates *exactly* — not approximately — because the per-component
+//!   solve is bit-for-bit the global pass restricted to that component.
+//!
+//! # Completion tracking: deferred remaining work and the projection heap
+//!
+//! The O(N) per-event scans of `advance`/`time_to_next_completion` are
+//! replaced by per-activity *projected completion times* kept in an indexed
+//! binary min-heap ordered by `(projection, slot)`:
+//!
+//! * Each activity stores `(remaining, synced_at)` — its remaining work at
+//!   the instant its rate last changed — instead of a value decremented on
+//!   every advance. Remaining work at the current clock is
+//!   `remaining − rate·(clock − synced_at)`, materialised (and `synced_at`
+//!   reset) only when a re-solve changes the activity's rate **bitwise**.
+//!   Rate-preserving re-solves therefore leave the stored state untouched,
+//!   which keeps the materialisation schedule a pure function of the model's
+//!   call history — the reproducibility contract.
+//! * The projection is `synced_at + remaining/rate` (immediate for zero work
+//!   or sub-resolution remnants, absent for zero-rate activities).
+//!   `advance(dt)` moves the clock and pops every projection within
+//!   [`TIME_RESOLUTION_S`] of it — O(completions·log N) instead of O(N) — and
+//!   `time_to_next_completion` is a heap peek.
+//!
 //! # Slab layout and determinism
 //!
 //! Activities live in a *slab*: a dense `Vec` of slots addressed by index,
@@ -32,22 +80,14 @@
 //! after the slot was recycled by a newer activity) is rejected by every
 //! lookup instead of silently aliasing the new occupant.
 //!
-//! The layout exists for two reasons:
-//!
-//! * **Determinism.** Share recomputation iterates resources and slots in
-//!   strictly ascending index order, and per-resource user lists are kept
-//!   sorted by slot index. There is no hash map anywhere on the path, so
-//!   floating-point accumulation order — and therefore every transfer rate,
-//!   every completion time and ultimately whole simulations — is bit-for-bit
-//!   identical between two runs of the same scenario. (A randomly seeded
-//!   `HashMap` iteration order, as used before this layout, could legally
-//!   reorder the additions and change the low bits of the allocation between
-//!   runs of the same binary.)
-//! * **Speed.** `recompute_shares` runs on every activity start/finish — the
-//!   hottest path of the whole simulator. Slab indices make every per-round
-//!   structure a flat `Vec` indexed by `usize`; the `weight_sum` / `residual`
-//!   / `frozen` scratch buffers are owned by the model and reused across
-//!   calls, so steady-state recomputation performs no allocation at all.
+//! Share recomputation iterates a component's resources and slots in strictly
+//! ascending index order, and per-resource user lists are kept sorted by slot
+//! index. There is no hash map anywhere on the path, so floating-point
+//! accumulation order — and therefore every transfer rate, every completion
+//! time and ultimately whole simulations — is bit-for-bit identical between
+//! two runs of the same scenario. The scratch buffers used by the solver are
+//! owned by the model and reused across calls, so steady-state recomputation
+//! performs no allocation at all.
 
 use crate::define_id;
 use crate::time::SimTime;
@@ -110,6 +150,12 @@ pub const EPSILON: f64 = 1e-9;
 /// walltimes are minutes to hours).
 pub const TIME_RESOLUTION_S: f64 = 1e-6;
 
+/// Sentinel for "not in the completion heap".
+const NO_POS: u32 = u32::MAX;
+
+/// Minimum number of retires before the component partition is rebuilt.
+const REBUILD_MIN_RETIRES: usize = 64;
+
 #[derive(Debug, Clone)]
 struct ResourceState {
     capacity: f64,
@@ -123,10 +169,84 @@ struct ResourceState {
 struct ActivitySlot {
     generation: u32,
     live: bool,
+    /// Remaining work at virtual time `synced_at` (NOT at the current clock;
+    /// see the module docs on deferred remaining work).
     remaining: f64,
+    /// Virtual time at which `remaining` was last materialised — the instant
+    /// of the activity's most recent bitwise rate change.
+    synced_at: f64,
     weight: f64,
     rate: f64,
+    /// Projected absolute completion time (meaningful while in the heap).
+    proj: f64,
     resources: Vec<ResourceId>,
+}
+
+/// Union-find over resource indices with per-root member lists, tracking the
+/// connected components of the activity↔resource constraint graph.
+///
+/// Unions are monotone (admits only); the partition is an over-approximation
+/// after retires and is re-tightened by [`ResourceComponents::reset`] plus
+/// re-unioning the live activity set (see `FluidModel::rebuild_components`).
+#[derive(Debug, Clone, Default)]
+struct ResourceComponents {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    /// Member resource indices per root (unsorted; only valid at roots).
+    members: Vec<Vec<u32>>,
+}
+
+impl ResourceComponents {
+    fn push_resource(&mut self) {
+        let idx = self.parent.len() as u32;
+        self.parent.push(idx);
+        self.size.push(1);
+        self.members.push(vec![idx]);
+    }
+
+    /// Root of `r`'s component, with path halving.
+    fn find(&mut self, mut r: u32) -> u32 {
+        while self.parent[r as usize] != r {
+            let grandparent = self.parent[self.parent[r as usize] as usize];
+            self.parent[r as usize] = grandparent;
+            r = grandparent;
+        }
+        r
+    }
+
+    /// Merges the components of `a` and `b`; returns the surviving root.
+    fn union(&mut self, a: u32, b: u32) -> u32 {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return ra;
+        }
+        let (winner, loser) = if self.size[ra as usize] > self.size[rb as usize]
+            || (self.size[ra as usize] == self.size[rb as usize] && ra < rb)
+        {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[loser as usize] = winner;
+        self.size[winner as usize] += self.size[loser as usize];
+        let mut moved = std::mem::take(&mut self.members[loser as usize]);
+        self.members[winner as usize].extend_from_slice(&moved);
+        moved.clear();
+        self.members[loser as usize] = moved; // keep the allocation for reuse
+        winner
+    }
+
+    /// Resets every resource to its own singleton component (allocations are
+    /// kept so periodic rebuilds do not churn the allocator).
+    fn reset(&mut self) {
+        for i in 0..self.parent.len() {
+            self.parent[i] = i as u32;
+            self.size[i] = 1;
+            self.members[i].clear();
+            self.members[i].push(i as u32);
+        }
+    }
 }
 
 /// The fluid sharing model: a bipartite graph of resources and activities.
@@ -137,12 +257,33 @@ pub struct FluidModel {
     /// LIFO free list of released slots (deterministic reuse order).
     free: Vec<u32>,
     live_count: usize,
-    shares_valid: bool,
-    // Reusable scratch buffers for `recompute_shares` (no steady-state
-    // allocation on the hot path).
+    /// Total virtual time this model has been advanced by.
+    clock: f64,
+    // Incremental-solver state.
+    comps: ResourceComponents,
+    /// Per-resource "marked dirty" flag (dedup for `dirty_list`).
+    dirty_flag: Vec<bool>,
+    /// Resources marked dirty since the last solve.
+    dirty_list: Vec<u32>,
+    retired_since_rebuild: usize,
+    // Indexed min-heap of projected completion times, ordered by
+    // `(slot.proj, slot)`; `heap_pos` maps slot -> heap index (NO_POS = out).
+    heap: Vec<u32>,
+    heap_pos: Vec<u32>,
+    // Reusable scratch buffers (no steady-state allocation on the hot path).
     scratch_residual: Vec<f64>,
     scratch_weight_sum: Vec<f64>,
     scratch_frozen: Vec<bool>,
+    /// Per-slot stamp for O(1) distinct-activity gathering.
+    act_stamp: Vec<u64>,
+    /// Per-resource stamp for O(1) distinct-root gathering.
+    root_stamp: Vec<u64>,
+    stamp: u64,
+    scratch_comp_res: Vec<u32>,
+    scratch_comp_acts: Vec<u32>,
+    scratch_old_rates: Vec<f64>,
+    scratch_roots: Vec<u32>,
+    scratch_finished: Vec<u32>,
 }
 
 impl FluidModel {
@@ -166,18 +307,24 @@ impl FluidModel {
             capacity,
             users: Vec::new(),
         });
+        self.comps.push_resource();
+        self.dirty_flag.push(false);
         id
     }
 
     /// Changes the capacity of an existing resource (used to model degraded
-    /// links or dynamically resized CPU pools).
+    /// links or dynamically resized CPU pools). Setting the capacity a
+    /// resource already has is a no-op that does not dirty its component.
     pub fn set_capacity(&mut self, id: ResourceId, capacity: f64) {
         assert!(
             capacity.is_finite() && capacity > 0.0,
             "resource capacity must be positive and finite, got {capacity}"
         );
+        if self.resources[id.index()].capacity.to_bits() == capacity.to_bits() {
+            return;
+        }
         self.resources[id.index()].capacity = capacity;
-        self.shares_valid = false;
+        self.mark_dirty(id.index() as u32);
     }
 
     /// Returns the capacity of a resource.
@@ -193,6 +340,14 @@ impl FluidModel {
     /// Number of in-flight activities.
     pub fn activity_count(&self) -> usize {
         self.live_count
+    }
+
+    /// Marks a resource's component dirty (dedup'd via `dirty_flag`).
+    fn mark_dirty(&mut self, resource: u32) {
+        if !self.dirty_flag[resource as usize] {
+            self.dirty_flag[resource as usize] = true;
+            self.dirty_list.push(resource);
+        }
     }
 
     /// Starts an activity requiring `amount` units of work across the listed
@@ -227,14 +382,18 @@ impl FluidModel {
                 let idx = self.slots.len();
                 assert!(idx < u32::MAX as usize, "fluid slab exhausted");
                 self.slots.push(ActivitySlot::default());
+                self.heap_pos.push(NO_POS);
                 idx as u32
             }
         };
+        let clock = self.clock;
         let slot = &mut self.slots[slot_idx as usize];
         slot.live = true;
         slot.remaining = amount;
+        slot.synced_at = clock;
         slot.weight = weight;
         slot.rate = 0.0;
+        slot.proj = f64::INFINITY;
         slot.resources.clear();
         slot.resources.extend_from_slice(resources);
         let generation = slot.generation;
@@ -243,8 +402,14 @@ impl FluidModel {
             let pos = users.binary_search(&slot_idx).unwrap_or_else(|p| p);
             users.insert(pos, slot_idx);
         }
+        // Connect the route in the component index and dirty the (single,
+        // freshly merged) component it now belongs to.
+        let mut root = self.comps.find(resources[0].index() as u32);
+        for r in &resources[1..] {
+            root = self.comps.union(root, r.index() as u32);
+        }
+        self.mark_dirty(resources[0].index() as u32);
         self.live_count += 1;
-        self.shares_valid = false;
         ActivityId::pack(slot_idx, generation)
     }
 
@@ -256,8 +421,14 @@ impl FluidModel {
     }
 
     /// Unlinks a slot from its resources, bumps its generation (invalidating
-    /// every outstanding id) and returns it to the free list.
+    /// every outstanding id) and returns it to the free list. Every resource
+    /// of the departing activity is marked dirty — marking just one would
+    /// leave a stale sibling sub-component behind if a partition rebuild
+    /// splits the component before the next solve.
     fn release_slot(&mut self, slot_idx: u32) {
+        if self.heap_pos[slot_idx as usize] != NO_POS {
+            self.heap_remove(slot_idx);
+        }
         let resources = std::mem::take(&mut self.slots[slot_idx as usize].resources);
         for r in &resources {
             let users = &mut self.resources[r.index()].users;
@@ -265,31 +436,42 @@ impl FluidModel {
                 users.remove(pos);
             }
         }
+        for r in &resources {
+            self.mark_dirty(r.index() as u32);
+        }
         let slot = &mut self.slots[slot_idx as usize];
         slot.resources = resources;
         slot.resources.clear();
         slot.live = false;
         slot.generation = slot.generation.wrapping_add(1);
         slot.remaining = 0.0;
+        slot.synced_at = 0.0;
         slot.rate = 0.0;
         slot.weight = 0.0;
+        slot.proj = f64::INFINITY;
         self.free.push(slot_idx);
         self.live_count -= 1;
+        self.retired_since_rebuild += 1;
     }
 
     /// Removes an activity regardless of remaining work (e.g. a cancelled
-    /// transfer). Returns the remaining amount, if the activity existed.
+    /// transfer). Returns the remaining amount at the current virtual time,
+    /// if the activity existed.
     pub fn remove_activity(&mut self, id: ActivityId) -> Option<f64> {
         let idx = self.slot_of(id)?;
-        let remaining = self.slots[idx].remaining;
+        let slot = &self.slots[idx];
+        let remaining = slot.remaining - slot.rate * (self.clock - slot.synced_at);
         self.release_slot(idx as u32);
-        self.shares_valid = false;
         Some(remaining)
     }
 
-    /// Remaining work of an activity (`None` for stale/unknown ids).
+    /// Remaining work of an activity at the current virtual time (`None` for
+    /// stale/unknown ids).
     pub fn remaining(&self, id: ActivityId) -> Option<f64> {
-        self.slot_of(id).map(|idx| self.slots[idx].remaining)
+        self.slot_of(id).map(|idx| {
+            let slot = &self.slots[idx];
+            slot.remaining - slot.rate * (self.clock - slot.synced_at)
+        })
     }
 
     /// Current max-min fair rate of an activity (`None` for stale ids).
@@ -298,66 +480,138 @@ impl FluidModel {
         self.slot_of(id).map(|idx| self.slots[idx].rate)
     }
 
-    /// Recomputes the max-min fair allocation if anything changed.
+    /// Re-solves the dirty components, if any. Clean components keep their
+    /// frozen rates — bit-identical to what a full recompute would assign.
     fn ensure_shares(&mut self) {
-        if self.shares_valid {
+        if self.dirty_list.is_empty() {
             return;
         }
-        self.recompute_shares();
-        self.shares_valid = true;
+        if self.retired_since_rebuild >= REBUILD_MIN_RETIRES.max(self.live_count) {
+            self.rebuild_components();
+        }
+        let n_res = self.resources.len();
+        if self.scratch_residual.len() < n_res {
+            self.scratch_residual.resize(n_res, 0.0);
+            self.scratch_weight_sum.resize(n_res, 0.0);
+            self.root_stamp.resize(n_res, 0);
+        }
+        let n_slots = self.slots.len();
+        if self.scratch_frozen.len() < n_slots {
+            self.scratch_frozen.resize(n_slots, false);
+            self.act_stamp.resize(n_slots, 0);
+        }
+        // Collect the distinct dirty component roots, ascending.
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let mut roots = std::mem::take(&mut self.scratch_roots);
+        roots.clear();
+        for i in 0..self.dirty_list.len() {
+            let r = self.dirty_list[i];
+            self.dirty_flag[r as usize] = false;
+            let root = self.comps.find(r);
+            if self.root_stamp[root as usize] != stamp {
+                self.root_stamp[root as usize] = stamp;
+                roots.push(root);
+            }
+        }
+        self.dirty_list.clear();
+        roots.sort_unstable();
+        for &root in &roots {
+            self.solve_component(root);
+        }
+        roots.clear();
+        self.scratch_roots = roots;
     }
 
-    /// Progressive-filling max-min fairness.
+    /// Rebuilds the component partition from the live activity set,
+    /// re-tightening the over-approximation left behind by retires. Rates are
+    /// unaffected: refining the partition never changes what any solve
+    /// computes (see the module docs).
+    fn rebuild_components(&mut self) {
+        self.comps.reset();
+        for idx in 0..self.slots.len() {
+            if !self.slots[idx].live {
+                continue;
+            }
+            let mut root = self.comps.find(self.slots[idx].resources[0].index() as u32);
+            for k in 1..self.slots[idx].resources.len() {
+                root = self
+                    .comps
+                    .union(root, self.slots[idx].resources[k].index() as u32);
+            }
+        }
+        self.retired_since_rebuild = 0;
+    }
+
+    /// Progressive-filling max-min fairness over one component.
     ///
-    /// Every loop below walks a flat `Vec` in ascending index order, so the
-    /// floating-point accumulation order is a pure function of the model's
-    /// call history — the bit-for-bit reproducibility contract of the crate.
-    fn recompute_shares(&mut self) {
-        let n_res = self.resources.len();
+    /// This is exactly the global algorithm restricted to the component's
+    /// resources and activities: every loop walks indices in ascending order,
+    /// so the floating-point accumulation order is a pure function of the
+    /// component's membership — and therefore identical to what a full
+    /// recompute would perform for these activities.
+    fn solve_component(&mut self, root: u32) {
+        let mut comp_res = std::mem::take(&mut self.scratch_comp_res);
+        comp_res.clear();
+        comp_res.extend_from_slice(&self.comps.members[root as usize]);
+        comp_res.sort_unstable();
+
         let mut residual = std::mem::take(&mut self.scratch_residual);
         let mut weight_sum = std::mem::take(&mut self.scratch_weight_sum);
         let mut frozen = std::mem::take(&mut self.scratch_frozen);
-        residual.clear();
-        residual.extend(self.resources.iter().map(|r| r.capacity));
-        weight_sum.clear();
-        weight_sum.resize(n_res, 0.0);
-        frozen.clear();
-        frozen.resize(self.slots.len(), false);
+        let mut comp_acts = std::mem::take(&mut self.scratch_comp_acts);
+        let mut old_rates = std::mem::take(&mut self.scratch_old_rates);
+        comp_acts.clear();
+        old_rates.clear();
 
-        let mut unfrozen = 0usize;
-        for slot in self.slots.iter_mut().filter(|s| s.live) {
-            slot.rate = 0.0;
-            unfrozen += 1;
+        // Gather the component's distinct activities and reset residuals.
+        self.stamp += 1;
+        let stamp = self.stamp;
+        for &r in &comp_res {
+            residual[r as usize] = self.resources[r as usize].capacity;
+            for &u in &self.resources[r as usize].users {
+                if self.act_stamp[u as usize] != stamp {
+                    self.act_stamp[u as usize] = stamp;
+                    comp_acts.push(u);
+                }
+            }
         }
+        for &u in &comp_acts {
+            old_rates.push(self.slots[u as usize].rate);
+            self.slots[u as usize].rate = 0.0;
+            frozen[u as usize] = false;
+        }
+        let mut unfrozen = comp_acts.len();
 
         // Each iteration freezes at least one activity, so at most n rounds.
         while unfrozen > 0 {
-            // Weight of unfrozen activities crossing each resource.
-            for (idx, res) in self.resources.iter().enumerate() {
+            // Weight of unfrozen activities crossing each member resource.
+            for &r in &comp_res {
                 let mut sum = 0.0;
-                for &u in &res.users {
+                for &u in &self.resources[r as usize].users {
                     if !frozen[u as usize] {
                         sum += self.slots[u as usize].weight;
                     }
                 }
-                weight_sum[idx] = sum;
+                weight_sum[r as usize] = sum;
             }
-            // Fair share increment per unit weight = min over used resources
-            // of residual / weight_sum (first such resource on ties).
-            let mut bottleneck: Option<(usize, f64)> = None;
-            for (idx, &w) in weight_sum.iter().enumerate() {
+            // Fair share increment per unit weight = min over member
+            // resources of residual / weight_sum (first such resource on
+            // ties — ascending order matches the global pass).
+            let mut bottleneck: Option<(u32, f64)> = None;
+            for &r in &comp_res {
+                let w = weight_sum[r as usize];
                 if w > EPSILON {
-                    let share = residual[idx] / w;
+                    let share = residual[r as usize] / w;
                     match bottleneck {
                         Some((_, best)) if share >= best => {}
-                        _ => bottleneck = Some((idx, share)),
+                        _ => bottleneck = Some((r, share)),
                     }
                 }
             }
             let Some((bottleneck_idx, fair_rate_per_weight)) = bottleneck else {
-                // No unfrozen activity uses any resource with positive weight;
-                // they all must have zero-length resource lists (impossible by
-                // construction) — just freeze them at zero rate.
+                // No unfrozen activity uses any resource with positive
+                // weight; freeze the remainder at zero rate.
                 break;
             };
 
@@ -365,8 +619,8 @@ impl FluidModel {
             // resource, in ascending slot order.
             let mut froze_any = false;
             let mut cursor = 0;
-            while cursor < self.resources[bottleneck_idx].users.len() {
-                let slot_idx = self.resources[bottleneck_idx].users[cursor] as usize;
+            while cursor < self.resources[bottleneck_idx as usize].users.len() {
+                let slot_idx = self.resources[bottleneck_idx as usize].users[cursor] as usize;
                 cursor += 1;
                 if frozen[slot_idx] {
                     continue;
@@ -385,32 +639,135 @@ impl FluidModel {
             }
         }
 
+        // Post-pass: materialise remaining work for activities whose rate
+        // changed bitwise, and refresh their completion projections.
+        let clock = self.clock;
+        for (i, &u) in comp_acts.iter().enumerate() {
+            let old_rate = old_rates[i];
+            let slot = &mut self.slots[u as usize];
+            if slot.rate.to_bits() != old_rate.to_bits() {
+                slot.remaining -= old_rate * (clock - slot.synced_at);
+                slot.synced_at = clock;
+            }
+            let proj = projected_completion(slot.remaining, slot.rate, slot.synced_at);
+            self.heap_set(u, proj);
+        }
+
+        comp_res.clear();
+        self.scratch_comp_res = comp_res;
         self.scratch_residual = residual;
         self.scratch_weight_sum = weight_sum;
         self.scratch_frozen = frozen;
+        comp_acts.clear();
+        self.scratch_comp_acts = comp_acts;
+        old_rates.clear();
+        self.scratch_old_rates = old_rates;
     }
 
+    // ---- indexed completion heap ------------------------------------------
+
+    /// True when heap element `a` orders before `b`: lexicographic on
+    /// `(projection, slot)` — the slot tie-break keeps pops deterministic.
+    #[inline]
+    fn heap_less(&self, a: u32, b: u32) -> bool {
+        let pa = self.slots[a as usize].proj;
+        let pb = self.slots[b as usize].proj;
+        match pa.partial_cmp(&pb) {
+            Some(std::cmp::Ordering::Less) => true,
+            Some(std::cmp::Ordering::Greater) => false,
+            _ => a < b,
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) -> usize {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap_less(self.heap[i], self.heap[parent]) {
+                self.heap.swap(i, parent);
+                self.heap_pos[self.heap[i] as usize] = i as u32;
+                self.heap_pos[self.heap[parent] as usize] = parent as u32;
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        i
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let left = 2 * i + 1;
+            let right = left + 1;
+            let mut smallest = i;
+            if left < self.heap.len() && self.heap_less(self.heap[left], self.heap[smallest]) {
+                smallest = left;
+            }
+            if right < self.heap.len() && self.heap_less(self.heap[right], self.heap[smallest]) {
+                smallest = right;
+            }
+            if smallest == i {
+                break;
+            }
+            self.heap.swap(i, smallest);
+            self.heap_pos[self.heap[i] as usize] = i as u32;
+            self.heap_pos[self.heap[smallest] as usize] = smallest as u32;
+            i = smallest;
+        }
+    }
+
+    /// Sets slot `u`'s projection and repositions (or inserts/removes) it in
+    /// the heap. Infinite projections (zero-rate activities) stay out of the
+    /// heap entirely; unchanged projections are a no-op.
+    fn heap_set(&mut self, u: u32, proj: f64) {
+        let pos = self.heap_pos[u as usize];
+        if proj.is_infinite() {
+            self.slots[u as usize].proj = proj;
+            if pos != NO_POS {
+                self.heap_remove(u);
+            }
+            return;
+        }
+        let old = self.slots[u as usize].proj;
+        self.slots[u as usize].proj = proj;
+        if pos == NO_POS {
+            self.heap_pos[u as usize] = self.heap.len() as u32;
+            self.heap.push(u);
+            self.sift_up(self.heap.len() - 1);
+        } else if proj.to_bits() != old.to_bits() {
+            let settled = self.sift_up(pos as usize);
+            if settled == pos as usize {
+                self.sift_down(settled);
+            }
+        }
+    }
+
+    /// Removes slot `u` from the heap (it must be present).
+    fn heap_remove(&mut self, u: u32) {
+        let pos = self.heap_pos[u as usize] as usize;
+        let last = self.heap.len() - 1;
+        self.heap.swap(pos, last);
+        self.heap.pop();
+        self.heap_pos[u as usize] = NO_POS;
+        if pos < self.heap.len() {
+            let moved = self.heap[pos];
+            self.heap_pos[moved as usize] = pos as u32;
+            let settled = self.sift_up(pos);
+            if settled == pos {
+                self.sift_down(settled);
+            }
+        }
+    }
+
+    // ---- completion queries -----------------------------------------------
+
     /// Time until the next activity completes at current rates, if any
-    /// activity is in flight. Zero-work activities complete immediately.
+    /// activity is in flight with a defined completion (zero-work activities
+    /// complete immediately; zero-rate activities never do).
     pub fn time_to_next_completion(&mut self) -> Option<SimTime> {
         self.ensure_shares();
-        let mut best: Option<f64> = None;
-        for slot in self.slots.iter().filter(|s| s.live) {
-            let t = if slot.remaining <= EPSILON
-                || (slot.rate > EPSILON && slot.remaining <= slot.rate * TIME_RESOLUTION_S)
-            {
-                0.0
-            } else if slot.rate > EPSILON {
-                slot.remaining / slot.rate
-            } else {
-                continue;
-            };
-            best = Some(match best {
-                Some(b) => b.min(t),
-                None => t,
-            });
-        }
-        best.map(SimTime::from_secs)
+        let &next = self.heap.first()?;
+        let dt = (self.slots[next as usize].proj - self.clock).max(0.0);
+        Some(SimTime::from_secs(dt))
     }
 
     /// Advances every in-flight activity by `dt` of virtual time and returns
@@ -418,30 +775,42 @@ impl FluidModel {
     /// them from the model. The returned ids are in ascending slot order — a
     /// deterministic order for downstream event scheduling.
     pub fn advance(&mut self, dt: SimTime) -> Vec<ActivityId> {
-        self.ensure_shares();
-        let dt = dt.as_secs();
         let mut finished = Vec::new();
-        for (idx, slot) in self.slots.iter_mut().enumerate() {
-            if !slot.live {
-                continue;
-            }
-            slot.remaining -= slot.rate * dt;
-            // An activity is done when its remaining work is gone *or* would
-            // be gone within the fluid model's time resolution — the latter
-            // absorbs floating-point residue that would otherwise stall the
-            // event loop on sub-resolvable completion times.
-            if slot.remaining <= EPSILON || slot.remaining <= slot.rate * TIME_RESOLUTION_S {
-                slot.remaining = 0.0;
-                finished.push(ActivityId::pack(idx as u32, slot.generation));
-            }
-        }
-        for id in &finished {
-            self.release_slot(id.slot());
-        }
-        if !finished.is_empty() {
-            self.shares_valid = false;
-        }
+        self.advance_into(dt, &mut finished);
         finished
+    }
+
+    /// Allocation-free variant of [`FluidModel::advance`]: clears `out` and
+    /// fills it with the completed activities in ascending slot order. Core
+    /// loops that advance on every event should hold one buffer and reuse it.
+    pub fn advance_into(&mut self, dt: SimTime, out: &mut Vec<ActivityId>) {
+        out.clear();
+        self.ensure_shares();
+        self.clock += dt.as_secs();
+        // An activity is done when its projected completion falls within the
+        // fluid model's time resolution of the new clock — the tolerance
+        // absorbs floating-point residue that would otherwise stall the event
+        // loop on sub-resolvable completion times.
+        let deadline = self.clock + TIME_RESOLUTION_S;
+        let mut finished = std::mem::take(&mut self.scratch_finished);
+        finished.clear();
+        while let Some(&top) = self.heap.first() {
+            if self.slots[top as usize].proj <= deadline {
+                self.heap_remove(top);
+                finished.push(top);
+            } else {
+                break;
+            }
+        }
+        finished.sort_unstable();
+        for &u in &finished {
+            out.push(ActivityId::pack(u, self.slots[u as usize].generation));
+        }
+        for &u in &finished {
+            self.release_slot(u);
+        }
+        finished.clear();
+        self.scratch_finished = finished;
     }
 
     /// Total allocated rate on a resource (diagnostics / tests).
@@ -457,13 +826,41 @@ impl FluidModel {
     /// Current rates of all activities (diagnostics / tests), in ascending
     /// slot order.
     pub fn rates(&mut self) -> Vec<(ActivityId, f64)> {
+        let mut out = Vec::new();
+        self.rates_into(&mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`FluidModel::rates`]: clears `out` and
+    /// fills it with `(id, rate)` pairs in ascending slot order.
+    pub fn rates_into(&mut self, out: &mut Vec<(ActivityId, f64)>) {
         self.ensure_shares();
-        self.slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.live)
-            .map(|(idx, s)| (ActivityId::pack(idx as u32, s.generation), s.rate))
-            .collect()
+        out.clear();
+        out.extend(
+            self.slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.live)
+                .map(|(idx, s)| (ActivityId::pack(idx as u32, s.generation), s.rate)),
+        );
+    }
+}
+
+/// Absolute virtual completion time of an activity with `remaining` work at
+/// `synced_at` flowing at `rate`: immediate for zero work or sub-resolution
+/// remnants, unreachable (infinite, kept out of the heap) at zero rate.
+#[inline]
+fn projected_completion(remaining: f64, rate: f64, synced_at: f64) -> f64 {
+    if remaining <= EPSILON {
+        synced_at
+    } else if rate > EPSILON {
+        if remaining <= rate * TIME_RESOLUTION_S {
+            synced_at
+        } else {
+            synced_at + remaining / rate
+        }
+    } else {
+        f64::INFINITY
     }
 }
 
@@ -909,5 +1306,153 @@ mod tests {
         m.remove_activity(a).unwrap();
         let b = m.add_activity(1.0, &[link]);
         assert_eq!(format!("{b}"), "activity#0@1");
+    }
+
+    // ---- incremental-solver specific tests --------------------------------
+
+    #[test]
+    fn disjoint_component_rates_are_untouched_by_churn_elsewhere() {
+        // Two islands that never share a resource: churn in island B must
+        // leave island A's rates bit-identical (its component is never
+        // dirtied, so its slots are never rewritten).
+        let mut m = FluidModel::new();
+        let a1 = m.add_resource(10.0);
+        let a2 = m.add_resource(7.0);
+        let b1 = m.add_resource(100.0);
+        let x = m.add_activity(1e9, &[a1, a2]);
+        let y = m.add_activity(1e9, &[a1]);
+        let rx = m.rate(x).unwrap();
+        let ry = m.rate(y).unwrap();
+        let mut others = Vec::new();
+        for i in 0..50 {
+            others.push(m.add_weighted_activity(1e9, &[b1], 1.0 + i as f64));
+            if i % 3 == 0 {
+                if let Some(&victim) = others.first() {
+                    m.remove_activity(victim);
+                    others.remove(0);
+                }
+            }
+            // Query forces a solve of the dirty component (island B only).
+            let _ = m.time_to_next_completion();
+            assert_eq!(m.rate(x).unwrap().to_bits(), rx.to_bits());
+            assert_eq!(m.rate(y).unwrap().to_bits(), ry.to_bits());
+        }
+    }
+
+    #[test]
+    fn incremental_rates_match_a_freshly_built_model_after_heavy_churn() {
+        // Drive enough retires through the model to cross the partition
+        // rebuild threshold several times, then compare against a fresh model
+        // holding the same final activity set: rates must agree bit-for-bit
+        // (the decomposition argument, exercised end-to-end).
+        let mut m = FluidModel::new();
+        let links: Vec<_> = (0..8).map(|i| m.add_resource(50.0 + i as f64)).collect();
+        let mut live: Vec<(ActivityId, f64, Vec<ResourceId>, f64)> = Vec::new();
+        let mut counter = 0u64;
+        for step in 0..600 {
+            if step % 3 == 2 && !live.is_empty() {
+                let (id, _, _, _) = live.remove(step % live.len());
+                m.remove_activity(id).unwrap();
+            } else {
+                counter += 1;
+                let amount = 1e7 + counter as f64;
+                let weight = 1.0 + (counter % 5) as f64;
+                let r1 = links[(counter as usize) % 8];
+                let r2 = links[(counter as usize * 5 + 1) % 8];
+                let route = if r1 == r2 { vec![r1] } else { vec![r1, r2] };
+                let id = m.add_weighted_activity(amount, &route, weight);
+                live.push((id, amount, route, weight));
+            }
+            let _ = m.time_to_next_completion();
+        }
+        // Rebuild threshold is max(64, live): 200 retires crossed it.
+        let mut fresh = FluidModel::new();
+        for i in 0..8 {
+            fresh.add_resource(50.0 + i as f64);
+        }
+        let mut fresh_of = std::collections::HashMap::new();
+        for (id, amount, route, weight) in &live {
+            fresh_of.insert(*id, fresh.add_weighted_activity(*amount, route, *weight));
+        }
+        for (id, _, _, _) in &live {
+            let incremental = m.rate(*id).unwrap();
+            let reference = fresh.rate(fresh_of[id]).unwrap();
+            assert_eq!(incremental.to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn re_rate_mid_flight_reprojects_completions() {
+        // Two transfers on separate links; degrading one link mid-flight must
+        // flip which activity completes next and keep remaining-work
+        // accounting consistent.
+        let mut m = FluidModel::new();
+        let l1 = m.add_resource(100.0);
+        let l2 = m.add_resource(100.0);
+        let a = m.add_activity(1000.0, &[l1]); // 10s at full rate
+        let b = m.add_activity(1500.0, &[l2]); // 15s at full rate
+        assert!((m.time_to_next_completion().unwrap().as_secs() - 10.0).abs() < 1e-9);
+        m.advance(SimTime::from_secs(5.0)); // a: 500 left, b: 1000 left
+        m.set_capacity(l1, 10.0); // a now needs 50 more seconds
+        let dt = m.time_to_next_completion().unwrap();
+        assert!((dt.as_secs() - 10.0).abs() < 1e-9, "b finishes first now");
+        let done = m.advance(dt);
+        assert_eq!(done, vec![b]);
+        assert!((m.remaining(a).unwrap() - 400.0).abs() < 1e-6);
+        let dt = m.time_to_next_completion().unwrap();
+        let done = m.advance(dt);
+        assert_eq!(done, vec![a]);
+        assert_eq!(m.activity_count(), 0);
+    }
+
+    #[test]
+    fn set_capacity_to_same_value_does_not_dirty() {
+        let mut m = FluidModel::new();
+        let link = m.add_resource(100.0);
+        let a = m.add_activity(1e6, &[link]);
+        let r0 = m.rate(a).unwrap();
+        m.set_capacity(link, 100.0); // bit-identical capacity: no-op
+        assert_eq!(m.rate(a).unwrap().to_bits(), r0.to_bits());
+    }
+
+    #[test]
+    fn advance_into_reuses_buffer_and_matches_advance() {
+        let mut m = FluidModel::new();
+        let link = m.add_resource(100.0);
+        let a = m.add_activity(100.0, &[link]);
+        let b = m.add_activity(100.0, &[link]);
+        let mut buf = Vec::with_capacity(8);
+        buf.push(ActivityId::pack(99, 99)); // stale content must be cleared
+        m.advance_into(SimTime::from_secs(2.0), &mut buf);
+        assert_eq!(buf, vec![a, b]);
+        m.advance_into(SimTime::from_secs(1.0), &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn rates_into_reuses_buffer() {
+        let mut m = FluidModel::new();
+        let link = m.add_resource(100.0);
+        let a = m.add_activity(1e6, &[link]);
+        let mut buf = vec![(ActivityId::pack(7, 7), -1.0)];
+        m.rates_into(&mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf[0].0, a);
+        assert!((buf[0].1 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simultaneous_completions_pop_in_slot_order() {
+        // Equal work on equal dedicated links: identical projections; the
+        // heap's slot tie-break must hand them back in ascending slot order.
+        let mut m = FluidModel::new();
+        let ids: Vec<_> = (0..5)
+            .map(|_| {
+                let l = m.add_resource(100.0);
+                m.add_activity(1000.0, &[l])
+            })
+            .collect();
+        let done = m.advance(SimTime::from_secs(10.0));
+        assert_eq!(done, ids);
     }
 }

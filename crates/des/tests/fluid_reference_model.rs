@@ -1,0 +1,313 @@
+//! Lockstep equivalence test: the incremental component-based fluid solver
+//! against an independent naive reference model.
+//!
+//! The reference model re-runs the *global* progressive-filling pass over the
+//! whole constraint graph on every query — no components, no dirtiness, no
+//! heap — with the same floating-point conventions as the production model
+//! (ascending resource/slot iteration, remaining-work materialisation only on
+//! bitwise rate change, projection-based completion). Random admit / retire /
+//! re-rate / weighted-admit / advance sequences must then produce
+//! **bit-identical** rates, remaining work, next-completion times and
+//! completion ordering at every step; any divergence means the incremental
+//! solver's dirty-component bookkeeping skipped (or spuriously re-ordered) a
+//! recomputation the global pass would have performed.
+
+use cgsim_des::fluid::{ActivityId, FluidModel, ResourceId, EPSILON, TIME_RESOLUTION_S};
+use cgsim_des::SimTime;
+use proptest::prelude::*;
+
+/// One activity of the reference model, stored at the slot index of the
+/// production model's [`ActivityId`] so orderings coincide.
+#[derive(Clone, Debug)]
+struct RefActivity {
+    id: ActivityId,
+    route: Vec<usize>,
+    weight: f64,
+    /// Remaining work at `synced_at` (deferred, like the production model).
+    remaining: f64,
+    synced_at: f64,
+    rate: f64,
+}
+
+/// Naive global-recompute reference model.
+#[derive(Default)]
+struct ReferenceModel {
+    capacities: Vec<f64>,
+    /// Slot-indexed live activities (mirrors the production slab layout).
+    slots: Vec<Option<RefActivity>>,
+    clock: f64,
+}
+
+impl ReferenceModel {
+    fn add_resource(&mut self, capacity: f64) -> usize {
+        self.capacities.push(capacity);
+        self.capacities.len() - 1
+    }
+
+    fn add(&mut self, id: ActivityId, amount: f64, route: Vec<usize>, weight: f64) {
+        let slot = id.slot() as usize;
+        if slot >= self.slots.len() {
+            self.slots.resize_with(slot + 1, || None);
+        }
+        assert!(self.slots[slot].is_none(), "slot collision");
+        self.slots[slot] = Some(RefActivity {
+            id,
+            route,
+            weight,
+            remaining: amount,
+            synced_at: self.clock,
+            rate: 0.0,
+        });
+    }
+
+    fn remove(&mut self, id: ActivityId) -> Option<f64> {
+        let slot = id.slot() as usize;
+        let act = self.slots.get_mut(slot)?.take()?;
+        Some(act.remaining - act.rate * (self.clock - act.synced_at))
+    }
+
+    /// Full global progressive filling with deferred-remaining semantics.
+    fn solve(&mut self) {
+        let n_res = self.capacities.len();
+        let mut residual = self.capacities.clone();
+        let mut frozen = vec![false; self.slots.len()];
+        let old_rates: Vec<f64> = self
+            .slots
+            .iter()
+            .map(|s| s.as_ref().map_or(0.0, |a| a.rate))
+            .collect();
+        let mut unfrozen = 0usize;
+        for act in self.slots.iter_mut().flatten() {
+            act.rate = 0.0;
+            unfrozen += 1;
+        }
+        while unfrozen > 0 {
+            // Weight of unfrozen activities crossing each resource, with user
+            // lists walked in ascending slot order.
+            let mut weight_sum = vec![0.0f64; n_res];
+            for (r, sum) in weight_sum.iter_mut().enumerate() {
+                for (slot, act) in self.slots.iter().enumerate() {
+                    let Some(act) = act else { continue };
+                    if frozen[slot] {
+                        continue;
+                    }
+                    for &route_r in &act.route {
+                        if route_r == r {
+                            *sum += act.weight;
+                        }
+                    }
+                }
+            }
+            let mut bottleneck: Option<(usize, f64)> = None;
+            for (r, &w) in weight_sum.iter().enumerate() {
+                if w > EPSILON {
+                    let share = residual[r] / w;
+                    match bottleneck {
+                        Some((_, best)) if share >= best => {}
+                        _ => bottleneck = Some((r, share)),
+                    }
+                }
+            }
+            let Some((bottleneck_idx, fair)) = bottleneck else {
+                break;
+            };
+            let mut froze_any = false;
+            #[allow(clippy::needless_range_loop)] // lockstep with slab index order
+            for slot in 0..self.slots.len() {
+                let Some(act) = &self.slots[slot] else {
+                    continue;
+                };
+                if frozen[slot] || !act.route.contains(&bottleneck_idx) {
+                    continue;
+                }
+                let rate = fair * act.weight;
+                for &r in &self.slots[slot].as_ref().unwrap().route {
+                    residual[r] = (residual[r] - rate).max(0.0);
+                }
+                self.slots[slot].as_mut().unwrap().rate = rate;
+                frozen[slot] = true;
+                unfrozen -= 1;
+                froze_any = true;
+            }
+            if !froze_any {
+                break;
+            }
+        }
+        // Materialise remaining work only where the rate changed bitwise —
+        // the production model's reproducibility convention.
+        let clock = self.clock;
+        for (slot, act) in self.slots.iter_mut().enumerate() {
+            let Some(act) = act else { continue };
+            if act.rate.to_bits() != old_rates[slot].to_bits() {
+                act.remaining -= old_rates[slot] * (clock - act.synced_at);
+                act.synced_at = clock;
+            }
+        }
+    }
+
+    fn projection(act: &RefActivity) -> f64 {
+        if act.remaining <= EPSILON {
+            act.synced_at
+        } else if act.rate > EPSILON {
+            if act.remaining <= act.rate * TIME_RESOLUTION_S {
+                act.synced_at
+            } else {
+                act.synced_at + act.remaining / act.rate
+            }
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn time_to_next_completion(&mut self) -> Option<SimTime> {
+        self.solve();
+        let best = self
+            .slots
+            .iter()
+            .flatten()
+            .map(Self::projection)
+            .filter(|p| p.is_finite())
+            .fold(None, |best: Option<f64>, p| match best {
+                Some(b) if b <= p => Some(b),
+                _ => Some(p),
+            })?;
+        Some(SimTime::from_secs((best - self.clock).max(0.0)))
+    }
+
+    fn advance(&mut self, dt: SimTime) -> Vec<ActivityId> {
+        self.solve();
+        self.clock += dt.as_secs();
+        let deadline = self.clock + TIME_RESOLUTION_S;
+        let mut finished = Vec::new();
+        for slot in 0..self.slots.len() {
+            let Some(act) = &self.slots[slot] else {
+                continue;
+            };
+            if Self::projection(act) <= deadline {
+                finished.push(act.id);
+                self.slots[slot] = None;
+            }
+        }
+        finished
+    }
+
+    fn rates(&mut self) -> Vec<(ActivityId, f64)> {
+        self.solve();
+        self.slots
+            .iter()
+            .flatten()
+            .map(|act| (act.id, act.rate))
+            .collect()
+    }
+
+    fn remaining(&self, id: ActivityId) -> Option<f64> {
+        let act = self.slots.get(id.slot() as usize)?.as_ref()?;
+        Some(act.remaining - act.rate * (self.clock - act.synced_at))
+    }
+}
+
+proptest! {
+    /// Random admit/retire/re-rate/advance sequences: the incremental solver
+    /// and the naive reference agree bit-for-bit on every observable at every
+    /// step.
+    #[test]
+    fn incremental_solver_matches_naive_reference(
+        caps in prop::collection::vec(1.0f64..1000.0, 2..6),
+        ops in prop::collection::vec(
+            (0usize..6, 0usize..64, 0usize..64, 1.0f64..1e6, 0.05f64..0.95),
+            1..80,
+        ),
+    ) {
+        let mut real = FluidModel::new();
+        let mut reference = ReferenceModel::default();
+        let resources: Vec<ResourceId> = caps.iter().map(|&c| real.add_resource(c)).collect();
+        for &c in &caps {
+            reference.add_resource(c);
+        }
+        let mut live: Vec<ActivityId> = Vec::new();
+
+        for &(kind, a, b, amount, frac) in &ops {
+            match kind {
+                // Weighted admit over a 1- or 2-resource route.
+                0 | 1 => {
+                    let r1 = a % resources.len();
+                    let r2 = b % resources.len();
+                    let (route_ids, route_idx) = if r1 == r2 {
+                        (vec![resources[r1]], vec![r1])
+                    } else {
+                        (vec![resources[r1], resources[r2]], vec![r1, r2])
+                    };
+                    let weight = if kind == 0 { 1.0 } else { 1.0 + (b % 4) as f64 };
+                    let id = real.add_weighted_activity(amount, &route_ids, weight);
+                    reference.add(id, amount, route_idx, weight);
+                    live.push(id);
+                }
+                // Retire.
+                2 => {
+                    if !live.is_empty() {
+                        let id = live.remove(a % live.len());
+                        let got = real.remove_activity(id);
+                        let want = reference.remove(id);
+                        prop_assert_eq!(got.map(f64::to_bits), want.map(f64::to_bits));
+                    }
+                }
+                // Re-rate a resource.
+                3 => {
+                    let r = a % resources.len();
+                    let cap = 1.0 + amount % 999.0;
+                    real.set_capacity(resources[r], cap);
+                    if reference.capacities[r].to_bits() != cap.to_bits() {
+                        reference.capacities[r] = cap;
+                    }
+                }
+                // Advance exactly to the next completion.
+                4 => {
+                    let real_next = real.time_to_next_completion();
+                    let ref_next = reference.time_to_next_completion();
+                    prop_assert_eq!(real_next, ref_next);
+                    if let Some(dt) = real_next {
+                        let done_real = real.advance(dt);
+                        let done_ref = reference.advance(dt);
+                        prop_assert_eq!(&done_real, &done_ref);
+                        live.retain(|id| !done_real.contains(id));
+                    }
+                }
+                // Partial advance (a fraction of the next completion time).
+                _ => {
+                    let real_next = real.time_to_next_completion();
+                    let ref_next = reference.time_to_next_completion();
+                    prop_assert_eq!(real_next, ref_next);
+                    if let Some(dt) = real_next {
+                        let partial = SimTime::from_secs(dt.as_secs() * frac);
+                        let done_real = real.advance(partial);
+                        let done_ref = reference.advance(partial);
+                        prop_assert_eq!(&done_real, &done_ref);
+                        live.retain(|id| !done_real.contains(id));
+                    }
+                }
+            }
+
+            // Invariants after every operation: rates, remaining work and
+            // next-completion agree bit-for-bit.
+            let real_rates: Vec<(ActivityId, u64)> = real
+                .rates()
+                .into_iter()
+                .map(|(id, r)| (id, r.to_bits()))
+                .collect();
+            let ref_rates: Vec<(ActivityId, u64)> = reference
+                .rates()
+                .into_iter()
+                .map(|(id, r)| (id, r.to_bits()))
+                .collect();
+            prop_assert_eq!(real_rates, ref_rates);
+            for &id in &live {
+                prop_assert_eq!(
+                    real.remaining(id).map(f64::to_bits),
+                    reference.remaining(id).map(f64::to_bits)
+                );
+            }
+            prop_assert_eq!(real.time_to_next_completion(), reference.time_to_next_completion());
+            prop_assert_eq!(real.activity_count(), live.len());
+        }
+    }
+}
