@@ -19,6 +19,78 @@ pub enum ComputeMode {
     TimeShared,
 }
 
+/// Where a job's periodic checkpoints are written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CheckpointTarget {
+    /// The storage element of the site the job executes at. Writes cross
+    /// only the site LAN (cheap), but a site outage or disk loss destroys
+    /// the checkpoints together with the site.
+    #[default]
+    SiteStorage,
+    /// The main server's storage. Writes cross the WAN (contending with
+    /// staging traffic), but checkpoints survive any site fault.
+    MainServer,
+}
+
+/// Checkpoint/restart policy: how often executing jobs persist their state,
+/// how large that state is, and where it is written.
+///
+/// Checkpoints are *simulated work*, not free metadata: each write is a
+/// fluid-model transfer from the execution site to the target storage,
+/// contending with staging traffic, and execution pauses until the write is
+/// durable (synchronous checkpointing). A fault-interrupted job resumes from
+/// its newest surviving checkpoint — re-staging the checkpoint data through
+/// the fluid model when it lives at another endpoint — instead of rerunning
+/// from scratch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointConfig {
+    /// Checkpoint interval in completed-work seconds: a job writes a
+    /// checkpoint each time it finishes another `interval_s` seconds of
+    /// execution progress. `0` disables checkpointing entirely (the default;
+    /// runs are then bit-identical to builds without the feature).
+    pub interval_s: f64,
+    /// Fixed size of a checkpoint in bytes (state independent of core
+    /// count).
+    pub base_bytes: u64,
+    /// Additional checkpoint bytes per core of the job (per-rank state).
+    pub bytes_per_core: u64,
+    /// Where checkpoints are written.
+    pub target: CheckpointTarget,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            interval_s: 0.0,
+            base_bytes: 2_000_000_000,   // 2 GB of application state
+            bytes_per_core: 250_000_000, // + 250 MB per rank
+            target: CheckpointTarget::SiteStorage,
+        }
+    }
+}
+
+impl CheckpointConfig {
+    /// A checkpoint policy writing every `interval_s` completed-work seconds
+    /// with the default size model and target.
+    pub fn every(interval_s: f64) -> Self {
+        CheckpointConfig {
+            interval_s,
+            ..CheckpointConfig::default()
+        }
+    }
+
+    /// True when the policy actually checkpoints.
+    pub fn enabled(&self) -> bool {
+        self.interval_s > 0.0
+    }
+
+    /// Checkpoint size for a job of `cores` cores.
+    pub fn bytes_for(&self, cores: u32) -> u64 {
+        self.base_bytes
+            .saturating_add(self.bytes_per_core.saturating_mul(cores as u64))
+    }
+}
+
 /// Execution parameters: everything about a run that is not the platform or
 /// the workload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -37,6 +109,11 @@ pub struct ExecutionConfig {
     /// infrastructure faults independently of application failures.
     #[serde(default = "default_fault_max_retries")]
     pub fault_max_retries: u32,
+    /// Checkpoint/restart policy for executing jobs (disabled by default;
+    /// absent from configurations written before the feature existed, hence
+    /// the serde default).
+    #[serde(default)]
+    pub checkpoint: CheckpointConfig,
     /// Replica-source selection strategy for input staging.
     pub source_selection: SourceSelection,
     /// Name of the data-movement policy to instantiate from the data-policy
@@ -77,6 +154,7 @@ impl Default for ExecutionConfig {
             failure_probability: 0.0,
             max_retries: 1,
             fault_max_retries: default_fault_max_retries(),
+            checkpoint: CheckpointConfig::default(),
             source_selection: SourceSelection::LowestLatency,
             data_movement_policy: default_data_movement_policy(),
             enable_output_transfers: true,
@@ -161,6 +239,7 @@ mod tests {
         assert_eq!(cfg.compute_mode, ComputeMode::DedicatedCores);
         assert_eq!(cfg.data_movement_policy, "default-data-movement");
         assert!(cfg.queue_model.is_zero());
+        assert!(!cfg.checkpoint.enabled());
     }
 
     #[test]
@@ -172,10 +251,32 @@ mod tests {
         json.as_object_mut().unwrap().remove("queue_model");
         json.as_object_mut().unwrap().remove("data_movement_policy");
         json.as_object_mut().unwrap().remove("fault_max_retries");
+        json.as_object_mut().unwrap().remove("checkpoint");
         let cfg = ExecutionConfig::from_json(&json.to_string()).unwrap();
         assert!(cfg.queue_model.is_zero());
         assert_eq!(cfg.data_movement_policy, "default-data-movement");
         assert_eq!(cfg.fault_max_retries, 3);
+        assert_eq!(cfg.checkpoint, CheckpointConfig::default());
+        assert!(!cfg.checkpoint.enabled());
+    }
+
+    #[test]
+    fn checkpoint_config_roundtrips_and_sizes() {
+        let ck = CheckpointConfig {
+            interval_s: 1_800.0,
+            base_bytes: 1_000,
+            bytes_per_core: 10,
+            target: CheckpointTarget::MainServer,
+        };
+        assert!(ck.enabled());
+        assert_eq!(ck.bytes_for(8), 1_080);
+        assert!(CheckpointConfig::every(600.0).enabled());
+        let cfg = ExecutionConfig {
+            checkpoint: ck.clone(),
+            ..ExecutionConfig::default()
+        };
+        let back = ExecutionConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back.checkpoint, ck);
     }
 
     #[test]

@@ -41,6 +41,16 @@ pub struct ComparisonRow {
     pub interrupted_jobs: u64,
     /// Fault-interrupted jobs that were resubmitted.
     pub fault_retries: u64,
+    /// Checkpoints durably written during the run.
+    pub checkpoints_written: u64,
+    /// Attempts resumed from a durable checkpoint instead of from scratch.
+    pub checkpoint_restores: u64,
+    /// Durable checkpoints destroyed by site outages or disk losses.
+    pub checkpoints_lost: u64,
+    /// Execution seconds saved by checkpoint restores.
+    pub work_saved_s: f64,
+    /// Execution seconds discarded by fault interruptions.
+    pub work_lost_s: f64,
     /// Simulator wall-clock cost of the run (s).
     pub wall_clock_s: f64,
 }
@@ -76,11 +86,11 @@ impl ComparisonReport {
     /// just makespan.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "policy,makespan_s,mean_queue_time_s,p95_queue_time_s,mean_walltime_s,failure_rate,throughput_per_hour,staged_bytes,site_outages,interrupted_jobs,fault_retries,wall_clock_s\n",
+            "policy,makespan_s,mean_queue_time_s,p95_queue_time_s,mean_walltime_s,failure_rate,throughput_per_hour,staged_bytes,site_outages,interrupted_jobs,fault_retries,checkpoints_written,checkpoint_restores,checkpoints_lost,work_saved_s,work_lost_s,wall_clock_s\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{},{:.3},{:.3},{:.3},{:.3},{:.4},{:.3},{},{},{},{},{:.4}\n",
+                "{},{:.3},{:.3},{:.3},{:.3},{:.4},{:.3},{},{},{},{},{},{},{},{:.3},{:.3},{:.4}\n",
                 r.policy,
                 r.makespan_s,
                 r.mean_queue_time_s,
@@ -92,6 +102,11 @@ impl ComparisonReport {
                 r.site_outages,
                 r.interrupted_jobs,
                 r.fault_retries,
+                r.checkpoints_written,
+                r.checkpoint_restores,
+                r.checkpoints_lost,
+                r.work_saved_s,
+                r.work_lost_s,
                 r.wall_clock_s
             ));
         }
@@ -155,6 +170,11 @@ pub fn compare_policies_faulted(
             site_outages: results.grid_counters.site_outages,
             interrupted_jobs: results.grid_counters.job_interruptions,
             fault_retries: results.grid_counters.fault_retries,
+            checkpoints_written: results.grid_counters.checkpoints_written,
+            checkpoint_restores: results.grid_counters.checkpoint_restores,
+            checkpoints_lost: results.grid_counters.checkpoints_lost,
+            work_saved_s: results.grid_counters.work_saved_s,
+            work_lost_s: results.grid_counters.work_lost_s,
             wall_clock_s: results.wall_clock_s,
         });
     }

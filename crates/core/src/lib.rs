@@ -53,7 +53,9 @@ pub mod results;
 pub mod simulation;
 pub mod sweep;
 
-pub use config::{ComputeMode, ExecutionConfig, SimulationConfig};
+pub use config::{
+    CheckpointConfig, CheckpointTarget, ComputeMode, ExecutionConfig, SimulationConfig,
+};
 pub use experiment::{compare_policies, compare_policies_faulted, ComparisonReport, ComparisonRow};
 pub use queue_model::QueueModel;
 pub use results::SimulationResults;

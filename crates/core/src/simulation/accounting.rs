@@ -52,6 +52,9 @@ impl GridModel {
         let now = ctx.now();
         let site = self.jobs[idx].site.expect("terminal job has a site");
         self.release_cores(idx, site);
+        // Terminal jobs no longer need their durable checkpoints: free the
+        // storage bytes and drop the catalog replicas.
+        self.discard_checkpoints(idx);
         self.jobs[idx].state = state;
         self.jobs[idx].end_time = now.as_secs();
         self.record(now, idx, state);
@@ -112,6 +115,7 @@ impl GridModel {
                     running_jobs: state.running.len() as u64,
                     finished_jobs: counters.finished,
                     interrupted_jobs: counters.interrupted,
+                    checkpoints: counters.checkpoints,
                     up: self.availability.site_up(s.id),
                     running_sample: state
                         .running

@@ -1,0 +1,354 @@
+//! Checkpoint/restart: segmented execution with durable state writes, and
+//! recovery of fault-interrupted jobs from their newest surviving checkpoint.
+//!
+//! With a non-zero [`CheckpointConfig::interval_s`](crate::config::CheckpointConfig)
+//! a job's execution is cut into segments of `interval_s` completed-work
+//! seconds. After each segment the job pauses and writes its state — sized by
+//! the config's byte model — as a *real fluid transfer* to the configured
+//! storage target (the site's own storage element over the site LAN, or the
+//! main server over the WAN, contending with staging traffic either way).
+//! Only a completed write is durable: it registers the checkpoint as a
+//! dataset replica in the [`ReplicaCatalog`](cgsim_data::ReplicaCatalog) at
+//! the target node and reserves its bytes in the target's
+//! [`StorageElement`](cgsim_data::StorageElement).
+//!
+//! When fault injection kills the job, the resubmitted attempt resumes from
+//! the newest checkpoint whose replica still exists — site outages and disk
+//! losses evict replicas, so a checkpoint stored at a dead site is simply
+//! gone and recovery falls back to an older checkpoint at another node, or
+//! to a scratch rerun. Resuming at a site that does not hold the checkpoint
+//! re-stages the checkpoint bytes through the fluid model first.
+//!
+//! Everything here is a pure function of the simulation state: no RNG is
+//! drawn, so checkpointed runs are exactly as reproducible as plain ones,
+//! and a disabled policy leaves the original execution path untouched.
+
+use cgsim_data::DatasetId;
+use cgsim_des::{Context, SimTime};
+use cgsim_platform::{NodeId, SiteId};
+use cgsim_workload::ideal_walltime;
+
+use super::events::GridEvent;
+use super::job_runtime::Phase;
+use super::GridModel;
+use crate::config::{CheckpointTarget, ComputeMode};
+
+/// One durable checkpoint of a job: how much of the job it covers and where
+/// its bytes live. A job holds at most one checkpoint per storage node (a
+/// newer write at the same node supersedes the older one in place).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(super) struct JobCheckpoint {
+    /// Fraction of the job's total work completed at checkpoint time.
+    pub(super) frac: f64,
+    /// Storage node holding the checkpoint bytes.
+    pub(super) node: NodeId,
+    /// Catalog dataset backing the checkpoint (replica at `node` while the
+    /// checkpoint is alive).
+    pub(super) dataset: DatasetId,
+    /// Checkpoint size in bytes.
+    pub(super) bytes: u64,
+}
+
+impl GridModel {
+    /// The nominal (contention-free) walltime of job `idx` at `site`, used
+    /// to convert between progress fractions and execution seconds.
+    pub(super) fn nominal_walltime_at(&self, idx: usize, site: SiteId) -> f64 {
+        let record = &self.jobs[idx].record;
+        ideal_walltime(
+            record.work_hs23,
+            record.cores,
+            self.platform.effective_speed(site),
+        )
+    }
+
+    /// The newest surviving checkpoint of job `idx`: the highest-coverage
+    /// stack entry whose replica still exists in the catalog (outages and
+    /// disk losses evict replicas and eagerly drop stack entries, so the
+    /// replica re-check is a cheap safety net, not the primary mechanism).
+    pub(super) fn best_durable_checkpoint(&self, idx: usize) -> Option<JobCheckpoint> {
+        self.jobs[idx]
+            .checkpoints
+            .iter()
+            .filter(|ck| self.catalog.has_replica(ck.dataset, ck.node))
+            .copied()
+            .fold(None, |best: Option<JobCheckpoint>, ck| match best {
+                Some(b) if b.frac >= ck.frac => Some(b),
+                _ => Some(ck),
+            })
+    }
+
+    /// Entry point of a checkpointed execution attempt (cores held, input
+    /// staged): restore from the best surviving checkpoint — re-staging its
+    /// bytes when they live at another endpoint — or start from scratch.
+    pub(super) fn begin_restore_or_segment(
+        &mut self,
+        idx: usize,
+        site: SiteId,
+        ctx: &mut Context<'_, GridEvent>,
+    ) {
+        self.jobs[idx].frac_done = 0.0;
+        self.jobs[idx].restore_frac = 0.0;
+        match self.best_durable_checkpoint(idx) {
+            Some(ck) if ck.node == NodeId::Site(site) => {
+                // The resume site already holds the checkpoint: restore is a
+                // local read, free at this model's resolution.
+                self.jobs[idx].frac_done = ck.frac;
+                let saved = ck.frac * self.nominal_walltime_at(idx, site);
+                self.collector.record_checkpoint_restore(saved);
+                self.start_execution_segment(idx, site, ctx);
+            }
+            Some(ck) => {
+                // Remote checkpoint: re-stage its bytes through the fluid
+                // model before execution continues. Durability is credited
+                // only when the transfer lands (`finish_restore`).
+                self.jobs[idx].restore_frac = ck.frac;
+                self.jobs[idx].transfer_peer = Some(ck.node);
+                self.jobs[idx].staged_bytes += ck.bytes;
+                self.start_transfer(
+                    idx,
+                    Phase::Restore,
+                    ck.bytes,
+                    ck.node,
+                    NodeId::Site(site),
+                    ctx,
+                );
+            }
+            None => self.start_execution_segment(idx, site, ctx),
+        }
+    }
+
+    /// A checkpoint-restore transfer landed: credit the restored progress
+    /// and continue executing from it.
+    pub(super) fn finish_restore(&mut self, idx: usize, ctx: &mut Context<'_, GridEvent>) {
+        let site = self.jobs[idx].site.expect("restoring job has a site");
+        self.jobs[idx].transfer_peer = None;
+        let frac = self.jobs[idx].restore_frac;
+        self.jobs[idx].restore_frac = 0.0;
+        self.jobs[idx].frac_done = frac;
+        let saved = frac * self.nominal_walltime_at(idx, site);
+        self.collector.record_checkpoint_restore(saved);
+        self.start_execution_segment(idx, site, ctx);
+    }
+
+    /// Schedules the next execution segment: `interval_s` completed-work
+    /// seconds, or whatever remains if that is less. Only called with
+    /// checkpointing enabled.
+    pub(super) fn start_execution_segment(
+        &mut self,
+        idx: usize,
+        site: SiteId,
+        ctx: &mut Context<'_, GridEvent>,
+    ) {
+        let now = ctx.now();
+        let interval = self.execution.checkpoint.interval_s;
+        let total_w = self.nominal_walltime_at(idx, site);
+        let frac_done = self.jobs[idx].frac_done;
+        let remaining_w = total_w * (1.0 - frac_done);
+        // Degenerate zero-work jobs (a trace is free to contain them) get a
+        // single final segment: guard the interval/total_w ratio so the
+        // time-shared arm cannot compute `0 * inf = NaN` and poison the
+        // fluid model.
+        let interval_frac = if total_w > 0.0 {
+            interval / total_w
+        } else {
+            1.0
+        };
+        match self.execution.compute_mode {
+            ComputeMode::DedicatedCores => {
+                let (seg_w, seg_frac) = if remaining_w <= interval {
+                    (remaining_w, 1.0 - frac_done)
+                } else {
+                    (interval, interval_frac)
+                };
+                self.jobs[idx].seg_fraction = seg_frac;
+                self.jobs[idx].seg_started_s = now.as_secs();
+                self.jobs[idx].seg_walltime_s = seg_w;
+                let key = ctx.schedule_in(SimTime::from_secs(seg_w), GridEvent::ExecutionDone(idx));
+                self.jobs[idx].timer = Some(key);
+            }
+            ComputeMode::TimeShared => {
+                let record = &self.jobs[idx].record;
+                let cores = record.cores;
+                let weight = cores as f64;
+                let total_amount = record.work_hs23 / cgsim_workload::parallel_efficiency(cores);
+                let resource = self.cpu_resources[site.index()];
+                let remaining_amount = total_amount * (1.0 - frac_done);
+                let interval_amount = total_amount * interval_frac;
+                let (seg_amount, seg_frac) = if remaining_amount <= interval_amount {
+                    (remaining_amount, 1.0 - frac_done)
+                } else {
+                    (interval_amount, interval_frac)
+                };
+                self.jobs[idx].seg_fraction = seg_frac;
+                self.jobs[idx].seg_started_s = now.as_secs();
+                self.jobs[idx].seg_amount = seg_amount;
+                self.start_fluid_activity(
+                    idx,
+                    Phase::Execute,
+                    seg_amount,
+                    &[resource],
+                    weight,
+                    ctx,
+                );
+            }
+        }
+    }
+
+    /// Starts the durable write of a checkpoint covering the job's progress
+    /// so far: a fluid transfer to the configured storage target. A full
+    /// site storage element skips the write (the job keeps computing and
+    /// tries again after the next segment; the element records the
+    /// rejection).
+    pub(super) fn start_checkpoint_write(
+        &mut self,
+        idx: usize,
+        site: SiteId,
+        ctx: &mut Context<'_, GridEvent>,
+    ) {
+        let bytes = self
+            .execution
+            .checkpoint
+            .bytes_for(self.jobs[idx].record.cores);
+        match self.execution.checkpoint.target {
+            CheckpointTarget::SiteStorage => {
+                // The new copy is written before the superseded one is
+                // deleted, so both are briefly reserved.
+                if !self.storage[site.index()].reserve(bytes) {
+                    self.start_execution_segment(idx, site, ctx);
+                    return;
+                }
+                self.jobs[idx].transfer_peer = Some(NodeId::Site(site));
+                // A site-local write crosses only the site LAN, contending
+                // with staging transfers entering or leaving the site.
+                let lan = self.platform.site(site).lan_link;
+                let route = [self.link_resources[lan.index()]];
+                self.start_fluid_activity(idx, Phase::Checkpoint, bytes as f64, &route, 1.0, ctx);
+            }
+            CheckpointTarget::MainServer => {
+                self.jobs[idx].transfer_peer = Some(NodeId::MainServer);
+                self.start_transfer(
+                    idx,
+                    Phase::Checkpoint,
+                    bytes,
+                    NodeId::Site(site),
+                    NodeId::MainServer,
+                    ctx,
+                );
+            }
+        }
+    }
+
+    /// A checkpoint write landed: the checkpoint becomes durable (catalog
+    /// replica + stack entry), superseding any older checkpoint of this job
+    /// at the same node, and the next execution segment starts.
+    pub(super) fn finish_checkpoint_write(&mut self, idx: usize, ctx: &mut Context<'_, GridEvent>) {
+        let site = self.jobs[idx].site.expect("checkpointing job has a site");
+        let node = self.jobs[idx]
+            .transfer_peer
+            .take()
+            .expect("checkpoint write has a target");
+        let bytes = self
+            .execution
+            .checkpoint
+            .bytes_for(self.jobs[idx].record.cores);
+        let frac = self.jobs[idx].frac_done;
+        let name = format!("ckpt-job-{idx}@{node}");
+        let dataset = self.catalog.register(&name, 1, bytes, node);
+        self.catalog.add_replica(dataset, node);
+        if let Some(entry) = self.jobs[idx]
+            .checkpoints
+            .iter_mut()
+            .find(|c| c.node == node)
+        {
+            // Superseded in place: the old copy's bytes are freed now that
+            // the new one is durable.
+            let old_bytes = entry.bytes;
+            entry.frac = frac;
+            entry.bytes = bytes;
+            entry.dataset = dataset;
+            self.release_checkpoint_storage(node, old_bytes);
+        } else {
+            self.jobs[idx].checkpoints.push(JobCheckpoint {
+                frac,
+                node,
+                dataset,
+                bytes,
+            });
+        }
+        self.collector
+            .record_checkpoint_written(site.index(), bytes);
+        self.start_execution_segment(idx, site, ctx);
+    }
+
+    /// Releases a checkpoint's byte reservation at its storage node. The
+    /// main server's storage is modelled as unbounded, so only site elements
+    /// keep accounts.
+    pub(super) fn release_checkpoint_storage(&mut self, node: NodeId, bytes: u64) {
+        if let NodeId::Site(site) = node {
+            self.storage[site.index()].release(bytes);
+        }
+    }
+
+    /// Drops every durable checkpoint of job `idx`, freeing its storage and
+    /// catalog replicas (terminal jobs and application failures clean up
+    /// after themselves).
+    pub(super) fn discard_checkpoints(&mut self, idx: usize) {
+        let stack = std::mem::take(&mut self.jobs[idx].checkpoints);
+        for ck in stack {
+            self.catalog.remove_replica(ck.dataset, ck.node);
+            self.release_checkpoint_storage(ck.node, ck.bytes);
+        }
+    }
+
+    /// Invalidates every durable checkpoint held at `node` (a site outage or
+    /// disk loss destroyed the storage contents). Returns how many
+    /// checkpoints were lost; the catalog replicas are dropped by the
+    /// caller's `evict_node`.
+    pub(super) fn invalidate_checkpoints_at(&mut self, node: NodeId) -> u64 {
+        let mut lost = 0u64;
+        let mut freed = 0u64;
+        for job in &mut self.jobs {
+            job.checkpoints.retain(|ck| {
+                if ck.node == node {
+                    lost += 1;
+                    freed += ck.bytes;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        if freed > 0 {
+            self.release_checkpoint_storage(node, freed);
+        }
+        lost
+    }
+
+    /// Execution progress of job `idx`'s current attempt, including the
+    /// partially completed in-flight segment, as a fraction of total work.
+    /// Valid only after the fluid model has been advanced to `now`.
+    pub(super) fn attempt_progress_fraction(&self, idx: usize, now: SimTime) -> f64 {
+        let job = &self.jobs[idx];
+        let mut frac = job.frac_done;
+        if let Some(activity) = job.activity {
+            // Time-shared segment in flight: read progress off the fluid
+            // model's remaining work.
+            if let Some(&(_, Phase::Execute)) = self.activity_map.get(activity) {
+                if let Some(remaining) = self.fluid.remaining(activity) {
+                    if job.seg_amount > 0.0 {
+                        let done = 1.0 - (remaining / job.seg_amount).clamp(0.0, 1.0);
+                        frac += job.seg_fraction * done;
+                    }
+                }
+            }
+        } else if job.timer.is_some()
+            && job.state == cgsim_workload::JobState::Running
+            && job.seg_walltime_s > 0.0
+        {
+            // Dedicated-core segment in flight: progress is linear in time.
+            let elapsed = (now.as_secs() - job.seg_started_s).clamp(0.0, job.seg_walltime_s);
+            frac += job.seg_fraction * (elapsed / job.seg_walltime_s);
+        }
+        frac.clamp(0.0, 1.0)
+    }
+}

@@ -12,7 +12,9 @@ pub(super) enum GridEvent {
     Submit(usize),
     /// The fluid network/CPU model predicts its next activity completion.
     FluidAdvance,
-    /// A dedicated-core execution finishes (job index).
+    /// A dedicated-core execution segment finishes (job index). Without
+    /// checkpointing one segment is the whole execution; with it, segments
+    /// alternate with durable checkpoint writes.
     ExecutionDone(usize),
     /// The scheduling/pilot overhead of a picked job elapses (job index); the
     /// job then starts staging its input (queue-time model, §4.2).
@@ -42,7 +44,7 @@ impl EventHandler<GridEvent> for GridModel {
             }
             GridEvent::ExecutionDone(idx) => {
                 self.jobs[idx].timer = None;
-                self.finish_execution(idx, ctx);
+                self.execution_segment_done(idx, ctx);
             }
             GridEvent::PilotStart(idx) => {
                 self.jobs[idx].timer = None;

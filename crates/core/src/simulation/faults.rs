@@ -15,13 +15,28 @@
 //!   cover the loss,
 //! * **link degradation** — the link's fluid capacity is rescaled, which
 //!   re-rates every in-flight transfer through max-min fairness,
+//! * **disk loss** — the site's storage media fail without an outage:
+//!   staged replicas, cache entries and durable checkpoints held there are
+//!   lost while the site keeps computing,
 //! * **job kill** — one targeted job is killed if it currently holds cores.
 //!
 //! Killed jobs consume a fault retry (`ExecutionConfig::fault_max_retries`)
 //! and are resubmitted through the allocation policy — which hears about
 //! every interruption via `AllocationPolicy::on_job_interrupted`, so
 //! policies can blacklist flapping sites — or are finalized as failed when
-//! the budget is exhausted.
+//! the budget is exhausted. With checkpointing enabled a resubmitted job
+//! resumes from its newest surviving checkpoint (see the `checkpoint`
+//! module) and the policy additionally hears `on_job_restored` with the
+//! site holding that checkpoint.
+//!
+//! **Data-loss audit.** Killing the jobs *at* a lost site is not enough to
+//! quiesce its traffic: a transfer can have its far end at the dead node
+//! while its owning job survives elsewhere (input staging from a replica at
+//! the dead site, a checkpoint restore reading from it, a checkpoint write
+//! targeting it). `repair_transfers_touching` scans for such in-flight
+//! transfers after every data-loss event and cancels + re-plans them from
+//! the surviving replicas, instead of letting them keep streaming bytes out
+//! of storage that no longer exists.
 
 use cgsim_des::{Context, SimTime};
 use cgsim_faults::FaultAction;
@@ -29,6 +44,7 @@ use cgsim_platform::{LinkId, NodeId, SiteId};
 use cgsim_workload::JobState;
 
 use super::events::GridEvent;
+use super::job_runtime::Phase;
 use super::GridModel;
 
 impl GridModel {
@@ -64,6 +80,9 @@ impl GridModel {
             }
             FaultAction::NodeRestore { site } if site < self.sites.len() => {
                 self.apply_node_restore(SiteId::new(site), ctx);
+            }
+            FaultAction::DiskLoss { site } if site < self.sites.len() => {
+                self.apply_disk_loss(SiteId::new(site), ctx);
             }
             FaultAction::LinkDegrade { link, factor } if link < self.link_resources.len() => {
                 self.collector.record_link_degradation();
@@ -105,10 +124,21 @@ impl GridModel {
         }
     }
 
-    /// A whole site goes dark: kill holders, bounce the queue, wipe staged
-    /// data.
+    /// A whole site goes dark: wipe its storage, kill holders, bounce the
+    /// queue, and re-plan surviving transfers that were reading from it.
     fn take_site_down(&mut self, site: SiteId, ctx: &mut Context<'_, GridEvent>) {
         let now = ctx.now();
+        let node = NodeId::Site(site);
+        // Storage contents die with the site: replicas, cache entries and
+        // durable checkpoints held there are gone. This happens *before* the
+        // kills so policy hooks never see a doomed checkpoint advertised as
+        // a restore source.
+        let lost = self.invalidate_checkpoints_at(node);
+        if lost > 0 {
+            self.collector.record_checkpoints_lost(lost);
+        }
+        self.catalog.evict_node(node);
+        self.caches[site.index()].clear();
         // Queued jobs hold no cores; they go back to the main server without
         // consuming a fault retry.
         let queued: Vec<usize> = self.sites[site.index()].queue.drain(..).collect();
@@ -124,13 +154,83 @@ impl GridModel {
         for idx in victims {
             self.interrupt_job(idx, ctx);
         }
-        // Outages invalidate staged data: replicas and cache entries at the
-        // site are gone; later jobs re-stage over the WAN.
-        self.catalog.evict_node(NodeId::Site(site));
-        self.caches[site.index()].clear();
+        // Transfers whose far end was this site but whose owning job
+        // survives elsewhere (staging from a replica here, restoring a
+        // checkpoint from here) are cancelled and re-planned.
+        self.repair_transfers_touching(node, ctx);
         // Bounced and killed jobs re-enter through the allocation policy,
         // which now sees the site as down.
         self.drain_pending(ctx);
+    }
+
+    /// Storage-media loss at a site that stays up: every byte held there —
+    /// staged replicas, cache entries, durable checkpoints — is gone, and
+    /// in-flight transfers touching the dead storage are re-planned.
+    fn apply_disk_loss(&mut self, site: SiteId, ctx: &mut Context<'_, GridEvent>) {
+        self.collector.record_disk_loss();
+        let node = NodeId::Site(site);
+        let lost = self.invalidate_checkpoints_at(node);
+        if lost > 0 {
+            self.collector.record_checkpoints_lost(lost);
+        }
+        self.catalog.evict_node(node);
+        self.caches[site.index()].clear();
+        self.repair_transfers_touching(node, ctx);
+    }
+
+    /// Cancels and re-plans every in-flight transfer with an endpoint at
+    /// `node`, for jobs that are still alive: input staging re-plans from
+    /// the surviving replicas, a checkpoint restore falls back to the next
+    /// surviving checkpoint (or a scratch rerun), and a checkpoint write is
+    /// dropped (the job keeps computing and checkpoints again after the
+    /// next segment). Jobs *at* a dead site are killed separately by
+    /// `take_site_down`; this pass is for the survivors — the regression
+    /// class where a transfer kept streaming bytes out of storage that no
+    /// longer existed. Iteration is in job-index order, so replay stays
+    /// deterministic.
+    fn repair_transfers_touching(&mut self, node: NodeId, ctx: &mut Context<'_, GridEvent>) {
+        for idx in 0..self.jobs.len() {
+            let Some(activity) = self.jobs[idx].activity else {
+                continue;
+            };
+            let Some(&(_, phase)) = self.activity_map.get(activity) else {
+                continue;
+            };
+            let peer_hit = self.jobs[idx].transfer_peer == Some(node);
+            // A disk loss also voids the partially written destination side
+            // of inbound transfers at the site (the site itself is still
+            // up, so the job lives on and simply restarts the transfer).
+            let dest_hit = matches!(phase, Phase::Input | Phase::Restore)
+                && self.jobs[idx].site.map(NodeId::Site) == Some(node);
+            if !peer_hit && !dest_hit {
+                continue;
+            }
+            self.fluid.remove_activity(activity);
+            self.activity_map.remove(activity);
+            self.jobs[idx].activity = None;
+            self.jobs[idx].transfer_peer = None;
+            let site = self.jobs[idx].site.expect("transferring job has a site");
+            match phase {
+                // `stage_input`, not `start_staging`: the attempt's start
+                // time must survive the re-plan.
+                Phase::Input => self.stage_input(idx, site, ctx),
+                Phase::Restore => {
+                    self.jobs[idx].restore_frac = 0.0;
+                    self.begin_restore_or_segment(idx, site, ctx);
+                }
+                Phase::Checkpoint => {
+                    let bytes = self
+                        .execution
+                        .checkpoint
+                        .bytes_for(self.jobs[idx].record.cores);
+                    self.release_checkpoint_storage(node, bytes);
+                    self.start_execution_segment(idx, site, ctx);
+                }
+                // Execution holds no transfer peer and output transfers
+                // terminate at the indestructible main server.
+                Phase::Execute | Phase::Output => {}
+            }
+        }
     }
 
     /// Partial node loss: reclaim `fraction` of the site's cores. Losses
@@ -194,18 +294,52 @@ impl GridModel {
     }
 
     /// Kills one job mid-flight: cancels its pending timer and fluid
-    /// activity, releases its cores, notifies the policy, and either
-    /// resubmits it (fault-retry budget permitting) or fails it for good.
+    /// activity, releases its cores, accounts the discarded work, notifies
+    /// the policy, and either resubmits it (fault-retry budget permitting)
+    /// or fails it for good. The resubmitted attempt resumes from the job's
+    /// newest surviving checkpoint, if any.
     pub(super) fn interrupt_job(&mut self, idx: usize, ctx: &mut Context<'_, GridEvent>) {
         let now = ctx.now();
         let site = self.jobs[idx].site.expect("interrupted job has a site");
+
+        // Progress past the newest durable checkpoint is recomputation the
+        // grid will have to pay for again (all of it, without checkpoints).
+        let durable_frac = self
+            .best_durable_checkpoint(idx)
+            .map(|ck| ck.frac)
+            .unwrap_or(0.0);
+        let progress = self.attempt_progress_fraction(idx, now);
+        let lost_frac = (progress - durable_frac).max(0.0);
+        if lost_frac > 0.0 {
+            let lost_s = lost_frac * self.nominal_walltime_at(idx, site);
+            self.collector.record_work_lost(lost_s);
+        }
+
         if let Some(key) = self.jobs[idx].timer.take() {
             ctx.cancel(key);
         }
         if let Some(activity) = self.jobs[idx].activity.take() {
+            let phase = self.activity_map.get(activity).map(|&(_, p)| p);
             self.fluid.remove_activity(activity);
             self.activity_map.remove(activity);
+            // An interrupted checkpoint write never became durable: free the
+            // bytes it had reserved at the target.
+            if phase == Some(Phase::Checkpoint) {
+                if let Some(target) = self.jobs[idx].transfer_peer {
+                    let bytes = self
+                        .execution
+                        .checkpoint
+                        .bytes_for(self.jobs[idx].record.cores);
+                    self.release_checkpoint_storage(target, bytes);
+                }
+            }
         }
+        self.jobs[idx].transfer_peer = None;
+        self.jobs[idx].frac_done = 0.0;
+        self.jobs[idx].seg_fraction = 0.0;
+        self.jobs[idx].seg_walltime_s = 0.0;
+        self.jobs[idx].seg_amount = 0.0;
+        self.jobs[idx].restore_frac = 0.0;
         self.release_cores(idx, site);
         self.collector.record_interruption(site.index());
 
@@ -216,6 +350,18 @@ impl GridModel {
         if self.jobs[idx].fault_retries < self.execution.fault_max_retries {
             self.jobs[idx].fault_retries += 1;
             self.collector.record_fault_retry();
+            // The resubmission will resume from a durable checkpoint: tell
+            // the policy where it lives so it can steer the job back to the
+            // data (`None` = the main server holds it).
+            if self.execution.checkpoint.enabled() {
+                if let Some(ck) = self.best_durable_checkpoint(idx) {
+                    let checkpoint_site = match ck.node {
+                        NodeId::Site(s) => Some(s),
+                        NodeId::MainServer => None,
+                    };
+                    self.policy.on_job_restored(&record, checkpoint_site, &view);
+                }
+            }
             self.jobs[idx].site = None;
             self.jobs[idx].state = JobState::Pending;
             self.record(now, idx, JobState::Pending);

@@ -7,6 +7,7 @@ use cgsim_platform::{NodeId, SiteId};
 use cgsim_policies::CachePolicy;
 use cgsim_workload::{ideal_walltime, JobRecord, JobState};
 
+use super::checkpoint::JobCheckpoint;
 use super::events::GridEvent;
 use super::GridModel;
 use crate::config::ComputeMode;
@@ -17,6 +18,11 @@ pub(super) enum Phase {
     Input,
     Execute,
     Output,
+    /// A periodic checkpoint write to durable storage (checkpoint/restart).
+    Checkpoint,
+    /// Re-staging of checkpoint data to the resume site before execution
+    /// continues from it.
+    Restore,
 }
 
 /// Mutable per-job simulation state.
@@ -44,6 +50,30 @@ pub(super) struct JobRuntime {
     /// True while the job holds reserved cores at its site (from the queue
     /// pop in `try_start_site` until release).
     pub(super) holds_cores: bool,
+    /// The *remote* endpoint of the in-flight transfer, if any: the source
+    /// of an input-staging or checkpoint-restore transfer, or the target of
+    /// a checkpoint write. Fault injection uses it to find transfers whose
+    /// far end just died while the job itself survives elsewhere.
+    pub(super) transfer_peer: Option<NodeId>,
+    /// Fraction of the job's total work completed in the current attempt
+    /// (updated at execution-segment boundaries; seeded from the restored
+    /// checkpoint on resume).
+    pub(super) frac_done: f64,
+    /// Fraction of total work covered by the in-flight execution segment.
+    pub(super) seg_fraction: f64,
+    /// Virtual time the in-flight execution segment started.
+    pub(super) seg_started_s: f64,
+    /// Walltime length of the in-flight dedicated-core segment (0 when not
+    /// in dedicated execution).
+    pub(super) seg_walltime_s: f64,
+    /// Fluid amount of the in-flight time-shared segment (0 when not in
+    /// time-shared execution).
+    pub(super) seg_amount: f64,
+    /// Progress fraction carried by the in-flight checkpoint restore.
+    pub(super) restore_frac: f64,
+    /// Durable checkpoints of this job, at most one per storage node
+    /// (newer writes at a node supersede its older checkpoint).
+    pub(super) checkpoints: Vec<JobCheckpoint>,
 }
 
 impl JobRuntime {
@@ -63,6 +93,14 @@ impl JobRuntime {
             timer: None,
             activity: None,
             holds_cores: false,
+            transfer_peer: None,
+            frac_done: 0.0,
+            seg_fraction: 0.0,
+            seg_started_s: 0.0,
+            seg_walltime_s: 0.0,
+            seg_amount: 0.0,
+            restore_frac: 0.0,
+            checkpoints: Vec::new(),
         }
     }
 }
@@ -94,11 +132,26 @@ impl GridModel {
             self.catalog.add_replica(dataset, NodeId::Site(site));
         }
 
-        let record = &self.jobs[idx].record;
+        // Checkpointing splits execution into segments with durable writes
+        // between them (and possibly a restore transfer in front). With the
+        // policy disabled the original single-shot path below runs unchanged,
+        // so zero-checkpoint configurations stay bit-identical to builds
+        // without the feature; the extra segment bookkeeping only feeds the
+        // work-lost accounting of fault injection.
+        if self.execution.checkpoint.enabled() {
+            self.begin_restore_or_segment(idx, site, ctx);
+            return;
+        }
+        let work_hs23 = self.jobs[idx].record.work_hs23;
+        let cores = self.jobs[idx].record.cores;
         match self.execution.compute_mode {
             ComputeMode::DedicatedCores => {
                 let speed = self.platform.effective_speed(site);
-                let walltime = ideal_walltime(record.work_hs23, record.cores, speed);
+                let walltime = ideal_walltime(work_hs23, cores, speed);
+                self.jobs[idx].frac_done = 0.0;
+                self.jobs[idx].seg_fraction = 1.0;
+                self.jobs[idx].seg_started_s = now.as_secs();
+                self.jobs[idx].seg_walltime_s = walltime;
                 let key = ctx.schedule_in(
                     cgsim_des::SimTime::from_secs(walltime),
                     GridEvent::ExecutionDone(idx),
@@ -107,10 +160,39 @@ impl GridModel {
             }
             ComputeMode::TimeShared => {
                 let resource = self.cpu_resources[site.index()];
-                let weight = record.cores as f64;
-                let amount = record.work_hs23 / cgsim_workload::parallel_efficiency(record.cores);
+                let weight = cores as f64;
+                let amount = work_hs23 / cgsim_workload::parallel_efficiency(cores);
+                self.jobs[idx].frac_done = 0.0;
+                self.jobs[idx].seg_fraction = 1.0;
+                self.jobs[idx].seg_started_s = now.as_secs();
+                self.jobs[idx].seg_amount = amount;
                 self.start_fluid_activity(idx, Phase::Execute, amount, &[resource], weight, ctx);
             }
+        }
+    }
+
+    /// An execution segment (the whole execution when checkpointing is off)
+    /// finished: either the job is done, or it pauses to write a checkpoint
+    /// before the next segment.
+    pub(super) fn execution_segment_done(&mut self, idx: usize, ctx: &mut Context<'_, GridEvent>) {
+        if !self.execution.checkpoint.enabled() {
+            // Execution is complete: mark the full fraction done so a kill
+            // during the output phase accounts the whole discarded execution
+            // in `work_lost_s` (bookkeeping only — no behavioural change).
+            self.jobs[idx].frac_done = 1.0;
+            self.finish_execution(idx, ctx);
+            return;
+        }
+        let site = self.jobs[idx].site.expect("executing job has a site");
+        self.jobs[idx].frac_done =
+            (self.jobs[idx].frac_done + self.jobs[idx].seg_fraction).min(1.0);
+        self.jobs[idx].seg_fraction = 0.0;
+        self.jobs[idx].seg_walltime_s = 0.0;
+        self.jobs[idx].seg_amount = 0.0;
+        if self.jobs[idx].frac_done >= 1.0 - 1e-9 {
+            self.finish_execution(idx, ctx);
+        } else {
+            self.start_checkpoint_write(idx, site, ctx);
         }
     }
 
@@ -120,6 +202,10 @@ impl GridModel {
         let site = self.jobs[idx].site.expect("running job has a site");
         let failed = self.rng.chance(self.execution.failure_probability);
         if failed {
+            // An *application* failure invalidates the job's state: its
+            // checkpoints led to the failure, so the rerun starts from
+            // scratch (unlike fault interruptions, which restore).
+            self.discard_checkpoints(idx);
             if self.jobs[idx].retries < self.execution.max_retries {
                 // Release resources and resubmit to the main server.
                 self.jobs[idx].retries += 1;
@@ -168,14 +254,21 @@ impl GridModel {
             self.jobs[idx].activity = None;
             match phase {
                 Phase::Input => {
+                    self.jobs[idx].transfer_peer = None;
                     let site = self.jobs[idx].site.expect("staging job has a site");
                     self.begin_execution(idx, site, ctx);
                 }
                 Phase::Execute => {
-                    self.finish_execution(idx, ctx);
+                    self.execution_segment_done(idx, ctx);
                 }
                 Phase::Output => {
                     self.finalize(idx, JobState::Finished, ctx);
+                }
+                Phase::Checkpoint => {
+                    self.finish_checkpoint_write(idx, ctx);
+                }
+                Phase::Restore => {
+                    self.finish_restore(idx, ctx);
                 }
             }
         }

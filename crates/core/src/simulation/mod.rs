@@ -19,6 +19,7 @@
 
 mod accounting;
 mod broker;
+mod checkpoint;
 mod events;
 mod faults;
 mod job_runtime;
@@ -28,7 +29,7 @@ mod tests;
 
 use std::collections::{HashMap, VecDeque};
 
-use cgsim_data::{DatasetId, LruCache, ReplicaCatalog};
+use cgsim_data::{DatasetId, LruCache, ReplicaCatalog, StorageElement};
 use cgsim_des::fluid::{ActivityId, ActivityMap, FluidModel, ResourceId};
 use cgsim_des::rng::Rng;
 use cgsim_des::{Engine, EventKey, SimTime};
@@ -108,6 +109,9 @@ struct GridModel {
     // Data management state.
     catalog: ReplicaCatalog,
     caches: Vec<LruCache>,
+    /// Per-site storage elements holding durable checkpoint state (indexed
+    /// by `SiteId`; the main server's storage is modelled as unbounded).
+    storage: Vec<StorageElement>,
     task_datasets: HashMap<u64, DatasetId>,
     // Monitoring.
     collector: MonitoringCollector,
@@ -162,6 +166,11 @@ impl GridModel {
             .iter()
             .map(|s| LruCache::new((s.storage_tb * 0.1 * 1e12) as u64))
             .collect();
+        let storage = platform
+            .sites()
+            .iter()
+            .map(|s| StorageElement::new(s.name.clone(), (s.storage_tb * 1e12) as u64))
+            .collect();
         let site_names = platform.sites().iter().map(|s| s.name.clone()).collect();
         let collector = MonitoringCollector::new(site_names, execution.monitoring.clone());
 
@@ -187,6 +196,7 @@ impl GridModel {
             route_scratch: Vec::new(),
             catalog: ReplicaCatalog::new(),
             caches,
+            storage,
             task_datasets: HashMap::new(),
             collector,
             warned_invalid_policy: false,

@@ -84,8 +84,9 @@ impl GridModel {
     }
 
     /// Starts a network transfer phase over the route `from -> to`, reusing
-    /// the model-owned route buffer (no per-transfer allocation).
-    fn start_transfer(
+    /// the model-owned route buffer (no per-transfer allocation). Shared by
+    /// input staging, output stage-out, checkpoint writes and restores.
+    pub(super) fn start_transfer(
         &mut self,
         idx: usize,
         phase: Phase,
@@ -107,15 +108,30 @@ impl GridModel {
         self.route_scratch = route;
     }
 
-    /// Begins input staging for a job whose cores were just allocated.
+    /// Begins input staging for a job whose cores were just allocated. Stamps
+    /// the attempt's start time, then plans the transfer.
     pub(super) fn start_staging(
         &mut self,
         idx: usize,
         site: SiteId,
         ctx: &mut Context<'_, GridEvent>,
     ) {
+        self.jobs[idx].start_time = ctx.now().as_secs();
+        self.stage_input(idx, site, ctx);
+    }
+
+    /// Plans and starts (or skips) the input transfer for a job already
+    /// mid-attempt. Fault repair re-enters here — *not* through
+    /// [`GridModel::start_staging`] — so a transfer re-planned after its
+    /// source died does not overwrite the attempt's start time and corrupt
+    /// the queue-time/walltime metrics.
+    pub(super) fn stage_input(
+        &mut self,
+        idx: usize,
+        site: SiteId,
+        ctx: &mut Context<'_, GridEvent>,
+    ) {
         let now = ctx.now();
-        self.jobs[idx].start_time = now.as_secs();
         let dataset = self.task_dataset(idx);
         let destination = NodeId::Site(site);
 
@@ -159,6 +175,10 @@ impl GridModel {
         self.record(now, idx, JobState::Staging);
         let bytes = self.jobs[idx].record.input_bytes;
         self.jobs[idx].staged_bytes += bytes;
+        // Remember the far end of the transfer: if the source site dies
+        // mid-flight while this job survives elsewhere, fault injection
+        // cancels the transfer and re-plans from the surviving replicas.
+        self.jobs[idx].transfer_peer = Some(source);
         // Latency is added as a constant amount of "extra bytes" at the
         // bottleneck rate; for WAN transfers of GB-scale inputs it is
         // negligible, which matches the fluid approximation of SimGrid.

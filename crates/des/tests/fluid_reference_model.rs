@@ -207,14 +207,16 @@ impl ReferenceModel {
 }
 
 proptest! {
-    /// Random admit/retire/re-rate/advance sequences: the incremental solver
-    /// and the naive reference agree bit-for-bit on every observable at every
-    /// step.
+    /// Random admit/retire/re-rate/advance sequences — including
+    /// link-degradation-style `set_capacity` storms that repeatedly re-rate
+    /// the same resource (degrade, deepen, restore) between admits and
+    /// retires: the incremental solver and the naive reference agree
+    /// bit-for-bit on every observable at every step.
     #[test]
     fn incremental_solver_matches_naive_reference(
         caps in prop::collection::vec(1.0f64..1000.0, 2..6),
         ops in prop::collection::vec(
-            (0usize..6, 0usize..64, 0usize..64, 1.0f64..1e6, 0.05f64..0.95),
+            (0usize..8, 0usize..64, 0usize..64, 1.0f64..1e6, 0.05f64..0.95),
             1..80,
         ),
     ) {
@@ -273,7 +275,7 @@ proptest! {
                     }
                 }
                 // Partial advance (a fraction of the next completion time).
-                _ => {
+                5 => {
                     let real_next = real.time_to_next_completion();
                     let ref_next = reference.time_to_next_completion();
                     prop_assert_eq!(real_next, ref_next);
@@ -283,6 +285,34 @@ proptest! {
                         let done_ref = reference.advance(partial);
                         prop_assert_eq!(&done_real, &done_ref);
                         live.retain(|id| !done_real.contains(id));
+                    }
+                }
+                // Degradation-style re-rate: scale one resource to a
+                // fraction of its *nominal* capacity (how the simulation
+                // core applies `GridAvailability::link_factor`).
+                6 => {
+                    let r = a % resources.len();
+                    let cap = caps[r] * frac;
+                    real.set_capacity(resources[r], cap);
+                    reference.capacities[r] = cap;
+                }
+                // Re-rate storm on a single resource: degrade, deepen, then
+                // restore to nominal back-to-back — the overlapping
+                // begin/begin/end sequences fault replay produces. Each step
+                // must keep the dirty-component bookkeeping coherent even
+                // though only the final value survives.
+                _ => {
+                    let r = b % resources.len();
+                    for step in [frac, frac * 0.5, 1.0] {
+                        let cap = caps[r] * step;
+                        real.set_capacity(resources[r], cap);
+                        reference.capacities[r] = cap;
+                        // Interleave queries so every intermediate value is
+                        // actually observed, not just the last one.
+                        prop_assert_eq!(
+                            real.time_to_next_completion(),
+                            reference.time_to_next_completion()
+                        );
                     }
                 }
             }

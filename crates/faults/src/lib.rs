@@ -25,8 +25,8 @@ pub mod plan;
 pub mod spec;
 
 pub use plan::{
-    DegradationSpec, FaultAction, FaultEvent, FaultPlan, FaultPlanConfig, FaultTopology,
-    IncidentSpec, LinkSelector, MaintenanceSpec, NodeLossSpec, OutageSpec, SiteSelector,
-    DEFAULT_HORIZON_S,
+    DegradationSpec, DiskLossSpec, FaultAction, FaultEvent, FaultPlan, FaultPlanConfig,
+    FaultTopology, IncidentSpec, LinkSelector, MaintenanceSpec, NodeLossSpec, OutageSpec,
+    SiteSelector, DEFAULT_HORIZON_S,
 };
-pub use spec::parse_fault_spec;
+pub use spec::{parse_duration, parse_fault_spec};

@@ -98,6 +98,19 @@ pub struct NodeLossSpec {
     pub mttr_s: f64,
 }
 
+/// Storage-media loss: the disks backing a site's storage element fail and
+/// every byte held there — staged replicas, cache entries and job
+/// checkpoints — is lost, while the site itself keeps computing. Unlike an
+/// outage there is no repair event: the loss is instantaneous and the data
+/// is simply gone (the replacement hardware comes up empty).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiskLossSpec {
+    /// Targeted site(s).
+    pub site: SiteSelector,
+    /// Mean time to disk loss in seconds (exponential).
+    pub mttf_s: f64,
+}
+
 /// Link bandwidth degradation: the link runs at `factor` of its nominal
 /// bandwidth until restored.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -127,6 +140,11 @@ pub struct FaultPlanConfig {
     pub incidents: Vec<IncidentSpec>,
     /// Partial node-loss processes.
     pub node_losses: Vec<NodeLossSpec>,
+    /// Storage-media loss processes (data loss without a site outage).
+    /// Absent from configurations written before checkpoint/restart existed,
+    /// hence the serde default.
+    #[serde(default)]
+    pub disk_losses: Vec<DiskLossSpec>,
     /// Link-degradation processes.
     pub degradations: Vec<DegradationSpec>,
     /// Poisson rate of single-job kills, per simulated hour (0 = none).
@@ -141,6 +159,7 @@ impl Default for FaultPlanConfig {
             maintenance: Vec::new(),
             incidents: Vec::new(),
             node_losses: Vec::new(),
+            disk_losses: Vec::new(),
             degradations: Vec::new(),
             kill_rate_per_hour: 0.0,
         }
@@ -155,6 +174,7 @@ impl FaultPlanConfig {
             && self.maintenance.is_empty()
             && self.incidents.is_empty()
             && self.node_losses.is_empty()
+            && self.disk_losses.is_empty()
             && self.degradations.is_empty()
             && self.kill_rate_per_hour <= 0.0
     }
@@ -218,6 +238,13 @@ pub enum FaultAction {
         /// Site index.
         site: usize,
     },
+    /// The site's storage media fail: staged replicas, cache entries and job
+    /// checkpoints held there are lost. The site keeps computing; there is no
+    /// matching recovery event (the data is gone, not unavailable).
+    DiskLoss {
+        /// Site index.
+        site: usize,
+    },
     /// The link drops to `factor` of its nominal bandwidth; in-flight
     /// transfers are re-rated through the fluid model.
     LinkDegrade {
@@ -261,6 +288,7 @@ mod stream {
     pub const NODELOSS: u64 = 3 << 32;
     pub const DEGRADE: u64 = 4 << 32;
     pub const KILL: u64 = 5 << 32;
+    pub const DISKLOSS: u64 = 6 << 32;
 }
 
 impl FaultPlan {
@@ -412,6 +440,29 @@ impl FaultPlan {
                         action: FaultAction::NodeRestore { site },
                     });
                     t += repair;
+                }
+            }
+        }
+
+        // Storage-media losses: an exponential process per (spec, site), one
+        // event per loss — data loss is instantaneous and unrepaired, so no
+        // paired recovery event is generated.
+        for (spec_idx, spec) in config.disk_losses.iter().enumerate() {
+            for site in select_sites(spec.site, topo.sites) {
+                let mut rng = stream_rng(
+                    seed,
+                    stream::DISKLOSS | (spec_idx as u64) << 16 | site as u64,
+                );
+                let mut t = 0.0;
+                loop {
+                    t += rng.exponential(1.0 / spec.mttf_s.max(1e-9));
+                    if t > horizon {
+                        break;
+                    }
+                    events.push(FaultEvent {
+                        time_s: t,
+                        action: FaultAction::DiskLoss { site },
+                    });
                 }
             }
         }
@@ -753,6 +804,31 @@ mod tests {
         assert!(kills.iter().all(|&j| j < 100));
         // ~2/hour over 10 hours ≈ 20 kills.
         assert!((5..=60).contains(&kills.len()), "kills: {}", kills.len());
+    }
+
+    #[test]
+    fn disk_losses_are_unpaired_and_within_horizon() {
+        let cfg = FaultPlanConfig {
+            horizon_s: 200_000.0,
+            disk_losses: vec![DiskLossSpec {
+                site: SiteSelector::All,
+                mttf_s: 20_000.0,
+            }],
+            ..FaultPlanConfig::default()
+        };
+        assert!(!cfg.is_empty());
+        let plan = FaultPlan::generate(&cfg, &topo(), 17);
+        assert!(!plan.is_empty());
+        for e in &plan.events {
+            let FaultAction::DiskLoss { site } = e.action else {
+                panic!("only disk losses expected, got {:?}", e.action);
+            };
+            assert!(site < 4);
+            assert!(e.time_s <= 200_000.0);
+        }
+        // ~10 losses per site over 10 MTTFs.
+        let per_site = plan.events.len() as f64 / 4.0;
+        assert!((4.0..25.0).contains(&per_site), "losses/site: {per_site}");
     }
 
     #[test]

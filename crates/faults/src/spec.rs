@@ -9,6 +9,7 @@
 //! maint:site=1,start=6h,duration=1h[,period=24h] fixed maintenance windows
 //! incident:sites=0+2,mttf=24h,mttr=45m[,shape=2] correlated multi-site incidents
 //! nodeloss:site=0,fraction=0.25,mttf=8h,mttr=1h  partial node loss
+//! diskloss:site=1,mttf=24h                       storage-media loss (data gone)
 //! degrade:link=all,factor=0.3,mttf=6h,mttr=15m   link bandwidth degradation
 //! kill:rate=1.5                                  job kills per simulated hour
 //! horizon=48h                                    generation horizon
@@ -19,8 +20,8 @@
 //! link; `link=<i>` is the i-th WAN link in platform order.
 
 use crate::plan::{
-    DegradationSpec, FaultPlanConfig, IncidentSpec, LinkSelector, MaintenanceSpec, NodeLossSpec,
-    OutageSpec, SiteSelector,
+    DegradationSpec, DiskLossSpec, FaultPlanConfig, IncidentSpec, LinkSelector, MaintenanceSpec,
+    NodeLossSpec, OutageSpec, SiteSelector,
 };
 
 /// Parses a `--faults` specification string into a plan configuration.
@@ -64,6 +65,10 @@ pub fn parse_fault_spec(spec: &str) -> Result<FaultPlanConfig, String> {
                 mttf_s: parse_duration(require(&kvs, "mttf", clause)?)?,
                 mttr_s: parse_duration(require(&kvs, "mttr", clause)?)?,
             }),
+            "diskloss" => config.disk_losses.push(DiskLossSpec {
+                site: parse_site_selector(require(&kvs, "site", clause)?)?,
+                mttf_s: parse_duration(require(&kvs, "mttf", clause)?)?,
+            }),
             "degrade" => config.degradations.push(DegradationSpec {
                 link: parse_link_selector(require(&kvs, "link", clause)?)?,
                 factor: parse_fraction(require(&kvs, "factor", clause)?)?,
@@ -85,7 +90,7 @@ pub fn parse_fault_spec(spec: &str) -> Result<FaultPlanConfig, String> {
             other => {
                 return Err(format!(
                     "unknown fault kind '{other}' (expected outage, maint, incident, \
-                     nodeloss, degrade, kill or horizon=<dur>)"
+                     nodeloss, diskloss, degrade, kill or horizon=<dur>)"
                 ))
             }
         }
@@ -123,8 +128,10 @@ fn optional_f64(kvs: &[(&str, &str)], key: &str) -> Result<Option<f64>, String> 
     }
 }
 
-/// Parses a duration: a number with an optional `s`/`m`/`h`/`d` suffix.
-fn parse_duration(text: &str) -> Result<f64, String> {
+/// Parses a duration: a number with an optional `s`/`m`/`h`/`d` suffix
+/// (plain numbers are seconds). Shared with the CLI's checkpoint-interval
+/// flag, hence public.
+pub fn parse_duration(text: &str) -> Result<f64, String> {
     let text = text.trim();
     let (number, multiplier) = match text.chars().last() {
         Some('s') => (&text[..text.len() - 1], 1.0),
@@ -193,6 +200,7 @@ mod tests {
              maint:site=1,start=6h,duration=1h,period=24h;\
              incident:sites=0+2,mttf=24h,mttr=45m;\
              nodeloss:site=0,fraction=0.25,mttf=8h,mttr=1h;\
+             diskloss:site=all,mttf=36h;\
              degrade:link=all,factor=0.3,mttf=6h,mttr=15m;\
              kill:rate=1.5;horizon=2d",
         )
@@ -206,6 +214,8 @@ mod tests {
         assert_eq!(config.incidents[0].sites, vec![0, 2]);
         assert_eq!(config.incidents[0].shape, 1.0);
         assert_eq!(config.node_losses[0].fraction, 0.25);
+        assert_eq!(config.disk_losses[0].site, SiteSelector::All);
+        assert_eq!(config.disk_losses[0].mttf_s, 36.0 * 3600.0);
         assert_eq!(config.degradations[0].link, LinkSelector::All);
         assert_eq!(config.degradations[0].factor, 0.3);
         assert_eq!(config.kill_rate_per_hour, 1.5);
@@ -244,6 +254,9 @@ mod tests {
         );
         assert!(parse_fault_spec("outage").unwrap_err().contains("kind"));
         assert!(parse_fault_spec("kill:rate=-2").is_err());
+        assert!(parse_fault_spec("diskloss:site=1")
+            .unwrap_err()
+            .contains("missing 'mttf='"));
     }
 
     #[test]

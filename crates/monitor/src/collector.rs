@@ -52,6 +52,8 @@ pub struct SiteCounters {
     /// Jobs killed mid-flight at the site by fault injection (outages,
     /// node loss, targeted kills).
     pub interrupted: u64,
+    /// Checkpoints durably written by jobs executing at the site.
+    pub checkpoints: u64,
 }
 
 /// Grid-level (main-server) counters not attributable to any single site.
@@ -73,6 +75,25 @@ pub struct GridCounters {
     pub job_interruptions: u64,
     /// Fault-interrupted jobs resubmitted for another attempt.
     pub fault_retries: u64,
+    /// Storage-media losses applied by fault injection (data loss at a site
+    /// without an outage).
+    pub disk_losses: u64,
+    /// Checkpoints durably written across the grid.
+    pub checkpoints_written: u64,
+    /// Bytes of checkpoint state durably written.
+    pub checkpoint_bytes: u64,
+    /// Resumed attempts that started from a durable checkpoint instead of
+    /// from scratch.
+    pub checkpoint_restores: u64,
+    /// Durable checkpoints invalidated by site outages or disk losses.
+    pub checkpoints_lost: u64,
+    /// Execution seconds *not* recomputed thanks to checkpoint restores
+    /// (work already done before the restored-from checkpoint).
+    pub work_saved_s: f64,
+    /// Execution seconds discarded by fault interruptions (progress past the
+    /// last durable checkpoint at the moment of the kill). With checkpointing
+    /// disabled this is the full progress of every killed attempt.
+    pub work_lost_s: f64,
 }
 
 /// The monitoring collector.
@@ -142,6 +163,39 @@ impl MonitoringCollector {
     /// Records the resubmission of a fault-interrupted job.
     pub fn record_fault_retry(&mut self) {
         self.grid_counters.fault_retries += 1;
+    }
+
+    /// Records a storage-media loss at a site (data gone, site still up).
+    pub fn record_disk_loss(&mut self) {
+        self.grid_counters.disk_losses += 1;
+    }
+
+    /// Records a durable checkpoint of `bytes` written by a job executing at
+    /// the given site.
+    pub fn record_checkpoint_written(&mut self, site_index: usize, bytes: u64) {
+        self.grid_counters.checkpoints_written += 1;
+        self.grid_counters.checkpoint_bytes += bytes;
+        if let Some(counters) = self.counters.get_mut(site_index) {
+            counters.checkpoints += 1;
+        }
+    }
+
+    /// Records an execution attempt resumed from a durable checkpoint,
+    /// saving `work_saved_s` seconds of recomputation.
+    pub fn record_checkpoint_restore(&mut self, work_saved_s: f64) {
+        self.grid_counters.checkpoint_restores += 1;
+        self.grid_counters.work_saved_s += work_saved_s;
+    }
+
+    /// Records `count` durable checkpoints invalidated by a site outage or a
+    /// disk loss.
+    pub fn record_checkpoints_lost(&mut self, count: u64) {
+        self.grid_counters.checkpoints_lost += count;
+    }
+
+    /// Records execution progress discarded by a fault interruption.
+    pub fn record_work_lost(&mut self, work_lost_s: f64) {
+        self.grid_counters.work_lost_s += work_lost_s;
     }
 
     /// Records a job state transition at a site (`site_index` indexes the
@@ -337,6 +391,29 @@ mod tests {
         assert_eq!(c.site_counters(0).interrupted, 1);
         // Interruptions are not terminal outcomes.
         assert_eq!(c.site_counters(1).failed, 0);
+    }
+
+    #[test]
+    fn checkpoint_counters_accumulate() {
+        let mut c = collector();
+        c.record_checkpoint_written(0, 1_000);
+        c.record_checkpoint_written(0, 2_000);
+        c.record_checkpoint_written(1, 500);
+        c.record_checkpoint_restore(120.0);
+        c.record_checkpoints_lost(2);
+        c.record_work_lost(30.0);
+        c.record_work_lost(15.0);
+        c.record_disk_loss();
+        let grid = c.grid_counters();
+        assert_eq!(grid.checkpoints_written, 3);
+        assert_eq!(grid.checkpoint_bytes, 3_500);
+        assert_eq!(grid.checkpoint_restores, 1);
+        assert_eq!(grid.checkpoints_lost, 2);
+        assert_eq!(grid.disk_losses, 1);
+        assert!((grid.work_saved_s - 120.0).abs() < 1e-12);
+        assert!((grid.work_lost_s - 45.0).abs() < 1e-12);
+        assert_eq!(c.site_counters(0).checkpoints, 2);
+        assert_eq!(c.site_counters(1).checkpoints, 1);
     }
 
     #[test]

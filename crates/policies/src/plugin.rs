@@ -47,6 +47,22 @@ pub trait AllocationPolicy: Send {
     /// left, so stateful policies can use this hook to blacklist flapping
     /// sites before the resubmission arrives.
     fn on_job_interrupted(&mut self, _job: &JobRecord, _site: SiteId, _view: &GridView) {}
+
+    /// Called just before a fault-interrupted job that holds a *durable
+    /// checkpoint* is resubmitted through `assign_job`. `checkpoint_site` is
+    /// the site whose storage holds the newest surviving checkpoint
+    /// (`None` when it lives at the main server), so stateful policies can
+    /// steer the resubmission towards the data and turn the restore into a
+    /// site-local read instead of a WAN re-stage. Jobs without a surviving
+    /// checkpoint are resubmitted without this call (they rerun from
+    /// scratch).
+    fn on_job_restored(
+        &mut self,
+        _job: &JobRecord,
+        _checkpoint_site: Option<SiteId>,
+        _view: &GridView,
+    ) {
+    }
 }
 
 /// The data-movement plugin interface: choose where job input is read from

@@ -60,9 +60,9 @@ USAGE:
     cgsim init      --dir <DIR> [--sites N] [--jobs N] [--seed N]
     cgsim simulate  --platform <platform.json> --execution <execution.json>
                     --trace <trace.jsonl> [--output <DIR>] [--policy NAME]
-                    [--faults SPEC] [--fault-seed N]
+                    [--faults SPEC] [--fault-seed N] [CHECKPOINT FLAGS]
     cgsim demo      [--sites N] [--jobs N] [--policy NAME] [--seed N] [--output DIR]
-                    [--faults SPEC] [--fault-seed N]
+                    [--faults SPEC] [--fault-seed N] [CHECKPOINT FLAGS]
     cgsim policies            list the registered allocation policies
 
 FAULT SPECS (semicolon-separated clauses; durations take s/m/h/d suffixes):
@@ -70,9 +70,17 @@ FAULT SPECS (semicolon-separated clauses; durations take s/m/h/d suffixes):
     maint:site=1,start=6h,duration=1h[,period=24h]
     incident:sites=0+2,mttf=24h,mttr=45m         correlated multi-site incidents
     nodeloss:site=0,fraction=0.25,mttf=8h,mttr=1h
+    diskloss:site=1,mttf=24h                      storage-media loss (replicas +
+                                                  checkpoints gone, site stays up)
     degrade:link=all,factor=0.3,mttf=6h,mttr=15m  (link=<i> is the i-th WAN link)
     kill:rate=1.5                                 job kills per simulated hour
     horizon=48h                                   fault-generation horizon
+
+CHECKPOINT FLAGS (override the execution config; interval 0 disables):
+    --checkpoint-interval <dur>    checkpoint every <dur> of completed work
+    --checkpoint-bytes <n>         fixed checkpoint size in bytes
+    --checkpoint-per-core-bytes <n>  extra bytes per job core
+    --checkpoint-target site|main  write to site storage or the main server
 ";
 
 fn parse_options(args: &[String]) -> HashMap<String, String> {
@@ -159,6 +167,38 @@ fn build_fault_plan(
     Ok(Some(plan))
 }
 
+/// Applies the `--checkpoint-*` flag overrides to an execution config.
+fn apply_checkpoint_flags(
+    options: &HashMap<String, String>,
+    execution: &mut ExecutionConfig,
+) -> Result<(), String> {
+    if let Some(interval) = options.get("checkpoint-interval") {
+        execution.checkpoint.interval_s = cgsim::faults::parse_duration(interval)?;
+    }
+    if let Some(bytes) = options.get("checkpoint-bytes") {
+        execution.checkpoint.base_bytes = bytes
+            .parse()
+            .map_err(|_| format!("--checkpoint-bytes '{bytes}' is not a byte count"))?;
+    }
+    if let Some(bytes) = options.get("checkpoint-per-core-bytes") {
+        execution.checkpoint.bytes_per_core = bytes
+            .parse()
+            .map_err(|_| format!("--checkpoint-per-core-bytes '{bytes}' is not a byte count"))?;
+    }
+    if let Some(target) = options.get("checkpoint-target") {
+        execution.checkpoint.target = match target.as_str() {
+            "site" => CheckpointTarget::SiteStorage,
+            "main" => CheckpointTarget::MainServer,
+            other => {
+                return Err(format!(
+                    "--checkpoint-target must be site or main, got {other}"
+                ))
+            }
+        };
+    }
+    Ok(())
+}
+
 /// `cgsim simulate`: run the three input files through the simulator.
 fn cmd_simulate(options: &HashMap<String, String>) -> Result<(), String> {
     let platform_path = options
@@ -178,6 +218,7 @@ fn cmd_simulate(options: &HashMap<String, String>) -> Result<(), String> {
     if let Some(policy) = options.get("policy") {
         execution.allocation_policy = policy.clone();
     }
+    apply_checkpoint_flags(options, &mut execution)?;
     println!(
         "simulating {} jobs on {} sites with policy '{}'",
         trace.len(),
@@ -211,12 +252,14 @@ fn cmd_demo(options: &HashMap<String, String>) -> Result<(), String> {
     let trace = TraceGenerator::new(TraceConfig::with_jobs(jobs, seed)).generate(&platform);
     println!("simulating {jobs} jobs on {sites} sites with policy '{policy}'");
     let fault_plan = build_fault_plan(options, &platform, trace.len())?;
+    let mut execution = ExecutionConfig::with_policy(&policy);
+    apply_checkpoint_flags(options, &mut execution)?;
     let mut builder = Simulation::builder()
         .platform_spec(&platform)
         .map_err(|e| e.to_string())?
         .trace(trace)
         .policy_name(&policy)
-        .execution(ExecutionConfig::with_policy(&policy));
+        .execution(execution);
     if let Some(plan) = fault_plan {
         builder = builder.fault_plan(plan);
     }
@@ -238,6 +281,18 @@ fn report(results: &SimulationResults, options: &HashMap<String, String>) -> Res
             faults.link_degradations,
             faults.job_interruptions,
             faults.fault_retries
+        );
+    }
+    if faults.checkpoints_written + faults.checkpoint_restores + faults.checkpoints_lost > 0 {
+        println!(
+            "checkpoints: {} written ({:.2} GB), {} restores saving {:.2} h of recompute, \
+             {} lost to faults; {:.2} h of work discarded",
+            faults.checkpoints_written,
+            faults.checkpoint_bytes as f64 / 1e9,
+            faults.checkpoint_restores,
+            faults.work_saved_s / 3600.0,
+            faults.checkpoints_lost,
+            faults.work_lost_s / 3600.0
         );
     }
     println!(
