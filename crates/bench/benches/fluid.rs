@@ -2,21 +2,31 @@
 //!
 //! The fluid model recomputes the progressive-filling allocation every time
 //! an activity starts or finishes — it is the hottest path of the whole
-//! simulator once traces carry real staging traffic. Two groups measure the
-//! two regimes of the incremental solver (see `cgsim_bench::fluid_hot` for
-//! the topologies):
+//! simulator once traces carry real staging traffic. Three groups measure
+//! the three regimes of the incremental solver (see `cgsim_bench::fluid_hot`
+//! for the topologies):
 //!
-//! * `fluid_contended_churn` — one giant component; the dense control that
-//!   must stay within noise of the pre-incremental baseline.
+//! * `fluid_contended_churn` — one giant *multi-constrained* component (no
+//!   single bottleneck); the dense control that pays a full
+//!   progressive-filling pass per recompute and must stay within noise of
+//!   the pre-incremental baseline.
 //! * `fluid_sparse_churn` — one island dirtied per recompute; the sparse
 //!   common case whose per-recompute cost should be ~component-sized,
 //!   independent of N.
+//! * `fluid_single_bottleneck_churn` — one giant component that *is*
+//!   single-bottleneck (every activity crosses the thin backbone), served by
+//!   the total-work fast path in O(log n) per churn step. Same density as
+//!   the contended control; the gap between the two rows is the fast path's
+//!   win.
 //!
 //! The committed baseline for these numbers lives in `BENCH_fluid.json` at
 //! the repository root; future perf PRs compare against it, and CI runs the
 //! sparse @1k case as a regression gate (`fluid_perf_gate`).
 
-use cgsim_bench::fluid_hot::{build_contended, build_sparse, contended_churn, sparse_churn};
+use cgsim_bench::fluid_hot::{
+    build_contended, build_single_bottleneck, build_sparse, contended_churn,
+    single_bottleneck_churn, sparse_churn,
+};
 use cgsim_des::SimTime;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -26,7 +36,7 @@ const CHURN_STEPS: usize = 100;
 fn bench_fluid_contended(c: &mut Criterion) {
     let mut group = c.benchmark_group("fluid_contended_churn");
     group.sample_size(10);
-    for &n in &[100usize, 1_000, 5_000] {
+    for &n in &[100usize, 1_000, 5_000, 20_000] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let (mut m, links, mut ids) = build_contended(n);
             let mut step_base = 0usize;
@@ -59,5 +69,28 @@ fn bench_fluid_sparse(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fluid_contended, bench_fluid_sparse);
+fn bench_fluid_single_bottleneck(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fluid_single_bottleneck_churn");
+    group.sample_size(10);
+    for &n in &[1_000usize, 5_000, 20_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let (mut m, links, mut ids) = build_single_bottleneck(n);
+            let mut step_base = 0usize;
+            b.iter(|| {
+                single_bottleneck_churn(&mut m, &links, &mut ids, &mut step_base, CHURN_STEPS)
+            });
+            let mut rates = Vec::new();
+            m.rates_into(&mut rates);
+            black_box(rates.len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fluid_contended,
+    bench_fluid_sparse,
+    bench_fluid_single_bottleneck
+);
 criterion_main!(benches);

@@ -1,20 +1,27 @@
-//! CI perf gate for the fluid solver's sparse-churn hot path.
+//! CI perf gate for the fluid solver's hot paths.
 //!
-//! Re-times the `fluid_sparse_churn` @1k scenario (the exact topology the
-//! bench measures, shared via `cgsim_bench::fluid_hot`) at reduced
-//! iterations and compares the per-recompute cost against the committed
-//! baseline in `BENCH_fluid.json`. Exits non-zero when the measured cost
-//! exceeds 2× the committed value — a deliberately coarse threshold that
-//! survives CI-runner noise while still catching an accidental return to
-//! O(N) global recomputation (which would be ~40× at this concurrency).
+//! Re-times the `fluid_sparse_churn` @1k scenario (the incremental solver's
+//! component-sized sweet spot) and the `fluid_single_bottleneck_churn` @1k
+//! scenario (the total-work fast path's O(log n) dense case) — the exact
+//! topologies the benches measure, shared via `cgsim_bench::fluid_hot` — at
+//! reduced iterations and compares each per-recompute cost against the
+//! committed baseline in `BENCH_fluid.json`. Exits non-zero when either
+//! measured cost exceeds 2× its committed value — a deliberately coarse
+//! threshold that survives CI-runner noise while still catching an
+//! accidental return to O(N) global recomputation on the sparse case (~40×)
+//! or a loss of the single-bottleneck classification on the dense case
+//! (~20×, which would re-run full progressive filling per churn step).
 //!
 //! Run as: `cargo run --release -p cgsim-bench --bin fluid_perf_gate`
 
 use std::time::Instant;
 
-use cgsim_bench::fluid_hot::{build_sparse, sparse_churn};
+use cgsim_bench::fluid_hot::{
+    build_single_bottleneck, build_sparse, single_bottleneck_churn, sparse_churn,
+};
+use cgsim_des::fluid::{ActivityId, FluidModel, ResourceId};
 
-/// Concurrency of the gated scenario (must match a committed entry).
+/// Concurrency of the gated scenarios (must match committed entries).
 const N: usize = 1_000;
 /// Churn steps per timed repetition (bounded so the gate stays in CI noise
 /// territory of milliseconds, not minutes).
@@ -24,14 +31,14 @@ const REPS: usize = 3;
 /// Allowed regression factor over the committed per-recompute cost.
 const MAX_REGRESSION: f64 = 2.0;
 
-fn committed_sparse_us(json: &str) -> Option<f64> {
+fn committed_us(json: &str, case: &str) -> Option<f64> {
     let value: serde_json::Value = serde_json::from_str(json).ok()?;
     value
         .get("results")?
         .as_array()?
         .iter()
         .find(|entry| {
-            entry.get("case").and_then(|c| c.as_str()) == Some("sparse_churn")
+            entry.get("case").and_then(|c| c.as_str()) == Some(case)
                 && entry
                     .get("concurrent_activities")
                     .and_then(|n| n.as_f64())
@@ -42,38 +49,58 @@ fn committed_sparse_us(json: &str) -> Option<f64> {
         .as_f64()
 }
 
-fn main() {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fluid.json");
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read committed baseline {path}: {e}"));
-    let committed = committed_sparse_us(&text).unwrap_or_else(|| {
-        panic!("BENCH_fluid.json has no sparse_churn entry at {N} concurrent activities")
-    });
-
+/// Best-of-[`REPS`] per-recompute time of one churn scenario, in µs.
+fn measure(
+    build: impl Fn(usize) -> (FluidModel, Vec<ResourceId>, Vec<ActivityId>),
+    churn: impl Fn(&mut FluidModel, &[ResourceId], &mut [ActivityId], &mut usize, usize) -> f64,
+) -> f64 {
     let mut best_us = f64::INFINITY;
     for _ in 0..REPS {
-        let (mut m, links, mut ids) = build_sparse(N);
+        let (mut m, links, mut ids) = build(N);
         let mut step_base = 0usize;
         // Warm up: populate the completion heap and solve every component
         // once so the timed region measures steady-state churn only.
         let _ = m.time_to_next_completion();
         let start = Instant::now();
-        let acc = sparse_churn(&mut m, &links, &mut ids, &mut step_base, STEPS);
+        let acc = churn(&mut m, &links, &mut ids, &mut step_base, STEPS);
         let elapsed = start.elapsed().as_secs_f64();
         std::hint::black_box(acc);
         best_us = best_us.min(elapsed / STEPS as f64 * 1e6);
     }
+    best_us
+}
 
-    let limit = committed * MAX_REGRESSION;
-    println!(
-        "fluid perf gate: sparse_churn@{N} measured {best_us:.3} µs/recompute \
-         (committed {committed:.3} µs, limit {limit:.3} µs)"
-    );
-    if best_us > limit {
-        eprintln!(
-            "fluid perf gate FAILED: sparse-churn per-recompute cost regressed \
-             more than {MAX_REGRESSION}x over the committed BENCH_fluid.json baseline"
+fn main() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fluid.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read committed baseline {path}: {e}"));
+
+    let mut failed = false;
+    let gates: [(&str, f64); 2] = [
+        ("sparse_churn", measure(build_sparse, sparse_churn)),
+        (
+            "single_bottleneck_churn",
+            measure(build_single_bottleneck, single_bottleneck_churn),
+        ),
+    ];
+    for (case, best_us) in gates {
+        let committed = committed_us(&text, case).unwrap_or_else(|| {
+            panic!("BENCH_fluid.json has no {case} entry at {N} concurrent activities")
+        });
+        let limit = committed * MAX_REGRESSION;
+        println!(
+            "fluid perf gate: {case}@{N} measured {best_us:.3} µs/recompute \
+             (committed {committed:.3} µs, limit {limit:.3} µs)"
         );
+        if best_us > limit {
+            eprintln!(
+                "fluid perf gate FAILED: {case} per-recompute cost regressed \
+                 more than {MAX_REGRESSION}x over the committed BENCH_fluid.json baseline"
+            );
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
     println!("fluid perf gate: OK");

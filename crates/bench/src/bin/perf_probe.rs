@@ -1,0 +1,53 @@
+//! Low-noise measurement probe (not part of CI): times each churn scenario
+//! gate-style — long step runs, best of several reps — which is far less
+//! noisy than the 100-step criterion iterations on burst-clocked machines.
+//! Used for the same-day control re-measurements recorded in
+//! `BENCH_fluid.json`'s note when criterion numbers drift with runner clocks.
+//!
+//! Run as: `cargo run --release -p cgsim-bench --bin perf_probe`
+
+use std::time::Instant;
+
+use cgsim_bench::fluid_hot::*;
+use cgsim_des::fluid::{ActivityId, FluidModel, ResourceId};
+
+const REPS: usize = 5;
+
+fn measure(
+    name: &str,
+    n: usize,
+    steps: usize,
+    build: impl Fn(usize) -> (FluidModel, Vec<ResourceId>, Vec<ActivityId>),
+    churn: impl Fn(&mut FluidModel, &[ResourceId], &mut [ActivityId], &mut usize, usize) -> f64,
+) {
+    let mut best_us = f64::INFINITY;
+    for _ in 0..REPS {
+        let (mut m, links, mut ids) = build(n);
+        let mut step_base = 0usize;
+        let _ = m.time_to_next_completion();
+        let start = Instant::now();
+        let acc = churn(&mut m, &links, &mut ids, &mut step_base, steps);
+        let elapsed = start.elapsed().as_secs_f64();
+        std::hint::black_box(acc);
+        best_us = best_us.min(elapsed / steps as f64 * 1e6);
+    }
+    println!("{name}@{n}: {best_us:.4} us/recompute (best of {REPS})");
+}
+
+fn main() {
+    for &n in &[100usize, 1000, 5000, 20000] {
+        measure("contended", n, 2000, build_contended, contended_churn);
+    }
+    for &n in &[1000usize, 5000, 20000] {
+        measure("sparse", n, 5000, build_sparse, sparse_churn);
+    }
+    for &n in &[1000usize, 5000, 20000] {
+        measure(
+            "single_bottleneck",
+            n,
+            5000,
+            build_single_bottleneck,
+            single_bottleneck_churn,
+        );
+    }
+}

@@ -1,20 +1,30 @@
 //! Fluid-solver hot-path scenarios shared by `benches/fluid.rs` and the CI
 //! perf-gate binary (`src/bin/fluid_perf_gate.rs`).
 //!
-//! Two topologies probe the two regimes of the incremental max-min solver:
+//! Three topologies probe the three regimes of the incremental max-min
+//! solver:
 //!
 //! * **Contended** — 32 shared links with every activity crossing two of
-//!   them: the whole graph is one connected component, so every churn step
-//!   dirties (and re-solves) everything. This is the dense control: it
-//!   measures the full progressive-filling pass plus the incremental
-//!   machinery's overhead, and must stay within noise of the pre-incremental
-//!   baseline committed in `BENCH_fluid.json`.
+//!   them: the whole graph is one connected component with *no* single
+//!   bottleneck (no link is crossed by every activity), so every churn step
+//!   re-runs a full progressive-filling pass. This is the dense control: it
+//!   measures the slow path plus the incremental machinery's overhead, and
+//!   must stay within noise of the committed `BENCH_fluid.json` baseline.
 //! * **Sparse** — many independent two-link "islands" of
 //!   [`ISLAND_ACTS`] activities each: one churn step dirties a single
 //!   island, so the per-recompute cost is ~component-sized and independent
 //!   of the total concurrency N. This is the common production shape (one
 //!   transfer finishes, one starts, most of the grid untouched) and the case
 //!   the ≥5× @5k speedup target in ISSUE 4 refers to.
+//! * **Single-bottleneck** — 32 fat uplinks all feeding one thin backbone
+//!   link crossed by every activity (the checkpoint-burst / correlated-storm
+//!   shape). The component is as dense as the contended one, but the
+//!   backbone is a provable single bottleneck, so the total-work fast path
+//!   solves it in O(log n) per churn step: equal-weight churn keeps the
+//!   backbone's fair share bitwise-stable and `ensure_shares` only rates the
+//!   freshly admitted slot — no per-slot filling at all. The contrast
+//!   between `dense contended` and `single_bottleneck_churn` rows in
+//!   `BENCH_fluid.json` is exactly the win of that classification.
 //!
 //! Keeping the builders here (not in the bench file) means the CI gate times
 //! exactly the scenario the committed baseline numbers describe.
@@ -133,9 +143,68 @@ pub fn sparse_churn(
     acc
 }
 
+/// Number of fat uplinks feeding the backbone in the single-bottleneck
+/// topology.
+pub const BOTTLENECK_UPLINKS: usize = 32;
+
+/// Route of single-bottleneck activity `i`: one fat uplink plus the shared
+/// thin backbone (`links[0]`) every activity crosses.
+pub fn single_bottleneck_route(links: &[ResourceId], i: usize) -> Vec<ResourceId> {
+    vec![links[1 + i % BOTTLENECK_UPLINKS], links[0]]
+}
+
+/// Builds the single-bottleneck topology pre-populated with `n` activities:
+/// `links[0]` is the thin backbone (the provable bottleneck), the rest are
+/// fat uplinks that never saturate.
+pub fn build_single_bottleneck(n: usize) -> (FluidModel, Vec<ResourceId>, Vec<ActivityId>) {
+    let mut m = FluidModel::new();
+    let mut links = vec![m.add_resource(1e9)];
+    links.extend((0..BOTTLENECK_UPLINKS).map(|i| m.add_resource(1e12 + (i as f64) * 1e9)));
+    let ids: Vec<ActivityId> = (0..n)
+        .map(|i| m.add_activity(1e12, &single_bottleneck_route(&links, i)))
+        .collect();
+    (m, links, ids)
+}
+
+/// `steps` retire/admit/recompute cycles at steady concurrency on the
+/// single-bottleneck topology. Equal-weight churn keeps the backbone's
+/// weight sum — and therefore its fair share — bitwise-stable, so each
+/// recompute takes the fast path's rate-only-the-fresh-slot branch.
+pub fn single_bottleneck_churn(
+    m: &mut FluidModel,
+    links: &[ResourceId],
+    ids: &mut [ActivityId],
+    step_base: &mut usize,
+    steps: usize,
+) -> f64 {
+    let mut acc = 0.0;
+    for _ in 0..steps {
+        let step = *step_base;
+        *step_base += 1;
+        let slot = step % ids.len();
+        m.remove_activity(ids[slot]);
+        ids[slot] = m.add_activity(1e12, &single_bottleneck_route(links, ids.len() + step));
+        acc += m.time_to_next_completion().map_or(0.0, |t| t.as_secs());
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn single_bottleneck_churn_stays_on_the_fast_path() {
+        let (mut m, links, mut ids) = build_single_bottleneck(256);
+        let _ = m.time_to_next_completion();
+        let (_, slow_before) = m.solver_stats();
+        let mut step = 0;
+        single_bottleneck_churn(&mut m, &links, &mut ids, &mut step, 200);
+        assert_eq!(m.activity_count(), 256);
+        let (fast, slow) = m.solver_stats();
+        assert!(fast >= 200, "churn must be served by the fast path: {fast}");
+        assert_eq!(slow, slow_before, "churn must never fall back to slow");
+    }
 
     #[test]
     fn sparse_topology_is_island_disjoint() {

@@ -274,6 +274,13 @@ impl GridModel {
                 dataset,
                 bytes,
             });
+            // First checkpoint of this job at `node`: register it in the
+            // per-node holder index (supersedes-in-place keeps membership).
+            let ni = self.node_index(node);
+            let holders = &mut self.ckpt_holders[ni];
+            if let Err(pos) = holders.binary_search(&idx) {
+                holders.insert(pos, idx);
+            }
         }
         self.collector
             .record_checkpoint_written(site.index(), bytes);
@@ -295,20 +302,45 @@ impl GridModel {
     pub(super) fn discard_checkpoints(&mut self, idx: usize) {
         let stack = std::mem::take(&mut self.jobs[idx].checkpoints);
         for ck in stack {
+            let ni = self.node_index(ck.node);
+            if let Ok(pos) = self.ckpt_holders[ni].binary_search(&idx) {
+                self.ckpt_holders[ni].remove(pos);
+            }
             self.catalog.remove_replica(ck.dataset, ck.node);
             self.release_checkpoint_storage(ck.node, ck.bytes);
         }
     }
 
+    /// Debug-only: the checkpoint-holder index must agree exactly with the
+    /// O(jobs) scan it replaced.
+    #[cfg(debug_assertions)]
+    fn assert_holder_index_matches_scan(&self, node: NodeId) {
+        let scan: Vec<usize> = (0..self.jobs.len())
+            .filter(|&idx| self.jobs[idx].checkpoints.iter().any(|ck| ck.node == node))
+            .collect();
+        debug_assert_eq!(
+            self.ckpt_holders[self.node_index(node)],
+            scan,
+            "checkpoint-holder index diverged from the scan at {node:?}"
+        );
+    }
+
     /// Invalidates every durable checkpoint held at `node` (a site outage or
     /// disk loss destroyed the storage contents). Returns how many
     /// checkpoints were lost; the catalog replicas are dropped by the
-    /// caller's `evict_node`.
+    /// caller's `evict_node`. The holders come from the per-node index —
+    /// O(checkpoints at the node), not O(jobs) — visited in ascending job
+    /// order; each job's surviving stack entries keep their relative order
+    /// (`best_durable_checkpoint`'s tie-break observes it).
     pub(super) fn invalidate_checkpoints_at(&mut self, node: NodeId) -> u64 {
+        #[cfg(debug_assertions)]
+        self.assert_holder_index_matches_scan(node);
+        let ni = self.node_index(node);
+        let holders = std::mem::take(&mut self.ckpt_holders[ni]);
         let mut lost = 0u64;
         let mut freed = 0u64;
-        for job in &mut self.jobs {
-            job.checkpoints.retain(|ck| {
+        for idx in holders {
+            self.jobs[idx].checkpoints.retain(|ck| {
                 if ck.node == node {
                     lost += 1;
                     freed += ck.bytes;

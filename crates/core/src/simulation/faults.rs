@@ -33,10 +33,20 @@
 //! quiesce its traffic: a transfer can have its far end at the dead node
 //! while its owning job survives elsewhere (input staging from a replica at
 //! the dead site, a checkpoint restore reading from it, a checkpoint write
-//! targeting it). `repair_transfers_touching` scans for such in-flight
-//! transfers after every data-loss event and cancels + re-plans them from
-//! the surviving replicas, instead of letting them keep streaming bytes out
-//! of storage that no longer exists.
+//! targeting it). `repair_transfers_touching` cancels + re-plans such
+//! in-flight transfers after every data-loss event from the surviving
+//! replicas, instead of letting them keep streaming bytes out of storage
+//! that no longer exists.
+//!
+//! Both data-loss passes are indexed, not scanned: the model maintains a
+//! per-node list of jobs whose in-flight transfer touches each node
+//! (`transfer_touch`, kept by [`GridModel::index_transfer`] /
+//! [`GridModel::unindex_transfer`] at every transfer admission and
+//! teardown) and of jobs holding a durable checkpoint at each node
+//! (`ckpt_holders`, kept by the checkpoint write/discard paths). A fault at
+//! a node therefore costs O(transfers + checkpoints actually touching it),
+//! not O(jobs); debug builds cross-check every lookup against the full
+//! scan it replaced.
 
 use cgsim_des::{Context, SimTime};
 use cgsim_faults::FaultAction;
@@ -178,6 +188,82 @@ impl GridModel {
         self.repair_transfers_touching(node, ctx);
     }
 
+    /// Dense index of `node` into the per-node fault-repair indexes
+    /// (`transfer_touch`, `ckpt_holders`): sites by id, then the main
+    /// server.
+    pub(super) fn node_index(&self, node: NodeId) -> usize {
+        match node {
+            NodeId::Site(site) => site.index(),
+            NodeId::MainServer => self.sites.len(),
+        }
+    }
+
+    /// Registers job `idx`'s freshly admitted activity in the per-node
+    /// transfer-touch index: under its remote peer, and — for inbound
+    /// transfers (input staging, checkpoint restore), whose partially
+    /// written destination bytes a disk loss also voids — under the
+    /// destination site. Execution activities and output transfers (which
+    /// terminate at the indestructible main server) carry no peer and touch
+    /// nothing.
+    pub(super) fn index_transfer(&mut self, idx: usize, phase: Phase) {
+        let mut touches = [None, None];
+        touches[0] = self.jobs[idx].transfer_peer;
+        if matches!(phase, Phase::Input | Phase::Restore) {
+            let site = self.jobs[idx].site.expect("transferring job has a site");
+            let dest = Some(NodeId::Site(site));
+            if touches[0] != dest {
+                touches[1] = dest;
+            }
+        }
+        self.jobs[idx].touches = touches;
+        for node in touches.into_iter().flatten() {
+            let ni = self.node_index(node);
+            let list = &mut self.transfer_touch[ni];
+            if let Err(pos) = list.binary_search(&idx) {
+                list.insert(pos, idx);
+            }
+        }
+    }
+
+    /// Removes job `idx` from the transfer-touch index, using the nodes
+    /// recorded at admission (so teardown order — peer cleared first or not
+    /// — cannot desynchronise the index). No-op for jobs with no indexed
+    /// transfer.
+    pub(super) fn unindex_transfer(&mut self, idx: usize) {
+        let touches = std::mem::take(&mut self.jobs[idx].touches);
+        for node in touches.into_iter().flatten() {
+            let ni = self.node_index(node);
+            if let Ok(pos) = self.transfer_touch[ni].binary_search(&idx) {
+                self.transfer_touch[ni].remove(pos);
+            }
+        }
+    }
+
+    /// Debug-only: the transfer-touch index must agree exactly with the
+    /// O(jobs) scan it replaced.
+    #[cfg(debug_assertions)]
+    fn assert_touch_index_matches_scan(&self, node: NodeId) {
+        let scan: Vec<usize> = (0..self.jobs.len())
+            .filter(|&idx| {
+                let Some(activity) = self.jobs[idx].activity else {
+                    return false;
+                };
+                let Some(&(_, phase)) = self.activity_map.get(activity) else {
+                    return false;
+                };
+                let peer_hit = self.jobs[idx].transfer_peer == Some(node);
+                let dest_hit = matches!(phase, Phase::Input | Phase::Restore)
+                    && self.jobs[idx].site.map(NodeId::Site) == Some(node);
+                peer_hit || dest_hit
+            })
+            .collect();
+        debug_assert_eq!(
+            self.transfer_touch[self.node_index(node)],
+            scan,
+            "transfer-touch index diverged from the scan at {node:?}"
+        );
+    }
+
     /// Cancels and re-plans every in-flight transfer with an endpoint at
     /// `node`, for jobs that are still alive: input staging re-plans from
     /// the surviving replicas, a checkpoint restore falls back to the next
@@ -186,10 +272,17 @@ impl GridModel {
     /// next segment). Jobs *at* a dead site are killed separately by
     /// `take_site_down`; this pass is for the survivors — the regression
     /// class where a transfer kept streaming bytes out of storage that no
-    /// longer existed. Iteration is in job-index order, so replay stays
+    /// longer existed. The victims come from the per-node transfer-touch
+    /// index — O(transfers touching the node), not O(jobs) — and the
+    /// snapshot is sorted ascending, i.e. job-index order, so replay stays
     /// deterministic.
     fn repair_transfers_touching(&mut self, node: NodeId, ctx: &mut Context<'_, GridEvent>) {
-        for idx in 0..self.jobs.len() {
+        #[cfg(debug_assertions)]
+        self.assert_touch_index_matches_scan(node);
+        // Snapshot: each repair re-plans its job, which re-indexes it under
+        // the new (surviving) endpoints while we iterate.
+        let victims = self.transfer_touch[self.node_index(node)].clone();
+        for idx in victims {
             let Some(activity) = self.jobs[idx].activity else {
                 continue;
             };
@@ -205,6 +298,7 @@ impl GridModel {
             if !peer_hit && !dest_hit {
                 continue;
             }
+            self.unindex_transfer(idx);
             self.fluid.remove_activity(activity);
             self.activity_map.remove(activity);
             self.jobs[idx].activity = None;
@@ -318,6 +412,7 @@ impl GridModel {
         if let Some(key) = self.jobs[idx].timer.take() {
             ctx.cancel(key);
         }
+        self.unindex_transfer(idx);
         if let Some(activity) = self.jobs[idx].activity.take() {
             let phase = self.activity_map.get(activity).map(|&(_, p)| p);
             self.fluid.remove_activity(activity);

@@ -55,6 +55,12 @@ pub(super) struct JobRuntime {
     /// a checkpoint write. Fault injection uses it to find transfers whose
     /// far end just died while the job itself survives elsewhere.
     pub(super) transfer_peer: Option<NodeId>,
+    /// The nodes the in-flight transfer is registered under in the model's
+    /// per-node `transfer_touch` index (remote peer, and destination site
+    /// for inbound transfers). Recorded at admission so unindexing removes
+    /// exactly what was inserted, regardless of what state the teardown
+    /// path has already cleared.
+    pub(super) touches: [Option<NodeId>; 2],
     /// Fraction of the job's total work completed in the current attempt
     /// (updated at execution-segment boundaries; seeded from the restored
     /// checkpoint on resume).
@@ -94,6 +100,7 @@ impl JobRuntime {
             activity: None,
             holds_cores: false,
             transfer_peer: None,
+            touches: [None; 2],
             frac_done: 0.0,
             seg_fraction: 0.0,
             seg_started_s: 0.0,
@@ -251,6 +258,7 @@ impl GridModel {
         ctx: &mut Context<'_, GridEvent>,
     ) {
         for (idx, phase) in completed {
+            self.unindex_transfer(idx);
             self.jobs[idx].activity = None;
             match phase {
                 Phase::Input => {

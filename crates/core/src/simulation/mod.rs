@@ -124,6 +124,17 @@ struct GridModel {
     fault_plan: Vec<FaultEvent>,
     /// Pending fault-chain event, cancelled when the workload completes.
     fault_key: Option<EventKey>,
+    /// Per-node index of jobs whose in-flight transfer touches the node
+    /// (remote peer, or destination of an inbound transfer), indexed by
+    /// [`GridModel::node_index`]. Sorted ascending so data-loss replay
+    /// visits victims in job-index order without scanning every job.
+    transfer_touch: Vec<Vec<usize>>,
+    /// Per-node index of jobs holding a durable checkpoint at the node
+    /// (at most one each — newer writes supersede in place), indexed by
+    /// [`GridModel::node_index`], sorted ascending. Lets a site outage or
+    /// disk loss invalidate exactly the affected checkpoints instead of
+    /// walking every job's stack.
+    ckpt_holders: Vec<Vec<usize>>,
     /// Jobs that reached a terminal state so far.
     completed_jobs: usize,
 }
@@ -176,6 +187,8 @@ impl GridModel {
 
         let jobs = trace.jobs.iter().map(JobRuntime::new).collect();
         let availability = GridAvailability::all_up(&platform);
+        // One slot per site plus the main server (see `node_index`).
+        let node_count = platform.sites().len() + 1;
 
         GridModel {
             rng: Rng::new(execution.seed),
@@ -203,6 +216,8 @@ impl GridModel {
             availability,
             fault_plan,
             fault_key,
+            transfer_touch: vec![Vec::new(); node_count],
+            ckpt_holders: vec![Vec::new(); node_count],
             completed_jobs: 0,
         }
     }

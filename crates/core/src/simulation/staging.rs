@@ -79,6 +79,7 @@ impl GridModel {
         let activity = self.fluid.add_weighted_activity(amount, resources, weight);
         self.activity_map.insert(activity, (idx, phase));
         self.jobs[idx].activity = Some(activity);
+        self.index_transfer(idx, phase);
         self.handle_completed_activities(completed, ctx);
         self.reschedule_fluid(ctx);
     }

@@ -300,6 +300,53 @@ fn checkpointed_faulted_double_run_is_bit_identical() {
     assert!(a.grid_counters.disk_losses > 0);
 }
 
+#[test]
+fn data_loss_replay_counters_are_pinned() {
+    // Regression pin for the indexed data-loss replay: the per-node
+    // transfer-peer / checkpoint-holder indexes replaced the O(jobs) scans in
+    // `repair_transfers_touching` and `invalidate_checkpoints_at`, and this
+    // scenario — site-local checkpoints under outages, disk losses and kills,
+    // so both walks fire repeatedly — must reproduce the integer counters the
+    // scan implementation produced, exactly. (Debug builds additionally
+    // cross-check index-vs-scan agreement on every data-loss event via
+    // debug_asserts in the replay itself.)
+    let config = parse_fault_spec(
+        "outage:site=all,mttf=40m,mttr=10m;diskloss:site=all,mttf=20m;kill:rate=4",
+    )
+    .unwrap();
+    let topology = FaultTopology {
+        sites: 2,
+        links: vec![2, 3],
+        jobs: 150,
+    };
+    let plan = FaultPlan::generate(&config, &topology, 11);
+    let exec = ExecutionConfig {
+        checkpoint: cheap_checkpoints(900.0, CheckpointTarget::SiteStorage),
+        ..ExecutionConfig::default()
+    };
+    let results = run(Some(plan), exec, flat_trace(150, 5_000.0));
+
+    let g = &results.grid_counters;
+    let staged_total: u64 = results.outcomes.iter().map(|o| o.staged_bytes).sum();
+    let pinned = (
+        results.metrics.finished_jobs,
+        results.metrics.failed_jobs,
+        g.site_outages,
+        g.disk_losses,
+        g.job_interruptions,
+        g.checkpoints_written,
+        g.checkpoint_restores,
+        g.checkpoints_lost,
+        results.engine_events,
+        staged_total,
+    );
+    assert_eq!(
+        pinned,
+        (142, 8, 3, 19, 317, 895, 7, 599, 1255, 1_154_000_000),
+        "data-loss replay counters drifted from the scan implementation"
+    );
+}
+
 /// Pins job 0 to Big and job 1 to Small regardless of load.
 struct PinByJobId;
 impl cgsim_policies::AllocationPolicy for PinByJobId {

@@ -71,6 +71,45 @@
 //!   [`TIME_RESOLUTION_S`] of it — O(completions·log N) instead of O(N) — and
 //!   `time_to_next_completion` is a heap peek.
 //!
+//! # Single-bottleneck fast path (total-work accounting)
+//!
+//! Dense contended components — every transfer of a burst crossing one hot
+//! backbone link — still cost a full per-slot filling pass per recompute
+//! under the incremental solver. For those, the model keeps dslab-style
+//! *total-work* accounting (see [`total_work`]): per-resource running weight
+//! sums maintained at admit/retire time. At solve time a component is
+//! **classified**:
+//!
+//! * it qualifies for the fast path when (a) no live route lists a resource
+//!   twice, (b) every member resource's running weight sum is provably
+//!   bit-identical to the slow path's recomputed sum (all-integer weights —
+//!   transfers weigh 1, time-shared execution weighs whole cores — with sums
+//!   within 2⁵³), and (c) the progressive-filling argmin over those sums
+//!   picks a *hub* resource crossed by every live activity of the component.
+//!   Round one of progressive filling then freezes the entire component at
+//!   `rate_i = φ·w_i` with `φ = capacity(hub) / Σw(hub)`, so the solve is a
+//!   single division. Single-resource components are the trivial case (the
+//!   only resource is the hub).
+//! * Additionally, the hub's `φ` is cached: when a re-solve computes the same
+//!   `φ` **bitwise** (steady churn — an admit replacing an equal-weight
+//!   retire), every previously rated slot already holds `φ·w_i`, and only
+//!   freshly admitted slots are rated — `ensure_shares` does no per-slot
+//!   filling at all, making admit/retire/`set_capacity`/
+//!   `time_to_next_completion` O(log n) on such components.
+//! * anything else — genuinely multi-constrained components, tainted weight
+//!   sums — falls back to the progressive-filling solve, and components
+//!   migrate between the two modes automatically as admits/retires change
+//!   their topology (classification is stateless per solve; there is no mode
+//!   flag to migrate).
+//!
+//! The fast path engages **only** where it is provably bit-identical to
+//! progressive filling: the same hub the slow argmin would pick (same
+//! ascending scan, same `>=`-keeps-earlier tie-break, over bitwise-equal
+//! sums), the same `capacity/Σw` division, the same `φ·w_i` products, and
+//! the same materialisation rule (remaining work folded only on a bitwise
+//! rate change). Rates, remaining work and completion times are therefore
+//! indistinguishable from the slow path wherever they are observable.
+//!
 //! # Slab layout and determinism
 //!
 //! Activities live in a *slab*: a dense `Vec` of slots addressed by index,
@@ -91,6 +130,9 @@
 
 use crate::define_id;
 use crate::time::SimTime;
+
+mod total_work;
+use total_work::TotalWorkIndex;
 
 define_id!(
     /// Identifier of a shared resource (a link, or a time-shared CPU pool).
@@ -179,7 +221,18 @@ struct ActivitySlot {
     rate: f64,
     /// Projected absolute completion time (meaningful while in the heap).
     proj: f64,
+    /// Admitted since the last solve (not yet rated by any solve).
+    fresh: bool,
     resources: Vec<ResourceId>,
+}
+
+/// True when a route lists the same resource more than once. Routes are a
+/// handful of links, so the quadratic scan beats any indexed structure.
+fn route_has_duplicates(route: &[ResourceId]) -> bool {
+    route
+        .iter()
+        .enumerate()
+        .any(|(i, r)| route[..i].contains(r))
 }
 
 /// Union-find over resource indices with per-root member lists, tracking the
@@ -194,6 +247,12 @@ struct ResourceComponents {
     size: Vec<u32>,
     /// Member resource indices per root (unsorted; only valid at roots).
     members: Vec<Vec<u32>>,
+    /// Live activities per component (only valid at roots).
+    acts: Vec<u32>,
+    /// Live activities whose route lists a resource more than once, per
+    /// component (only valid at roots) — such routes disqualify the
+    /// component from the single-bottleneck fast path.
+    dups: Vec<u32>,
 }
 
 impl ResourceComponents {
@@ -202,6 +261,8 @@ impl ResourceComponents {
         self.parent.push(idx);
         self.size.push(1);
         self.members.push(vec![idx]);
+        self.acts.push(0);
+        self.dups.push(0);
     }
 
     /// Root of `r`'s component, with path halving.
@@ -234,6 +295,10 @@ impl ResourceComponents {
         self.members[winner as usize].extend_from_slice(&moved);
         moved.clear();
         self.members[loser as usize] = moved; // keep the allocation for reuse
+        self.acts[winner as usize] += self.acts[loser as usize];
+        self.acts[loser as usize] = 0;
+        self.dups[winner as usize] += self.dups[loser as usize];
+        self.dups[loser as usize] = 0;
         winner
     }
 
@@ -245,6 +310,8 @@ impl ResourceComponents {
             self.size[i] = 1;
             self.members[i].clear();
             self.members[i].push(i as u32);
+            self.acts[i] = 0;
+            self.dups[i] = 0;
         }
     }
 }
@@ -284,6 +351,18 @@ pub struct FluidModel {
     scratch_old_rates: Vec<f64>,
     scratch_roots: Vec<u32>,
     scratch_finished: Vec<u32>,
+    // Single-bottleneck fast-path state (see the module docs and
+    // [`total_work`]).
+    tw: TotalWorkIndex,
+    /// Slots admitted since the last solve (their `fresh` flag is set);
+    /// cleared at the end of every `ensure_shares`.
+    fresh_slots: Vec<u32>,
+    /// Test instrumentation: route every solve down the progressive-filling
+    /// slow path (observables are bit-identical either way by construction;
+    /// the forced-full-recompute twin probe verifies exactly that).
+    fast_path_disabled: bool,
+    stat_fast_solves: u64,
+    stat_slow_solves: u64,
 }
 
 impl FluidModel {
@@ -308,6 +387,7 @@ impl FluidModel {
             users: Vec::new(),
         });
         self.comps.push_resource();
+        self.tw.push_resource();
         self.dirty_flag.push(false);
         id
     }
@@ -340,6 +420,32 @@ impl FluidModel {
     /// Number of in-flight activities.
     pub fn activity_count(&self) -> usize {
         self.live_count
+    }
+
+    /// `(fast, slow)` counts of component solves taken by the
+    /// single-bottleneck fast path vs the progressive-filling slow path since
+    /// the model was created (diagnostics / tests — e.g. asserting that a
+    /// topology change migrates a component between modes).
+    pub fn solver_stats(&self) -> (u64, u64) {
+        (self.stat_fast_solves, self.stat_slow_solves)
+    }
+
+    /// Test instrumentation: permanently routes every solve of this model
+    /// down the progressive-filling slow path. All observable state stays
+    /// bit-identical (the fast path only engages where it provably matches),
+    /// which is exactly what the forced-full-recompute twin probe checks.
+    #[doc(hidden)]
+    pub fn disable_fast_path(&mut self) {
+        self.fast_path_disabled = true;
+    }
+
+    /// Test instrumentation: marks every resource dirty so the next query
+    /// re-solves every component from scratch.
+    #[doc(hidden)]
+    pub fn mark_all_dirty(&mut self) {
+        for r in 0..self.resources.len() as u32 {
+            self.mark_dirty(r);
+        }
     }
 
     /// Marks a resource's component dirty (dedup'd via `dirty_flag`).
@@ -394,9 +500,11 @@ impl FluidModel {
         slot.weight = weight;
         slot.rate = 0.0;
         slot.proj = f64::INFINITY;
+        slot.fresh = true;
         slot.resources.clear();
         slot.resources.extend_from_slice(resources);
         let generation = slot.generation;
+        self.fresh_slots.push(slot_idx);
         for r in resources {
             let users = &mut self.resources[r.index()].users;
             let pos = users.binary_search(&slot_idx).unwrap_or_else(|p| p);
@@ -407,6 +515,13 @@ impl FluidModel {
         let mut root = self.comps.find(resources[0].index() as u32);
         for r in &resources[1..] {
             root = self.comps.union(root, r.index() as u32);
+        }
+        self.comps.acts[root as usize] += 1;
+        if route_has_duplicates(resources) {
+            self.comps.dups[root as usize] += 1;
+        }
+        for r in resources {
+            self.tw.add_weight(r.index(), weight);
         }
         self.mark_dirty(resources[0].index() as u32);
         self.live_count += 1;
@@ -430,11 +545,21 @@ impl FluidModel {
             self.heap_remove(slot_idx);
         }
         let resources = std::mem::take(&mut self.slots[slot_idx as usize].resources);
+        let weight = self.slots[slot_idx as usize].weight;
         for r in &resources {
             let users = &mut self.resources[r.index()].users;
             if let Ok(pos) = users.binary_search(&slot_idx) {
                 users.remove(pos);
             }
+        }
+        let root = self.comps.find(resources[0].index() as u32);
+        self.comps.acts[root as usize] -= 1;
+        if route_has_duplicates(&resources) {
+            self.comps.dups[root as usize] -= 1;
+        }
+        for r in &resources {
+            let now_empty = self.resources[r.index()].users.is_empty();
+            self.tw.sub_weight(r.index(), weight, now_empty);
         }
         for r in &resources {
             self.mark_dirty(r.index() as u32);
@@ -449,6 +574,7 @@ impl FluidModel {
         slot.rate = 0.0;
         slot.weight = 0.0;
         slot.proj = f64::INFINITY;
+        slot.fresh = false;
         self.free.push(slot_idx);
         self.live_count -= 1;
         self.retired_since_rebuild += 1;
@@ -521,6 +647,13 @@ impl FluidModel {
         }
         roots.clear();
         self.scratch_roots = roots;
+        // Every admit since the previous solve was just rated by its
+        // component's solve (fast or slow); drop the fresh markers.
+        for i in 0..self.fresh_slots.len() {
+            let u = self.fresh_slots[i] as usize;
+            self.slots[u].fresh = false;
+        }
+        self.fresh_slots.clear();
     }
 
     /// Rebuilds the component partition from the live activity set,
@@ -539,8 +672,107 @@ impl FluidModel {
                     .comps
                     .union(root, self.slots[idx].resources[k].index() as u32);
             }
+            self.comps.acts[root as usize] += 1;
+            if route_has_duplicates(&self.slots[idx].resources) {
+                self.comps.dups[root as usize] += 1;
+            }
         }
         self.retired_since_rebuild = 0;
+    }
+
+    /// Solves one component: classifies it against the total-work index and
+    /// routes it to the single-bottleneck fast path when that is provably
+    /// bit-identical, or to the progressive-filling slow path otherwise (see
+    /// the module docs). Classification is stateless — components migrate
+    /// between modes solve-to-solve as their topology changes.
+    fn solve_component(&mut self, root: u32) {
+        if self.comps.acts[root as usize] == 0 {
+            // No live activity crosses this component, so both paths would
+            // no-op; skip the solve. (A retire can empty its resources right
+            // before a rebuild splits them off as dirty singletons.) Cached
+            // hub shares stay valid: every later admit is rated as fresh.
+            return;
+        }
+        let mut comp_res = std::mem::take(&mut self.scratch_comp_res);
+        comp_res.clear();
+        comp_res.extend_from_slice(&self.comps.members[root as usize]);
+        comp_res.sort_unstable();
+
+        let fast = if self.fast_path_disabled {
+            None
+        } else {
+            self.tw.classify(
+                &comp_res,
+                &self.resources,
+                self.comps.acts[root as usize],
+                self.comps.dups[root as usize],
+            )
+        };
+        match fast {
+            Some((hub, phi)) => self.solve_component_fast(root, &comp_res, hub, phi),
+            None => self.solve_component_slow(&comp_res),
+        }
+
+        comp_res.clear();
+        self.scratch_comp_res = comp_res;
+    }
+
+    /// Single-bottleneck solve: the whole component freezes in round one at
+    /// `rate_i = φ·w_i`, so no filling rounds run. When the hub's cached `φ`
+    /// is unchanged bitwise (steady churn), previously rated slots already
+    /// hold exactly `φ·w_i` and only freshly admitted slots are touched — no
+    /// per-slot work at all.
+    fn solve_component_fast(&mut self, root: u32, comp_res: &[u32], hub: u32, phi: f64) {
+        self.stat_fast_solves += 1;
+        let stable = self.tw.phi(hub).to_bits() == phi.to_bits();
+        for &r in comp_res {
+            if r != hub {
+                self.tw.invalidate_phi(r);
+            }
+        }
+        self.tw.set_phi(hub, phi);
+        let clock = self.clock;
+        if stable {
+            let fresh = std::mem::take(&mut self.fresh_slots);
+            for &u in &fresh {
+                if !self.slots[u as usize].fresh {
+                    continue; // retired again before this solve
+                }
+                let r0 = self.slots[u as usize].resources[0].index() as u32;
+                if self.comps.find(r0) != root {
+                    continue; // belongs to a different dirty component
+                }
+                self.slots[u as usize].fresh = false;
+                let rate = phi * self.slots[u as usize].weight;
+                self.apply_rate(u, rate, clock);
+            }
+            self.fresh_slots = fresh;
+        } else {
+            // One sweep over the hub's user list — which is exactly the
+            // component's activity set, already in ascending slot order.
+            let users = std::mem::take(&mut self.resources[hub as usize].users);
+            for &u in &users {
+                self.slots[u as usize].fresh = false;
+                let rate = phi * self.slots[u as usize].weight;
+                self.apply_rate(u, rate, clock);
+            }
+            self.resources[hub as usize].users = users;
+        }
+    }
+
+    /// Applies a freshly solved rate to one slot with the slow path's exact
+    /// materialisation semantics: remaining work is folded (and `synced_at`
+    /// reset) only on a bitwise rate change, then the completion projection
+    /// is refreshed.
+    fn apply_rate(&mut self, u: u32, new_rate: f64, clock: f64) {
+        let slot = &mut self.slots[u as usize];
+        if slot.rate.to_bits() != new_rate.to_bits() {
+            slot.remaining -= slot.rate * (clock - slot.synced_at);
+            slot.synced_at = clock;
+            slot.rate = new_rate;
+        }
+        let proj = projected_completion(slot.remaining, slot.rate, slot.synced_at);
+        self.heap_set(u, proj);
     }
 
     /// Progressive-filling max-min fairness over one component.
@@ -550,11 +782,13 @@ impl FluidModel {
     /// so the floating-point accumulation order is a pure function of the
     /// component's membership — and therefore identical to what a full
     /// recompute would perform for these activities.
-    fn solve_component(&mut self, root: u32) {
-        let mut comp_res = std::mem::take(&mut self.scratch_comp_res);
-        comp_res.clear();
-        comp_res.extend_from_slice(&self.comps.members[root as usize]);
-        comp_res.sort_unstable();
+    fn solve_component_slow(&mut self, comp_res: &[u32]) {
+        self.stat_slow_solves += 1;
+        // Any cached fair share on these resources is stale once the slow
+        // path re-rates the component.
+        for &r in comp_res {
+            self.tw.invalidate_phi(r);
+        }
 
         let mut residual = std::mem::take(&mut self.scratch_residual);
         let mut weight_sum = std::mem::take(&mut self.scratch_weight_sum);
@@ -567,7 +801,7 @@ impl FluidModel {
         // Gather the component's distinct activities and reset residuals.
         self.stamp += 1;
         let stamp = self.stamp;
-        for &r in &comp_res {
+        for &r in comp_res {
             residual[r as usize] = self.resources[r as usize].capacity;
             for &u in &self.resources[r as usize].users {
                 if self.act_stamp[u as usize] != stamp {
@@ -586,7 +820,7 @@ impl FluidModel {
         // Each iteration freezes at least one activity, so at most n rounds.
         while unfrozen > 0 {
             // Weight of unfrozen activities crossing each member resource.
-            for &r in &comp_res {
+            for &r in comp_res {
                 let mut sum = 0.0;
                 for &u in &self.resources[r as usize].users {
                     if !frozen[u as usize] {
@@ -599,7 +833,7 @@ impl FluidModel {
             // resources of residual / weight_sum (first such resource on
             // ties — ascending order matches the global pass).
             let mut bottleneck: Option<(u32, f64)> = None;
-            for &r in &comp_res {
+            for &r in comp_res {
                 let w = weight_sum[r as usize];
                 if w > EPSILON {
                     let share = residual[r as usize] / w;
@@ -653,8 +887,6 @@ impl FluidModel {
             self.heap_set(u, proj);
         }
 
-        comp_res.clear();
-        self.scratch_comp_res = comp_res;
         self.scratch_residual = residual;
         self.scratch_weight_sum = weight_sum;
         self.scratch_frozen = frozen;
@@ -1439,6 +1671,134 @@ mod tests {
         assert_eq!(buf.len(), 1);
         assert_eq!(buf[0].0, a);
         assert!((buf[0].1 - 100.0).abs() < 1e-9);
+    }
+
+    // ---- single-bottleneck fast-path tests --------------------------------
+
+    #[test]
+    fn single_resource_component_takes_the_fast_path() {
+        let mut m = FluidModel::new();
+        let link = m.add_resource(100.0);
+        let a = m.add_activity(1e6, &[link]);
+        let b = m.add_activity(1e6, &[link]);
+        assert!((m.rate(a).unwrap() - 50.0).abs() < 1e-9);
+        assert!((m.rate(b).unwrap() - 50.0).abs() < 1e-9);
+        let (fast, slow) = m.solver_stats();
+        assert!(fast >= 1, "single-resource solve must take the fast path");
+        assert_eq!(slow, 0);
+    }
+
+    #[test]
+    fn steady_churn_on_a_stable_hub_skips_per_slot_filling() {
+        // Equal-weight churn keeps Σw — and therefore φ — bitwise stable, so
+        // after the first sweep every further solve touches only the freshly
+        // admitted slot. We can't observe "no per-slot work" directly, but we
+        // can pin that every solve stays on the fast path and rates stay
+        // bit-identical to a freshly built model.
+        let mut m = FluidModel::new();
+        let hub = m.add_resource(1e9);
+        let uplinks: Vec<_> = (0..4).map(|_| m.add_resource(1e12)).collect();
+        let mut live: Vec<ActivityId> = (0..64)
+            .map(|i| m.add_activity(1e12, &[uplinks[i % 4], hub]))
+            .collect();
+        let _ = m.time_to_next_completion();
+        for i in 0..200 {
+            let victim = live.remove(i % live.len());
+            m.remove_activity(victim).unwrap();
+            live.push(m.add_activity(1e12 + i as f64, &[uplinks[i % 4], hub]));
+            let _ = m.time_to_next_completion();
+        }
+        let (fast, slow) = m.solver_stats();
+        assert!(fast >= 200, "churn solves must stay on the fast path");
+        assert_eq!(slow, 0);
+        let expected: f64 = 1e9 / 64.0;
+        for &id in &live {
+            assert_eq!(m.rate(id).unwrap().to_bits(), expected.to_bits());
+        }
+    }
+
+    #[test]
+    fn component_migrates_between_fast_and_slow_modes() {
+        // Start single-bottleneck (fast), admit an activity that makes a
+        // second resource the binding constraint for part of the component
+        // (slow), retire it (fast again) — rates always match a twin model
+        // forced down the slow path.
+        let mut m = FluidModel::new();
+        let mut twin = FluidModel::new();
+        twin.disable_fast_path();
+        let l1 = m.add_resource(10.0);
+        let l2 = m.add_resource(100.0);
+        twin.add_resource(10.0);
+        twin.add_resource(100.0);
+        let check = |m: &mut FluidModel, twin: &mut FluidModel| {
+            let rates: Vec<(ActivityId, u64)> = m
+                .rates()
+                .into_iter()
+                .map(|(i, r)| (i, r.to_bits()))
+                .collect();
+            let twin_rates: Vec<(ActivityId, u64)> = twin
+                .rates()
+                .into_iter()
+                .map(|(i, r)| (i, r.to_bits()))
+                .collect();
+            assert_eq!(rates, twin_rates);
+        };
+
+        // Phase 1: everything crosses l1 and is bottlenecked there.
+        let _a = m.add_activity(1e9, &[l1, l2]);
+        twin.add_activity(1e9, &[l1, l2]);
+        let _c = m.add_activity(1e9, &[l1]);
+        twin.add_activity(1e9, &[l1]);
+        check(&mut m, &mut twin);
+        let fast_after_phase1 = m.solver_stats().0;
+        assert!(fast_after_phase1 >= 1, "single-bottleneck phase is fast");
+
+        // Phase 2: an l2-only activity makes the component multi-constrained
+        // (l2 users ≠ all activities, and l2 is not everyone's bottleneck).
+        let b = m.add_activity(1e9, &[l2]);
+        let b_twin = twin.add_activity(1e9, &[l2]);
+        check(&mut m, &mut twin);
+        let slow_after_phase2 = m.solver_stats().1;
+        assert!(slow_after_phase2 >= 1, "multi-constrained phase is slow");
+
+        // Phase 3: retiring the l2-only activity migrates the component back.
+        m.remove_activity(b).unwrap();
+        twin.remove_activity(b_twin).unwrap();
+        check(&mut m, &mut twin);
+        let (fast_final, slow_final) = m.solver_stats();
+        assert!(fast_final > fast_after_phase1, "fast path re-engages");
+        assert_eq!(slow_final, slow_after_phase2, "no further slow solves");
+    }
+
+    #[test]
+    fn non_integer_weights_gate_the_component_to_the_slow_path() {
+        let mut m = FluidModel::new();
+        let link = m.add_resource(100.0);
+        let a = m.add_weighted_activity(1e9, &[link], 1.5);
+        let b = m.add_weighted_activity(1e9, &[link], 1.0);
+        assert!((m.rate(a).unwrap() - 60.0).abs() < 1e-9);
+        assert!((m.rate(b).unwrap() - 40.0).abs() < 1e-9);
+        let (fast, slow) = m.solver_stats();
+        assert_eq!(fast, 0, "fractional weights must not take the fast path");
+        assert!(slow >= 1);
+
+        // Draining the tainted resource heals it: a fresh integer-weight
+        // activity set goes fast again.
+        m.remove_activity(a).unwrap();
+        m.remove_activity(b).unwrap();
+        let _ = m.time_to_next_completion();
+        let c = m.add_activity(1e9, &[link]);
+        assert!((m.rate(c).unwrap() - 100.0).abs() < 1e-9);
+        assert!(m.solver_stats().0 >= 1, "healed resource re-qualifies");
+    }
+
+    #[test]
+    fn duplicate_route_entries_gate_the_component_to_the_slow_path() {
+        let mut m = FluidModel::new();
+        let link = m.add_resource(100.0);
+        let a = m.add_activity(100.0, &[link, link]);
+        assert!((m.rate(a).unwrap() - 50.0).abs() < 1e-9);
+        assert_eq!(m.solver_stats().0, 0, "duplicated route must solve slow");
     }
 
     #[test]

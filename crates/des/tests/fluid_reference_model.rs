@@ -210,23 +210,34 @@ proptest! {
     /// Random admit/retire/re-rate/advance sequences — including
     /// link-degradation-style `set_capacity` storms that repeatedly re-rate
     /// the same resource (degrade, deepen, restore) between admits and
-    /// retires: the incremental solver and the naive reference agree
-    /// bit-for-bit on every observable at every step.
+    /// retires, single-resource topologies that qualify for the
+    /// single-bottleneck fast path, and retire+admit churn pairs that keep
+    /// the hub's fair share bitwise-stable (the fast path's no-per-slot-work
+    /// branch): the incremental solver, a twin with the fast path disabled,
+    /// and the naive reference agree bit-for-bit on every observable at
+    /// every step. The twin pins fast-path/slow-path *migration*: every op
+    /// that moves a component between modes in `real` is replayed on a model
+    /// that never leaves the slow path.
     #[test]
     fn incremental_solver_matches_naive_reference(
         caps in prop::collection::vec(1.0f64..1000.0, 2..6),
         ops in prop::collection::vec(
-            (0usize..8, 0usize..64, 0usize..64, 1.0f64..1e6, 0.05f64..0.95),
+            (0usize..10, 0usize..64, 0usize..64, 1.0f64..1e6, 0.05f64..0.95),
             1..80,
         ),
     ) {
         let mut real = FluidModel::new();
+        let mut twin = FluidModel::new();
+        twin.disable_fast_path();
         let mut reference = ReferenceModel::default();
         let resources: Vec<ResourceId> = caps.iter().map(|&c| real.add_resource(c)).collect();
         for &c in &caps {
+            twin.add_resource(c);
             reference.add_resource(c);
         }
         let mut live: Vec<ActivityId> = Vec::new();
+        // Route and weight of every live admit, for stable-φ churn pairs.
+        let mut admits: Vec<(ActivityId, Vec<usize>, f64)> = Vec::new();
 
         for &(kind, a, b, amount, frac) in &ops {
             match kind {
@@ -241,16 +252,22 @@ proptest! {
                     };
                     let weight = if kind == 0 { 1.0 } else { 1.0 + (b % 4) as f64 };
                     let id = real.add_weighted_activity(amount, &route_ids, weight);
-                    reference.add(id, amount, route_idx, weight);
+                    let twin_id = twin.add_weighted_activity(amount, &route_ids, weight);
+                    prop_assert_eq!(id, twin_id);
+                    reference.add(id, amount, route_idx.clone(), weight);
                     live.push(id);
+                    admits.push((id, route_idx, weight));
                 }
                 // Retire.
                 2 => {
                     if !live.is_empty() {
                         let id = live.remove(a % live.len());
+                        admits.retain(|(aid, _, _)| *aid != id);
                         let got = real.remove_activity(id);
+                        let got_twin = twin.remove_activity(id);
                         let want = reference.remove(id);
                         prop_assert_eq!(got.map(f64::to_bits), want.map(f64::to_bits));
+                        prop_assert_eq!(got_twin.map(f64::to_bits), want.map(f64::to_bits));
                     }
                 }
                 // Re-rate a resource.
@@ -258,6 +275,7 @@ proptest! {
                     let r = a % resources.len();
                     let cap = 1.0 + amount % 999.0;
                     real.set_capacity(resources[r], cap);
+                    twin.set_capacity(resources[r], cap);
                     if reference.capacities[r].to_bits() != cap.to_bits() {
                         reference.capacities[r] = cap;
                     }
@@ -267,11 +285,15 @@ proptest! {
                     let real_next = real.time_to_next_completion();
                     let ref_next = reference.time_to_next_completion();
                     prop_assert_eq!(real_next, ref_next);
+                    prop_assert_eq!(twin.time_to_next_completion(), ref_next);
                     if let Some(dt) = real_next {
                         let done_real = real.advance(dt);
+                        let done_twin = twin.advance(dt);
                         let done_ref = reference.advance(dt);
                         prop_assert_eq!(&done_real, &done_ref);
+                        prop_assert_eq!(&done_twin, &done_ref);
                         live.retain(|id| !done_real.contains(id));
+                        admits.retain(|(aid, _, _)| !done_real.contains(aid));
                     }
                 }
                 // Partial advance (a fraction of the next completion time).
@@ -279,12 +301,16 @@ proptest! {
                     let real_next = real.time_to_next_completion();
                     let ref_next = reference.time_to_next_completion();
                     prop_assert_eq!(real_next, ref_next);
+                    prop_assert_eq!(twin.time_to_next_completion(), ref_next);
                     if let Some(dt) = real_next {
                         let partial = SimTime::from_secs(dt.as_secs() * frac);
                         let done_real = real.advance(partial);
+                        let done_twin = twin.advance(partial);
                         let done_ref = reference.advance(partial);
                         prop_assert_eq!(&done_real, &done_ref);
+                        prop_assert_eq!(&done_twin, &done_ref);
                         live.retain(|id| !done_real.contains(id));
+                        admits.retain(|(aid, _, _)| !done_real.contains(aid));
                     }
                 }
                 // Degradation-style re-rate: scale one resource to a
@@ -294,6 +320,7 @@ proptest! {
                     let r = a % resources.len();
                     let cap = caps[r] * frac;
                     real.set_capacity(resources[r], cap);
+                    twin.set_capacity(resources[r], cap);
                     reference.capacities[r] = cap;
                 }
                 // Re-rate storm on a single resource: degrade, deepen, then
@@ -301,25 +328,68 @@ proptest! {
                 // begin/begin/end sequences fault replay produces. Each step
                 // must keep the dirty-component bookkeeping coherent even
                 // though only the final value survives.
-                _ => {
+                7 => {
                     let r = b % resources.len();
                     for step in [frac, frac * 0.5, 1.0] {
                         let cap = caps[r] * step;
                         real.set_capacity(resources[r], cap);
+                        twin.set_capacity(resources[r], cap);
                         reference.capacities[r] = cap;
                         // Interleave queries so every intermediate value is
                         // actually observed, not just the last one.
-                        prop_assert_eq!(
-                            real.time_to_next_completion(),
-                            reference.time_to_next_completion()
-                        );
+                        let want = reference.time_to_next_completion();
+                        prop_assert_eq!(real.time_to_next_completion(), want);
+                        prop_assert_eq!(twin.time_to_next_completion(), want);
+                    }
+                }
+                // Single-resource admit: the trivially single-bottleneck
+                // topology the fast path targets.
+                8 => {
+                    let r = a % resources.len();
+                    let id = real.add_activity(amount, &[resources[r]]);
+                    let twin_id = twin.add_activity(amount, &[resources[r]]);
+                    prop_assert_eq!(id, twin_id);
+                    reference.add(id, amount, vec![r], 1.0);
+                    live.push(id);
+                    admits.push((id, vec![r], 1.0));
+                }
+                // Stable-φ churn pair: retire a live activity and admit a
+                // replacement with the *same route and weight* before the
+                // next query. The hub's weight sum — and therefore its fair
+                // share — is bitwise-unchanged across the pair, driving the
+                // fast path's only-rate-the-fresh-slot branch (the whole
+                // point of the total-work accounting). Mixed with the other
+                // kinds, this also produces fast/slow mode migration within
+                // one sequence.
+                _ => {
+                    if !admits.is_empty() {
+                        let (id, route_idx, weight) = admits.remove(a % admits.len());
+                        live.retain(|l| *l != id);
+                        let got = real.remove_activity(id);
+                        let got_twin = twin.remove_activity(id);
+                        let want = reference.remove(id);
+                        prop_assert_eq!(got.map(f64::to_bits), want.map(f64::to_bits));
+                        prop_assert_eq!(got_twin.map(f64::to_bits), want.map(f64::to_bits));
+                        let route_ids: Vec<ResourceId> =
+                            route_idx.iter().map(|&r| resources[r]).collect();
+                        let new_id = real.add_weighted_activity(amount, &route_ids, weight);
+                        let new_twin = twin.add_weighted_activity(amount, &route_ids, weight);
+                        prop_assert_eq!(new_id, new_twin);
+                        reference.add(new_id, amount, route_idx.clone(), weight);
+                        live.push(new_id);
+                        admits.push((new_id, route_idx, weight));
                     }
                 }
             }
 
             // Invariants after every operation: rates, remaining work and
-            // next-completion agree bit-for-bit.
+            // next-completion agree bit-for-bit across all three models.
             let real_rates: Vec<(ActivityId, u64)> = real
+                .rates()
+                .into_iter()
+                .map(|(id, r)| (id, r.to_bits()))
+                .collect();
+            let twin_rates: Vec<(ActivityId, u64)> = twin
                 .rates()
                 .into_iter()
                 .map(|(id, r)| (id, r.to_bits()))
@@ -329,15 +399,110 @@ proptest! {
                 .into_iter()
                 .map(|(id, r)| (id, r.to_bits()))
                 .collect();
-            prop_assert_eq!(real_rates, ref_rates);
+            prop_assert_eq!(&real_rates, &ref_rates);
+            prop_assert_eq!(&twin_rates, &ref_rates);
             for &id in &live {
-                prop_assert_eq!(
-                    real.remaining(id).map(f64::to_bits),
-                    reference.remaining(id).map(f64::to_bits)
-                );
+                let want = reference.remaining(id).map(f64::to_bits);
+                prop_assert_eq!(real.remaining(id).map(f64::to_bits), want);
+                prop_assert_eq!(twin.remaining(id).map(f64::to_bits), want);
             }
-            prop_assert_eq!(real.time_to_next_completion(), reference.time_to_next_completion());
+            let want_next = reference.time_to_next_completion();
+            prop_assert_eq!(real.time_to_next_completion(), want_next);
+            prop_assert_eq!(twin.time_to_next_completion(), want_next);
             prop_assert_eq!(real.activity_count(), live.len());
+            prop_assert_eq!(twin.activity_count(), live.len());
         }
     }
+}
+
+/// Forced-full-recompute twin probe at scale: 300 dense-churn steps over a
+/// single-bottleneck topology at N=5000 (32 uplinks feeding one backbone,
+/// equal-weight churn — the shape the fast path's stable-φ branch serves),
+/// plus a multi-constrained island sharing the model so both solve modes run
+/// side by side. After every step the production model must agree on **every
+/// rate** with a twin that (a) has the fast path disabled and (b) is forced
+/// to re-solve every component from scratch before each query.
+#[test]
+fn forced_full_recompute_twin_agrees_at_n5000() {
+    let n: usize = 5000;
+    let uplink_count = 32;
+    let mut real = FluidModel::new();
+    let mut twin = FluidModel::new();
+    twin.disable_fast_path();
+
+    let backbone = real.add_resource(1e9);
+    let uplinks: Vec<ResourceId> = (0..uplink_count)
+        .map(|i| real.add_resource(1e12 + i as f64 * 1e9))
+        .collect();
+    // Multi-constrained island: two cross-coupled links that never qualify
+    // for the fast path (no hub is crossed by all of its activities).
+    let isl_a = real.add_resource(10.0);
+    let isl_b = real.add_resource(100.0);
+    twin.add_resource(1e9);
+    for i in 0..uplink_count {
+        twin.add_resource(1e12 + i as f64 * 1e9);
+    }
+    twin.add_resource(10.0);
+    twin.add_resource(100.0);
+
+    let route = |i: usize| [uplinks[i % uplink_count], backbone];
+    let mut live: Vec<ActivityId> = (0..n)
+        .map(|i| {
+            let id = real.add_activity(1e12 + i as f64, &route(i));
+            assert_eq!(id, twin.add_activity(1e12 + i as f64, &route(i)));
+            id
+        })
+        .collect();
+    for (amount, r) in [
+        (1e9, vec![isl_a]),
+        (1e9, vec![isl_a, isl_b]),
+        (1e9, vec![isl_b]),
+    ] {
+        let id = real.add_activity(amount, &r);
+        assert_eq!(id, twin.add_activity(amount, &r));
+    }
+
+    let mut real_rates = Vec::new();
+    let mut twin_rates = Vec::new();
+    let mut step_base = 0u64;
+    for step in 0..300 {
+        let slot = step % live.len();
+        let victim = live[slot];
+        assert_eq!(
+            real.remove_activity(victim).map(f64::to_bits),
+            twin.remove_activity(victim).map(f64::to_bits),
+            "step {step}: removed remaining diverged"
+        );
+        step_base += 1;
+        let amount = 1e12 + step_base as f64;
+        let id = real.add_activity(amount, &route(step));
+        assert_eq!(id, twin.add_activity(amount, &route(step)));
+        live[slot] = id;
+
+        // Forced full recompute on the twin: every component re-solved from
+        // scratch by the slow path before the query.
+        twin.mark_all_dirty();
+        real.rates_into(&mut real_rates);
+        twin.rates_into(&mut twin_rates);
+        assert_eq!(real_rates.len(), twin_rates.len());
+        for (got, want) in real_rates.iter().zip(&twin_rates) {
+            assert_eq!(got.0, want.0, "step {step}: id order diverged");
+            assert_eq!(
+                got.1.to_bits(),
+                want.1.to_bits(),
+                "step {step}: rate of {} diverged: {} vs {}",
+                got.0,
+                got.1,
+                want.1
+            );
+        }
+        assert_eq!(
+            real.time_to_next_completion(),
+            twin.time_to_next_completion(),
+            "step {step}: next completion diverged"
+        );
+    }
+    let (fast, slow) = real.solver_stats();
+    assert!(fast > 0, "the dense component must use the fast path");
+    assert!(slow > 0, "the island must use the slow path");
 }
