@@ -7,17 +7,28 @@
 //! jobs with the historical-PanDA dispatch policy and a candidate speed
 //! multiplier, then report the relative mean absolute error of the simulated
 //! walltime against the trace's ground truth.
+//!
+//! Each objective evaluates through its own [`ScenarioEngine`]: the filtered
+//! site trace is `Arc`-shared across every candidate multiplier (only the
+//! small platform spec is cloned per evaluation), and because search
+//! procedures revisit candidates — golden-section endpoints, bracket
+//! midpoints — the engine's deterministic response cache turns those
+//! re-evaluations into lookups instead of reruns.
 
-use cgsim_core::{ExecutionConfig, Simulation};
-use cgsim_platform::{Platform, PlatformSpec};
+use std::sync::Arc;
+
+use cgsim_core::scenario::{ScenarioBase, ScenarioEngine, ScenarioSpec};
+use cgsim_core::ExecutionConfig;
+use cgsim_platform::PlatformSpec;
 use cgsim_workload::Trace;
 
 /// Objective function for calibrating one site's CPU speed multiplier.
 pub struct SiteWalltimeObjective {
-    platform_spec: PlatformSpec,
+    /// Shared platform spec + filtered site trace (content-hashed once).
+    base: Arc<cgsim_core::scenario::ScenarioBase>,
     site_name: String,
-    site_trace: Trace,
     execution: ExecutionConfig,
+    engine: ScenarioEngine,
 }
 
 impl SiteWalltimeObjective {
@@ -30,20 +41,23 @@ impl SiteWalltimeObjective {
         // needed and output transfers do not affect site walltime accounting
         // materially, but we keep them on for fidelity with normal runs.
         execution.monitoring = cgsim_monitor_config_disabled();
+        let site_trace = Trace {
+            jobs,
+            hidden_site_multipliers: trace.hidden_site_multipliers.clone(),
+        };
         SiteWalltimeObjective {
-            platform_spec: platform_spec.clone(),
+            base: ScenarioBase::shared(platform_spec.clone(), site_trace),
             site_name: site_name.to_string(),
-            site_trace: Trace {
-                jobs,
-                hidden_site_multipliers: trace.hidden_site_multipliers.clone(),
-            },
             execution,
+            // Serial: the calibrator already fans out across sites, and each
+            // evaluation is a single simulation anyway.
+            engine: ScenarioEngine::new().parallel(false),
         }
     }
 
     /// Number of historical jobs available for this site.
     pub fn job_count(&self) -> usize {
-        self.site_trace.len()
+        self.base.trace().len()
     }
 
     /// Name of the calibrated site.
@@ -54,26 +68,38 @@ impl SiteWalltimeObjective {
     /// Evaluates the relative walltime MAE for a candidate speed multiplier.
     /// Returns 0 when the site has no historical jobs.
     pub fn evaluate(&self, multiplier: f64) -> f64 {
-        if self.site_trace.is_empty() {
+        if self.base.trace().is_empty() {
             return 0.0;
         }
-        let mut platform = Platform::build(&self.platform_spec)
-            .expect("calibration platform spec was validated by the caller");
-        if let Some(site) = platform.site_by_name(&self.site_name) {
-            platform.set_speed_multiplier(site, multiplier.max(1e-6));
+        // The candidate multiplier is the only platform delta: clone the
+        // (small) spec, set it, and rebase — `with_platform` re-hashes the
+        // spec but reuses the shared trace and its hash.
+        let mut platform_spec = (**self.base.platform()).clone();
+        if let Some(site) = platform_spec
+            .sites
+            .iter_mut()
+            .find(|s| s.name == self.site_name)
+        {
+            site.speed_multiplier = multiplier.max(1e-6);
         }
-        let results = Simulation::builder()
-            .platform(platform)
-            .trace(self.site_trace.clone())
-            .policy_name("historical-panda")
-            .execution(self.execution.clone())
-            .run()
+        let base = Arc::new(self.base.with_platform(platform_spec));
+        let scenario = ScenarioSpec::new(base, self.execution.clone());
+        let outcome = self
+            .engine
+            .evaluate(&scenario)
             .expect("calibration simulation is well-formed");
-        results
+        outcome
+            .results
             .walltime_error_by_site()
             .get(&self.site_name)
             .map(|e| e.overall)
             .unwrap_or(0.0)
+    }
+
+    /// How many simulations this objective has actually run (re-evaluated
+    /// multipliers are answered from the response cache).
+    pub fn simulations_run(&self) -> u64 {
+        self.engine.simulations_run()
     }
 }
 
@@ -128,5 +154,18 @@ mod tests {
         let obj = SiteWalltimeObjective::new(&spec, &trace, "NOT-A-SITE");
         assert_eq!(obj.job_count(), 0);
         assert_eq!(obj.evaluate(1.0), 0.0);
+    }
+
+    #[test]
+    fn repeated_multipliers_hit_the_response_cache() {
+        let (spec, trace) = setup();
+        let obj = SiteWalltimeObjective::new(&spec, &trace, "CERN");
+        let first = obj.evaluate(1.25);
+        assert_eq!(obj.simulations_run(), 1);
+        let again = obj.evaluate(1.25);
+        assert_eq!(obj.simulations_run(), 1, "re-evaluation is a cache hit");
+        assert_eq!(first, again);
+        obj.evaluate(0.75);
+        assert_eq!(obj.simulations_run(), 2);
     }
 }

@@ -7,6 +7,8 @@
 //! compare the operational metrics — behind one call, so policy studies do
 //! not have to re-implement the bookkeeping.
 
+use std::sync::Arc;
+
 use cgsim_faults::FaultPlan;
 use cgsim_platform::PlatformSpec;
 use cgsim_policies::PolicyRegistry;
@@ -14,7 +16,8 @@ use cgsim_workload::Trace;
 use serde::{Deserialize, Serialize};
 
 use crate::config::ExecutionConfig;
-use crate::simulation::{Simulation, SimulationError};
+use crate::scenario::{ScenarioBase, ScenarioEngine, ScenarioSpec};
+use crate::simulation::SimulationError;
 
 /// Aggregated metrics of one policy's run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -140,23 +143,29 @@ pub fn compare_policies_faulted(
     registry: &PolicyRegistry,
     fault_plan: Option<&FaultPlan>,
 ) -> Result<ComparisonReport, SimulationError> {
+    // One shared base (a single copy of the platform and trace, however many
+    // policies run against it) and one Arc'ed fault plan: the per-policy
+    // deltas are just the execution config's policy name.
+    let engine = ScenarioEngine::with_registry(registry.clone());
+    let base = ScenarioBase::shared(platform.clone(), trace.clone());
+    let fault_plan: Option<Arc<FaultPlan>> = fault_plan.map(|plan| Arc::new(plan.clone()));
+    let specs: Vec<ScenarioSpec> = policies
+        .iter()
+        .map(|&policy| {
+            let mut run_execution = execution.clone();
+            run_execution.allocation_policy = policy.to_string();
+            let mut spec = ScenarioSpec::new(base.clone(), run_execution);
+            if let Some(plan) = &fault_plan {
+                spec = spec.with_fault_plan(plan.clone());
+            }
+            spec
+        })
+        .collect();
+
     let mut rows = Vec::with_capacity(policies.len());
-    for &policy in policies {
-        let policy_box = registry
-            .create(policy, execution.seed)
-            .ok_or_else(|| SimulationError::UnknownPolicy(policy.to_string()))?;
-        let mut run_execution = execution.clone();
-        run_execution.allocation_policy = policy.to_string();
-        let mut builder = Simulation::builder()
-            .platform_spec(platform)
-            .map_err(|e| SimulationError::Platform(e.to_string()))?
-            .trace(trace.clone())
-            .policy(policy_box)
-            .execution(run_execution);
-        if let Some(plan) = fault_plan {
-            builder = builder.fault_plan(plan.clone());
-        }
-        let results = builder.run()?;
+    for (outcome, &policy) in engine.evaluate_batch(&specs).into_iter().zip(policies) {
+        let outcome = outcome?;
+        let results = &outcome.results;
         let metrics = &results.metrics;
         rows.push(ComparisonRow {
             policy: policy.to_string(),

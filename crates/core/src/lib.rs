@@ -50,6 +50,7 @@ pub mod config;
 pub mod experiment;
 pub mod queue_model;
 pub mod results;
+pub mod scenario;
 pub mod simulation;
 pub mod sweep;
 
@@ -59,5 +60,9 @@ pub use config::{
 pub use experiment::{compare_policies, compare_policies_faulted, ComparisonReport, ComparisonRow};
 pub use queue_model::QueueModel;
 pub use results::SimulationResults;
+pub use scenario::{
+    serve_loop, ResponseCache, ScenarioBase, ScenarioDelta, ScenarioEngine, ScenarioOutcome,
+    ScenarioSpec, ServeRequest,
+};
 pub use simulation::{Simulation, SimulationBuilder, SimulationError};
-pub use sweep::{run_sweep, sweep_csv, SweepOutcome, SweepPoint, SweepRow};
+pub use sweep::{run_sweep, run_sweep_on, sweep_csv, SweepOutcome, SweepPoint, SweepRow};

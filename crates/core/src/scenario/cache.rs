@@ -1,0 +1,179 @@
+//! The deterministic response cache.
+//!
+//! Every CGSim run is bit-for-bit reproducible (pinned by the three CI
+//! determinism gates), so the full [`SimulationResults`] of a scenario is a
+//! pure function of its canonical hash — which makes memoisation *exact*: a
+//! cached response is indistinguishable from rerunning the simulation.
+//! The cache stores `Arc<SimulationResults>` so a hit costs one pointer
+//! clone, evicts least-recently-used entries beyond its capacity, and keeps
+//! the [`CacheCounters`] surfaced through `cgsim-monitor`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use cgsim_monitor::CacheCounters;
+
+use crate::results::SimulationResults;
+
+/// An LRU map from canonical scenario hash to the simulation response.
+#[derive(Debug, Default)]
+pub struct ResponseCache {
+    capacity: usize,
+    /// hash → (recency tick, response).
+    entries: HashMap<u64, (u64, Arc<SimulationResults>)>,
+    /// recency tick → hash; the smallest tick is the eviction victim. Ticks
+    /// are unique (bumped on every touch), so this is a faithful LRU order.
+    recency: BTreeMap<u64, u64>,
+    tick: u64,
+    counters: CacheCounters,
+}
+
+impl ResponseCache {
+    /// Creates a cache holding at most `capacity` responses (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ResponseCache {
+            capacity: capacity.max(1),
+            ..ResponseCache::default()
+        }
+    }
+
+    /// Looks up a scenario. A present entry counts as a hit and is marked
+    /// most-recently-used; an absent one counts nothing (the engine decides
+    /// whether the lookup becomes a miss or shares another request's run).
+    pub fn lookup(&mut self, hash: u64) -> Option<Arc<SimulationResults>> {
+        let tick = self.next_tick();
+        let (old_tick, results) = self.entries.get_mut(&hash)?;
+        self.recency.remove(old_tick);
+        self.recency.insert(tick, hash);
+        *old_tick = tick;
+        self.counters.hits += 1;
+        Some(results.clone())
+    }
+
+    /// Records a lookup that will run a fresh simulation.
+    pub fn record_miss(&mut self) {
+        self.counters.misses += 1;
+    }
+
+    /// Records a request served by another in-flight request's run (a
+    /// duplicate within one batch): no simulation of its own, so a hit.
+    pub fn record_shared_hit(&mut self) {
+        self.counters.hits += 1;
+    }
+
+    /// Inserts (or refreshes) a response, evicting least-recently-used
+    /// entries beyond the capacity.
+    pub fn insert(&mut self, hash: u64, results: Arc<SimulationResults>) {
+        let tick = self.next_tick();
+        if let Some((old_tick, slot)) = self.entries.get_mut(&hash) {
+            self.recency.remove(old_tick);
+            self.recency.insert(tick, hash);
+            *old_tick = tick;
+            *slot = results;
+            return;
+        }
+        while self.entries.len() >= self.capacity {
+            let (&oldest_tick, &victim) = self
+                .recency
+                .iter()
+                .next()
+                .expect("recency index matches entries");
+            self.recency.remove(&oldest_tick);
+            self.entries.remove(&victim);
+            self.counters.evictions += 1;
+        }
+        self.entries.insert(hash, (tick, results));
+        self.recency.insert(tick, hash);
+        self.counters.entries = self.entries.len() as u64;
+    }
+
+    /// Current counters (hits, misses, evictions, resident entries).
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            entries: self.entries.len() as u64,
+            ..self.counters
+        }
+    }
+
+    /// Number of resident responses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no responses are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgsim_monitor::MetricsReport;
+
+    fn response(makespan_s: f64) -> Arc<SimulationResults> {
+        Arc::new(SimulationResults {
+            outcomes: Vec::new(),
+            events: Vec::new(),
+            metrics: MetricsReport::from_outcomes(&[]),
+            makespan_s,
+            engine_events: 0,
+            wall_clock_s: 0.0,
+            site_panels: Vec::new(),
+            grid_counters: cgsim_monitor::GridCounters::default(),
+            policy: "test".into(),
+        })
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mut cache = ResponseCache::new(4);
+        assert!(cache.lookup(1).is_none());
+        cache.record_miss();
+        cache.insert(1, response(10.0));
+        let hit = cache.lookup(1).expect("cached");
+        assert_eq!(hit.makespan_s, 10.0);
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses, c.evictions, c.entries), (1, 1, 0, 1));
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_coldest_entry() {
+        let mut cache = ResponseCache::new(2);
+        cache.insert(1, response(1.0));
+        cache.insert(2, response(2.0));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.lookup(1).is_some());
+        cache.insert(3, response(3.0));
+        assert!(cache.lookup(2).is_none(), "LRU entry evicted");
+        assert!(cache.lookup(1).is_some());
+        assert!(cache.lookup(3).is_some());
+        assert_eq!(cache.counters().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_in_place() {
+        let mut cache = ResponseCache::new(2);
+        cache.insert(1, response(1.0));
+        cache.insert(1, response(9.0));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(1).unwrap().makespan_s, 9.0);
+        assert_eq!(cache.counters().evictions, 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut cache = ResponseCache::new(0);
+        cache.insert(1, response(1.0));
+        assert!(!cache.is_empty());
+        cache.insert(2, response(2.0));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(2).is_some());
+    }
+}

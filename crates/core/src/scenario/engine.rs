@@ -1,0 +1,272 @@
+//! The scenario engine: batch evaluation with memoisation.
+//!
+//! The engine owns the three shared pieces every evaluation needs — the
+//! policy registry, the deterministic response cache and the run counter —
+//! and evaluates [`ScenarioSpec`] batches over the same self-scheduling
+//! worker pool that powers `run_sweep`. It is `Sync`: sweeps, the calibrator
+//! and the `cgsim serve` front end all hold one engine and evaluate through
+//! shared references.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cgsim_monitor::CacheCounters;
+use cgsim_policies::PolicyRegistry;
+
+use crate::results::SimulationResults;
+use crate::scenario::cache::ResponseCache;
+use crate::scenario::ScenarioSpec;
+use crate::simulation::{Simulation, SimulationError};
+
+/// Default number of responses the engine memoises.
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// The result of evaluating one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The (possibly shared) simulation results.
+    pub results: Arc<SimulationResults>,
+    /// True when the response was served without running a simulation for
+    /// this request (cache hit, or a duplicate within the same batch).
+    pub cached: bool,
+    /// The canonical scenario hash the response is keyed on.
+    pub hash: u64,
+}
+
+/// A shared evaluation engine for scenario batches.
+pub struct ScenarioEngine {
+    registry: PolicyRegistry,
+    cache: Option<Mutex<ResponseCache>>,
+    simulations_run: AtomicU64,
+    parallel: bool,
+}
+
+impl Default for ScenarioEngine {
+    fn default() -> Self {
+        ScenarioEngine::new()
+    }
+}
+
+impl ScenarioEngine {
+    /// An engine with the built-in policies, a cache of
+    /// [`DEFAULT_CACHE_CAPACITY`] responses and parallel batch evaluation.
+    pub fn new() -> Self {
+        ScenarioEngine::with_registry(PolicyRegistry::with_builtins())
+    }
+
+    /// An engine resolving policies through `registry` (custom plugins
+    /// included). The registry is `Arc`-backed, so this is a cheap clone of
+    /// the name table, not of the policies.
+    pub fn with_registry(registry: PolicyRegistry) -> Self {
+        ScenarioEngine {
+            registry,
+            cache: Some(Mutex::new(ResponseCache::new(DEFAULT_CACHE_CAPACITY))),
+            simulations_run: AtomicU64::new(0),
+            parallel: true,
+        }
+    }
+
+    /// Replaces the response cache with one holding `capacity` entries.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = Some(Mutex::new(ResponseCache::new(capacity)));
+        self
+    }
+
+    /// Disables response caching: every request runs a fresh simulation.
+    /// Output is byte-identical either way (determinism is what makes the
+    /// cache exact); this exists for verification and for memory-constrained
+    /// deployments.
+    pub fn no_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// Enables or disables the parallel worker pool for batches.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// The policy registry the engine resolves names through.
+    pub fn registry(&self) -> &PolicyRegistry {
+        &self.registry
+    }
+
+    /// Cache counters (all zero when caching is disabled).
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.cache
+            .as_ref()
+            .map(|c| c.lock().expect("cache mutex poisoned").counters())
+            .unwrap_or_default()
+    }
+
+    /// Total simulations actually executed (excludes cache hits).
+    pub fn simulations_run(&self) -> u64 {
+        self.simulations_run.load(Ordering::Relaxed)
+    }
+
+    /// Evaluates one scenario (through the cache).
+    pub fn evaluate(&self, spec: &ScenarioSpec) -> Result<ScenarioOutcome, SimulationError> {
+        self.evaluate_batch(std::slice::from_ref(spec))
+            .pop()
+            .expect("batch of one yields one outcome")
+    }
+
+    /// Evaluates a batch of scenarios, returning outcomes in input order.
+    ///
+    /// Cache hits are answered immediately; the remaining *unique* scenarios
+    /// run over the self-scheduling worker pool (duplicates within the batch
+    /// share a single run and count as cache hits). Per-scenario errors
+    /// (unknown policy, invalid fault spec, platform validation) fail only
+    /// their own slot and are never cached.
+    pub fn evaluate_batch(
+        &self,
+        specs: &[ScenarioSpec],
+    ) -> Vec<Result<ScenarioOutcome, SimulationError>> {
+        let hashes: Vec<u64> = specs.iter().map(ScenarioSpec::canonical_hash).collect();
+        let mut slots: Vec<Option<Result<ScenarioOutcome, SimulationError>>> =
+            (0..specs.len()).map(|_| None).collect();
+        // Indices of the first occurrence of each hash that needs a run.
+        let mut unique: Vec<usize> = Vec::new();
+        // (request index, position in `unique`) of in-batch duplicates.
+        let mut followers: Vec<(usize, usize)> = Vec::new();
+
+        match &self.cache {
+            Some(cache) => {
+                let mut cache = cache.lock().expect("cache mutex poisoned");
+                for (i, &hash) in hashes.iter().enumerate() {
+                    if let Some(results) = cache.lookup(hash) {
+                        slots[i] = Some(Ok(ScenarioOutcome {
+                            results,
+                            cached: true,
+                            hash,
+                        }));
+                    } else if let Some(pos) = unique.iter().position(|&j| hashes[j] == hash) {
+                        cache.record_shared_hit();
+                        followers.push((i, pos));
+                    } else {
+                        cache.record_miss();
+                        unique.push(i);
+                    }
+                }
+            }
+            // Without a cache nothing is deduplicated: every request runs.
+            None => unique = (0..specs.len()).collect(),
+        }
+
+        let to_run: Vec<&ScenarioSpec> = unique.iter().map(|&i| &specs[i]).collect();
+        let runs: Vec<Result<Arc<SimulationResults>, SimulationError>> =
+            run_self_scheduled(to_run, self.parallel, |spec| {
+                self.run_spec(spec).map(Arc::new)
+            });
+
+        if let Some(cache) = &self.cache {
+            let mut cache = cache.lock().expect("cache mutex poisoned");
+            for (pos, &i) in unique.iter().enumerate() {
+                if let Ok(results) = &runs[pos] {
+                    cache.insert(hashes[i], results.clone());
+                }
+            }
+        }
+        for (pos, &i) in unique.iter().enumerate() {
+            slots[i] = Some(runs[pos].clone().map(|results| ScenarioOutcome {
+                results,
+                cached: false,
+                hash: hashes[i],
+            }));
+        }
+        for (i, pos) in followers {
+            slots[i] = Some(runs[pos].clone().map(|results| ScenarioOutcome {
+                results,
+                cached: true,
+                hash: hashes[i],
+            }));
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every request is classified exactly once"))
+            .collect()
+    }
+
+    /// Runs one scenario unconditionally (no cache involvement), faithfully
+    /// reproducing the CLI's `simulate` pipeline: resolve the policy by name,
+    /// generate the fault plan from the spec text, build the platform from
+    /// the shared spec and run.
+    fn run_spec(&self, spec: &ScenarioSpec) -> Result<SimulationResults, SimulationError> {
+        let policy = self
+            .registry
+            .create(&spec.execution.allocation_policy, spec.execution.seed)
+            .ok_or_else(|| {
+                SimulationError::UnknownPolicy(spec.execution.allocation_policy.clone())
+            })?;
+        let fault_plan = spec.build_fault_plan()?;
+        let mut builder = Simulation::builder()
+            .platform_spec(spec.base.platform())?
+            .trace(spec.base.trace().clone())
+            .policy(policy)
+            .execution(spec.execution.clone());
+        if let Some(plan) = fault_plan {
+            builder = builder.fault_plan(plan);
+        }
+        let results = builder.run()?;
+        self.simulations_run.fetch_add(1, Ordering::Relaxed);
+        Ok(results)
+    }
+}
+
+/// Runs `run` over every item, self-scheduling the items across
+/// `available_parallelism` worker threads when `parallel` is set; results
+/// come back in input order either way.
+///
+/// Workers pull the next unclaimed item off a shared atomic counter.
+/// Contiguous chunking would hand every large point of a monotone
+/// job-scaling sweep to the same worker (the last chunk), serialising most
+/// of the work; with self-scheduling a worker that drew a cheap item simply
+/// comes back for another, so the load balances itself whatever the
+/// item-size distribution.
+pub(crate) fn run_self_scheduled<T, R, F>(items: Vec<T>, parallel: bool, run: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if !parallel || items.len() <= 1 {
+        return items.into_iter().map(run).collect();
+    }
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len());
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..slots.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("work item mutex poisoned")
+                    .take()
+                    .expect("each work item is claimed exactly once");
+                let outcome = run(item);
+                *results[i].lock().expect("result mutex poisoned") = Some(outcome);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result mutex poisoned")
+                .expect("every work item produced a result")
+        })
+        .collect()
+}

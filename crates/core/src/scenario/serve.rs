@@ -1,0 +1,386 @@
+//! The `cgsim serve` JSONL request/response loop.
+//!
+//! One line in = one JSON value: either a single request object or an array
+//! of request objects (a *batch*, evaluated together over the engine's
+//! worker pool and deduplicated against the response cache). One line out
+//! per request, in input order, as compact JSON. The loop is generic over
+//! `BufRead`/`Write`, so the CLI drives it over stdin/stdout or a TCP
+//! stream and tests/examples drive it in-process.
+//!
+//! Request fields (all optional; see [`ScenarioDelta`]):
+//!
+//! ```json
+//! {"id": "q1", "policy": "round-robin", "seed": 7,
+//!  "faults": "kill:rate=1", "fault_seed": 3,
+//!  "checkpoint": {"interval_s": 600.0, "base_bytes": 1000000,
+//!                 "bytes_per_core": 0, "target": "SiteStorage"},
+//!  "save": "/tmp/out/results.json"}
+//! ```
+//!
+//! Absent fields inherit the server's base execution configuration. `id` is
+//! echoed back verbatim. `save` additionally writes the pretty-printed
+//! deterministic results (the same bytes `cgsim simulate --output` writes to
+//! `results.json`) to the given path on the server side.
+//!
+//! Control commands (single requests only, never inside a batch):
+//! `{"cmd": "stats"}` reports cache counters and the simulation-run counter;
+//! `{"cmd": "shutdown"}` acknowledges and ends the loop.
+//!
+//! Responses: `{"id": …, "ok": true, "results": {…}}` on success, where
+//! `results` is the deterministic subset (policy, makespan, engine events,
+//! grid counters, metrics) — never wall-clock time — so equal scenarios get
+//! byte-identical response lines whether they were simulated or served from
+//! cache, within one server process or across restarts. Failures reply
+//! `{"id": …, "ok": false, "error": "…"}` and fail only their own request.
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use serde_json::{Map, Value};
+
+use crate::config::{CheckpointConfig, ExecutionConfig};
+use crate::results::SimulationResults;
+use crate::scenario::{ScenarioBase, ScenarioDelta, ScenarioEngine, ScenarioSpec};
+
+/// One JSONL request: a scenario delta plus protocol envelope fields.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServeRequest {
+    /// Client-chosen identifier, echoed back in the response.
+    #[serde(default)]
+    pub id: Option<String>,
+    /// Control command (`"stats"` or `"shutdown"`); mutually exclusive with
+    /// scenario fields and only valid as a single (non-batch) request.
+    #[serde(default)]
+    pub cmd: Option<String>,
+    /// Allocation policy name.
+    #[serde(default)]
+    pub policy: Option<String>,
+    /// Master RNG seed.
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Fault spec text (CLI `--faults` grammar).
+    #[serde(default)]
+    pub faults: Option<String>,
+    /// Fault-generation seed (CLI `--fault-seed`).
+    #[serde(default)]
+    pub fault_seed: Option<u64>,
+    /// Checkpoint/restart policy override.
+    #[serde(default)]
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Server-side path to write the pretty deterministic results to.
+    #[serde(default)]
+    pub save: Option<String>,
+}
+
+impl ServeRequest {
+    /// The scenario delta carried by this request.
+    pub fn delta(&self) -> ScenarioDelta {
+        ScenarioDelta {
+            policy: self.policy.clone(),
+            seed: self.seed,
+            faults: self.faults.clone(),
+            fault_seed: self.fault_seed,
+            checkpoint: self.checkpoint.clone(),
+        }
+    }
+}
+
+/// How one parsed request will be answered.
+enum Planned {
+    /// Evaluate `specs[index]` and reply with its results.
+    Scenario { index: usize },
+    /// Reply with an error message.
+    Error(String),
+    /// Reply with engine statistics.
+    Stats,
+    /// Acknowledge and end the serve loop.
+    Shutdown,
+}
+
+/// Runs the request/response loop until end-of-input or a `shutdown`
+/// command. Returns `true` when the loop ended because of `shutdown`.
+pub fn serve_loop<R: BufRead, W: Write>(
+    engine: &ScenarioEngine,
+    base: &Arc<ScenarioBase>,
+    execution: &ExecutionConfig,
+    input: R,
+    mut output: W,
+) -> std::io::Result<bool> {
+    for line in input.lines() {
+        let line = line?;
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let (requests, is_batch) = match serde_json::from_str::<Value>(text) {
+            Err(e) => {
+                write_line(
+                    &mut output,
+                    &error_value(&None, &format!("invalid JSON: {e}")),
+                )?;
+                output.flush()?;
+                continue;
+            }
+            Ok(Value::Array(items)) => {
+                let parsed = items
+                    .into_iter()
+                    .map(|item| {
+                        serde_json::from_value::<ServeRequest>(item)
+                            .map_err(|e| format!("invalid request: {e}"))
+                    })
+                    .collect::<Vec<_>>();
+                (parsed, true)
+            }
+            Ok(value) => {
+                let parsed = serde_json::from_value::<ServeRequest>(value)
+                    .map_err(|e| format!("invalid request: {e}"));
+                (vec![parsed], false)
+            }
+        };
+
+        // Plan every request, collecting the scenario specs into one batch.
+        let mut specs: Vec<ScenarioSpec> = Vec::new();
+        let mut planned: Vec<(Option<String>, Option<String>, Planned)> = Vec::new();
+        let mut shutdown = false;
+        for request in requests {
+            let plan = match &request {
+                Err(message) => (None, None, Planned::Error(message.clone())),
+                Ok(req) => {
+                    let plan = match req.cmd.as_deref() {
+                        Some("stats") if !is_batch => Planned::Stats,
+                        Some("shutdown") if !is_batch => {
+                            shutdown = true;
+                            Planned::Shutdown
+                        }
+                        Some(cmd) if is_batch => {
+                            Planned::Error(format!("cmd '{cmd}' is not allowed inside a batch"))
+                        }
+                        Some(cmd) => Planned::Error(format!("unknown cmd: {cmd}")),
+                        None => {
+                            specs.push(req.delta().resolve(base, execution));
+                            Planned::Scenario {
+                                index: specs.len() - 1,
+                            }
+                        }
+                    };
+                    (req.id.clone(), req.save.clone(), plan)
+                }
+            };
+            planned.push(plan);
+        }
+
+        let outcomes = engine.evaluate_batch(&specs);
+
+        for (id, save, plan) in planned {
+            let response = match plan {
+                Planned::Error(message) => error_value(&id, &message),
+                Planned::Stats => stats_value(engine),
+                Planned::Shutdown => {
+                    let mut map = Map::new();
+                    insert_id(&mut map, &id);
+                    map.insert("ok".into(), Value::Bool(true));
+                    map.insert("shutdown".into(), Value::Bool(true));
+                    Value::Object(map)
+                }
+                Planned::Scenario { index } => match &outcomes[index] {
+                    Err(e) => error_value(&id, &e.to_string()),
+                    Ok(outcome) => match save_results(&save, &outcome.results) {
+                        Err(message) => error_value(&id, &message),
+                        Ok(()) => ok_value(&id, &outcome.results),
+                    },
+                },
+            };
+            write_line(&mut output, &response)?;
+        }
+        output.flush()?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+fn write_line<W: Write>(output: &mut W, value: &Value) -> std::io::Result<()> {
+    let text = serde_json::to_string(value).expect("response value serialises");
+    writeln!(output, "{text}")
+}
+
+fn insert_id(map: &mut Map, id: &Option<String>) {
+    if let Some(id) = id {
+        map.insert("id".into(), Value::String(id.clone()));
+    }
+}
+
+fn error_value(id: &Option<String>, message: &str) -> Value {
+    let mut map = Map::new();
+    insert_id(&mut map, id);
+    map.insert("ok".into(), Value::Bool(false));
+    map.insert("error".into(), Value::String(message.to_string()));
+    Value::Object(map)
+}
+
+fn ok_value(id: &Option<String>, results: &SimulationResults) -> Value {
+    let mut map = Map::new();
+    insert_id(&mut map, id);
+    map.insert("ok".into(), Value::Bool(true));
+    let deterministic: Value = serde_json::from_str(&results.deterministic_json())
+        .expect("deterministic results parse back");
+    map.insert("results".into(), deterministic);
+    Value::Object(map)
+}
+
+fn stats_value(engine: &ScenarioEngine) -> Value {
+    let mut stats = Map::new();
+    stats.insert(
+        "cache".into(),
+        serde_json::to_value(&engine.cache_counters()).expect("counters serialise"),
+    );
+    stats.insert(
+        "simulations_run".into(),
+        Value::Number(serde_json::Number::from_u64(engine.simulations_run())),
+    );
+    let mut map = Map::new();
+    map.insert("ok".into(), Value::Bool(true));
+    map.insert("stats".into(), Value::Object(stats));
+    Value::Object(map)
+}
+
+/// Writes the pretty deterministic results server-side when requested — the
+/// same bytes `cgsim simulate --output` puts in `results.json`, so saved
+/// responses diff cleanly against direct CLI runs.
+fn save_results(save: &Option<String>, results: &SimulationResults) -> Result<(), String> {
+    let Some(path) = save else { return Ok(()) };
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("save '{path}' failed: {e}"))?;
+        }
+    }
+    std::fs::write(path, results.deterministic_json())
+        .map_err(|e| format!("save '{path}' failed: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgsim_platform::presets::example_platform;
+    use cgsim_workload::{TraceConfig, TraceGenerator};
+
+    fn setup() -> (Arc<ScenarioBase>, ExecutionConfig) {
+        let platform = example_platform();
+        let trace = TraceGenerator::new(TraceConfig::with_jobs(30, 3)).generate(&platform);
+        (
+            ScenarioBase::shared(platform, trace),
+            ExecutionConfig::default(),
+        )
+    }
+
+    fn drive(input: &str) -> (String, bool) {
+        let engine = ScenarioEngine::new();
+        let (base, execution) = setup();
+        let mut output = Vec::new();
+        let shutdown = serve_loop(
+            &engine,
+            &base,
+            &execution,
+            std::io::Cursor::new(input.as_bytes()),
+            &mut output,
+        )
+        .expect("in-memory IO cannot fail");
+        (String::from_utf8(output).unwrap(), shutdown)
+    }
+
+    #[test]
+    fn single_and_batch_requests_answer_in_order() {
+        let input = r#"{"id":"a","policy":"round-robin"}
+[{"id":"b","policy":"least-loaded"},{"id":"c","seed":9}]
+"#;
+        let (out, shutdown) = drive(input);
+        assert!(!shutdown);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with(r#"{"id":"a","ok":true,"#));
+        assert!(lines[1].starts_with(r#"{"id":"b","ok":true,"#));
+        assert!(lines[2].starts_with(r#"{"id":"c","ok":true,"#));
+        assert!(lines[0].contains(r#""policy":"round-robin""#));
+    }
+
+    #[test]
+    fn responses_are_byte_identical_across_server_instances() {
+        let input = r#"[{"id":"x","policy":"round-robin"},{"id":"y","faults":"kill:rate=1"}]
+[{"id":"x","policy":"round-robin"},{"id":"y","faults":"kill:rate=1"}]
+"#;
+        let (first, _) = drive(input);
+        let (second, _) = drive(input);
+        assert_eq!(first, second, "restarted server must answer identically");
+        // Within one transcript, the repeated batch (answered from cache)
+        // is byte-identical to the first (simulated) one.
+        let lines: Vec<&str> = first.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], lines[2]);
+        assert_eq!(lines[1], lines[3]);
+    }
+
+    #[test]
+    fn errors_fail_only_their_own_request() {
+        let input = r#"[{"id":"ok1"},{"id":"bad","policy":"does-not-exist"},{"id":"ok2","faults":"nope"}]
+not json
+"#;
+        let (out, _) = drive(input);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains(r#""ok":true"#));
+        assert!(lines[1].contains(r#""ok":false"#));
+        assert!(lines[1].contains("unknown allocation policy"));
+        assert!(lines[2].contains(r#""ok":false"#));
+        assert!(lines[3].contains("invalid JSON"));
+    }
+
+    #[test]
+    fn stats_and_shutdown_commands_work() {
+        let input = r#"{"id":"q","seed":4}
+{"id":"q","seed":4}
+{"cmd":"stats"}
+{"cmd":"shutdown"}
+{"id":"never-reached"}
+"#;
+        let (out, shutdown) = drive(input);
+        assert!(shutdown);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "requests after shutdown are not served");
+        assert_eq!(lines[0], lines[1], "cached repeat is byte-identical");
+        assert!(lines[2].contains(r#""hits":1"#));
+        assert!(lines[2].contains(r#""misses":1"#));
+        assert!(lines[2].contains(r#""simulations_run":1"#));
+        assert!(lines[3].contains(r#""shutdown":true"#));
+    }
+
+    #[test]
+    fn cmd_inside_a_batch_is_rejected() {
+        let (out, shutdown) = drive(r#"[{"id":"s"},{"cmd":"shutdown"}]"#);
+        assert!(!shutdown, "batched shutdown must not stop the server");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""ok":true"#));
+        assert!(lines[1].contains("not allowed inside a batch"));
+    }
+
+    #[test]
+    fn save_writes_the_simulate_results_file() {
+        let dir = std::env::temp_dir().join("cgsim-serve-save-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("results.json");
+        let input = format!("{{\"id\":\"s\",\"save\":{:?}}}\n", path.to_str().unwrap());
+        let (out, _) = drive(&input);
+        assert!(out.contains(r#""ok":true"#));
+        let saved = std::fs::read_to_string(&path).unwrap();
+
+        // The saved file is exactly the engine's pretty deterministic JSON.
+        let engine = ScenarioEngine::new();
+        let (base, execution) = setup();
+        let spec = ScenarioSpec::new(base, execution);
+        let direct = engine.evaluate(&spec).unwrap();
+        assert_eq!(saved, direct.results.deterministic_json());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

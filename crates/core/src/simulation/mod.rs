@@ -28,6 +28,7 @@ mod staging;
 mod tests;
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use cgsim_data::{DatasetId, LruCache, ReplicaCatalog, StorageElement};
 use cgsim_des::fluid::{ActivityId, ActivityMap, FluidModel, ResourceId};
@@ -59,6 +60,9 @@ pub enum SimulationError {
     UnknownDataPolicy(String),
     /// The simulation was built without a required component.
     MissingComponent(&'static str),
+    /// A scenario specification could not be resolved into a run (e.g. an
+    /// unparseable `--faults` spec submitted through the scenario engine).
+    InvalidScenario(String),
 }
 
 impl std::fmt::Display for SimulationError {
@@ -71,6 +75,9 @@ impl std::fmt::Display for SimulationError {
             }
             SimulationError::MissingComponent(what) => {
                 write!(f, "simulation builder is missing: {what}")
+            }
+            SimulationError::InvalidScenario(msg) => {
+                write!(f, "invalid scenario: {msg}")
             }
         }
     }
@@ -226,7 +233,7 @@ impl GridModel {
 /// Builder for [`Simulation`].
 pub struct SimulationBuilder {
     platform: Option<Platform>,
-    trace: Option<Trace>,
+    trace: Option<Arc<Trace>>,
     policy: Option<Box<dyn AllocationPolicy>>,
     policy_name: Option<String>,
     registry: PolicyRegistry,
@@ -268,8 +275,13 @@ impl SimulationBuilder {
     }
 
     /// Sets the workload trace.
-    pub fn trace(mut self, trace: Trace) -> Self {
-        self.trace = Some(trace);
+    ///
+    /// Accepts either an owned [`Trace`] or an `Arc<Trace>`: traces shared
+    /// between many simulations (sweeps, scenario batches, a long-running
+    /// evaluation service) should be passed as `Arc` clones so every run
+    /// reads the same immutable job records instead of deep-copying them.
+    pub fn trace(mut self, trace: impl Into<Arc<Trace>>) -> Self {
+        self.trace = Some(trace.into());
         self
     }
 
@@ -368,7 +380,7 @@ impl SimulationBuilder {
 /// A fully configured simulation, ready to run.
 pub struct Simulation {
     platform: Platform,
-    trace: Trace,
+    trace: Arc<Trace>,
     policy: Box<dyn AllocationPolicy>,
     data_policy: Box<dyn DataMovementPolicy>,
     execution: ExecutionConfig,

@@ -4,12 +4,15 @@
 //! Fig. 4(a), site counts for Fig. 4(b), candidate speed multipliers during
 //! calibration. This module packages the bookkeeping (and the thread fan-out)
 //! behind one call so benches, examples and the CLI do not re-implement it.
-//! Each sweep point is an independent simulation with its own platform,
-//! trace and execution configuration; results come back in the order the
-//! points were supplied regardless of which thread ran them.
+//!
+//! Sweeps are scenario batches: each point references its platform and trace
+//! through `Arc` (a 100-point sweep of one topology holds *one* copy of the
+//! platform and trace, not 100) and runs through a [`ScenarioEngine`], which
+//! distributes the points over its self-scheduling worker pool and memoises
+//! responses — repeated points cost one simulation. Results come back in the
+//! order the points were supplied regardless of which thread ran them.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 
 use cgsim_platform::PlatformSpec;
 use cgsim_policies::PolicyRegistry;
@@ -17,45 +20,48 @@ use cgsim_workload::Trace;
 
 use crate::config::ExecutionConfig;
 use crate::results::SimulationResults;
-use crate::simulation::{Simulation, SimulationError};
+use crate::scenario::{ScenarioBase, ScenarioEngine, ScenarioSpec};
+use crate::simulation::SimulationError;
 
 /// One independent simulation in a sweep.
 #[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// Label identifying the point (e.g. `"jobs=2000"` or `"sites=10"`).
     pub label: String,
-    /// Platform to simulate.
-    pub platform: PlatformSpec,
-    /// Workload trace.
-    pub trace: Trace,
+    /// Platform to simulate (shared — pass `Arc` clones when many points use
+    /// one topology).
+    pub platform: Arc<PlatformSpec>,
+    /// Workload trace (shared likewise).
+    pub trace: Arc<Trace>,
     /// Execution configuration (its `allocation_policy` selects the policy).
     pub execution: ExecutionConfig,
 }
 
 impl SweepPoint {
-    /// Creates a sweep point.
+    /// Creates a sweep point. Owned values and `Arc`s are both accepted;
+    /// sharing `Arc`s across points is what keeps sweep fan-out cheap.
     pub fn new(
         label: impl Into<String>,
-        platform: PlatformSpec,
-        trace: Trace,
+        platform: impl Into<Arc<PlatformSpec>>,
+        trace: impl Into<Arc<Trace>>,
         execution: ExecutionConfig,
     ) -> Self {
         SweepPoint {
             label: label.into(),
-            platform,
-            trace,
+            platform: platform.into(),
+            trace: trace.into(),
             execution,
         }
     }
 }
 
 /// The result of one sweep point.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SweepOutcome {
     /// The point's label.
     pub label: String,
-    /// The simulation results.
-    pub results: SimulationResults,
+    /// The simulation results (shared with the engine's response cache).
+    pub results: Arc<SimulationResults>,
 }
 
 /// Runs every sweep point and returns the outcomes in input order.
@@ -63,76 +69,56 @@ pub struct SweepOutcome {
 /// With `parallel = true` the points are distributed over
 /// `available_parallelism` worker threads (each simulation is still strictly
 /// sequential and deterministic, so the outcomes are identical to a serial
-/// run — only wall-clock time changes).
+/// run — only wall-clock time changes). This is a convenience wrapper that
+/// builds a throwaway [`ScenarioEngine`] around `registry`; callers that
+/// evaluate repeatedly should hold their own engine and use [`run_sweep_on`]
+/// to share its response cache across sweeps.
 pub fn run_sweep(
     points: Vec<SweepPoint>,
     parallel: bool,
     registry: &PolicyRegistry,
 ) -> Result<Vec<SweepOutcome>, SimulationError> {
-    let run_one = |point: SweepPoint| -> Result<SweepOutcome, SimulationError> {
-        let policy = registry
-            .create(&point.execution.allocation_policy, point.execution.seed)
-            .ok_or_else(|| {
-                SimulationError::UnknownPolicy(point.execution.allocation_policy.clone())
-            })?;
-        let results = Simulation::builder()
-            .platform_spec(&point.platform)?
-            .trace(point.trace)
-            .policy(policy)
-            .execution(point.execution)
-            .run()?;
-        Ok(SweepOutcome {
-            label: point.label,
-            results,
-        })
-    };
+    let engine = ScenarioEngine::with_registry(registry.clone()).parallel(parallel);
+    run_sweep_on(&engine, points)
+}
 
-    if !parallel || points.len() <= 1 {
-        return points.into_iter().map(run_one).collect();
+/// Runs a sweep over an existing [`ScenarioEngine`] (shared cache, shared
+/// registry, the engine's parallelism setting).
+pub fn run_sweep_on(
+    engine: &ScenarioEngine,
+    points: Vec<SweepPoint>,
+) -> Result<Vec<SweepOutcome>, SimulationError> {
+    // Memoise the ScenarioBase per distinct (platform, trace) Arc pair so a
+    // single-topology sweep content-hashes the platform and trace once, not
+    // once per point.
+    let mut bases: Vec<Arc<ScenarioBase>> = Vec::new();
+    let mut labels = Vec::with_capacity(points.len());
+    let mut specs = Vec::with_capacity(points.len());
+    for point in points {
+        let base = bases
+            .iter()
+            .find(|b| {
+                Arc::ptr_eq(b.platform(), &point.platform) && Arc::ptr_eq(b.trace(), &point.trace)
+            })
+            .cloned()
+            .unwrap_or_else(|| {
+                let base = ScenarioBase::shared(point.platform.clone(), point.trace.clone());
+                bases.push(base.clone());
+                base
+            });
+        labels.push(point.label);
+        specs.push(ScenarioSpec::new(base, point.execution));
     }
 
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(points.len());
-
-    // Self-scheduling fan-out: workers pull the next unclaimed point off a
-    // shared atomic counter. Contiguous chunking would hand every large point
-    // of a monotone job-scaling sweep to the same worker (the last chunk),
-    // serialising most of the work; with self-scheduling a worker that drew a
-    // cheap point simply comes back for another, so the load balances itself
-    // whatever the point-size distribution. Results land in their input slot,
-    // so outcome order is identical to the serial run.
-    let slots: Vec<Mutex<Option<SweepPoint>>> =
-        points.into_iter().map(|p| Mutex::new(Some(p))).collect();
-    let results: Vec<Mutex<Option<Result<SweepOutcome, SimulationError>>>> =
-        (0..slots.len()).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= slots.len() {
-                    break;
-                }
-                let point = slots[i]
-                    .lock()
-                    .expect("sweep point mutex poisoned")
-                    .take()
-                    .expect("each sweep point is claimed exactly once");
-                let outcome = run_one(point);
-                *results[i].lock().expect("sweep result mutex poisoned") = Some(outcome);
-            });
-        }
-    });
-
-    results
+    engine
+        .evaluate_batch(&specs)
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("sweep result mutex poisoned")
-                .expect("every sweep point produced a result")
+        .zip(labels)
+        .map(|(outcome, label)| {
+            outcome.map(|o| SweepOutcome {
+                label,
+                results: o.results,
+            })
         })
         .collect()
 }
@@ -299,6 +285,67 @@ mod tests {
         pts[0].execution.allocation_policy = "does-not-exist".into();
         let err = run_sweep(pts, false, &registry).unwrap_err();
         assert!(matches!(err, SimulationError::UnknownPolicy(_)));
+    }
+
+    /// Satellite: with `Arc`-shared base state, a 100-point single-topology
+    /// sweep holds one copy of the platform and trace — `Arc::strong_count`
+    /// proves there are no hidden deep clones on the worker path.
+    #[test]
+    fn arc_shared_points_do_not_deep_clone_base_state() {
+        let registry = PolicyRegistry::with_builtins();
+        let platform = Arc::new(example_platform());
+        let trace =
+            Arc::new(TraceGenerator::new(TraceConfig::with_jobs(40, 9)).generate(&platform));
+        let points: Vec<SweepPoint> = (0..100)
+            .map(|i| {
+                let execution = ExecutionConfig {
+                    seed: i as u64 + 1,
+                    ..ExecutionConfig::default()
+                };
+                SweepPoint::new(
+                    format!("shared-{i}"),
+                    platform.clone(),
+                    trace.clone(),
+                    execution,
+                )
+            })
+            .collect();
+        // 100 points reference the single shared allocation.
+        assert_eq!(Arc::strong_count(&platform), 101);
+        assert_eq!(Arc::strong_count(&trace), 101);
+        let outcomes = run_sweep(points, true, &registry).unwrap();
+        assert_eq!(outcomes.len(), 100);
+        // The worker path only ever held `Arc` clones: with the sweep (and
+        // its throwaway engine) gone, the originals are sole owners again.
+        assert_eq!(Arc::strong_count(&platform), 1);
+        assert_eq!(Arc::strong_count(&trace), 1);
+    }
+
+    #[test]
+    fn repeated_points_share_one_simulation_run() {
+        let engine = ScenarioEngine::with_registry(PolicyRegistry::with_builtins());
+        let platform = Arc::new(example_platform());
+        let trace =
+            Arc::new(TraceGenerator::new(TraceConfig::with_jobs(30, 4)).generate(&platform));
+        let point = |label: &str| {
+            SweepPoint::new(
+                label,
+                platform.clone(),
+                trace.clone(),
+                ExecutionConfig::default(),
+            )
+        };
+        let outcomes = run_sweep_on(&engine, vec![point("a"), point("b"), point("c")]).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(engine.simulations_run(), 1, "identical points dedupe");
+        assert_eq!(
+            outcomes[0].results.makespan_s,
+            outcomes[2].results.makespan_s
+        );
+        // A later sweep over the same engine is answered from cache.
+        let again = run_sweep_on(&engine, vec![point("again")]).unwrap();
+        assert_eq!(engine.simulations_run(), 1);
+        assert_eq!(again[0].results.makespan_s, outcomes[0].results.makespan_s);
     }
 
     #[test]

@@ -96,6 +96,26 @@ pub struct GridCounters {
     pub work_lost_s: f64,
 }
 
+/// Counters of a deterministic scenario-response cache (the memoisation
+/// layer of `cgsim-core`'s `ScenarioEngine`). Because every simulation is
+/// bit-for-bit reproducible, a cached response is indistinguishable from a
+/// fresh run; these counters are how operators see that short-circuiting
+/// happen (and size the cache: a high eviction rate means the working set of
+/// distinct what-if queries exceeds the configured capacity).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheCounters {
+    /// Requests answered from the cache without running a simulation
+    /// (including repeats *within* one batch, which share the first
+    /// occurrence's single run).
+    pub hits: u64,
+    /// Requests that required a simulation run.
+    pub misses: u64,
+    /// Cached responses discarded to make room for newer ones.
+    pub evictions: u64,
+    /// Responses currently resident in the cache.
+    pub entries: u64,
+}
+
 /// The monitoring collector.
 #[derive(Debug, Clone)]
 pub struct MonitoringCollector {

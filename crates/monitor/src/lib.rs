@@ -33,7 +33,9 @@ pub mod mldataset;
 pub mod store;
 pub mod timeseries;
 
-pub use collector::{GridCounters, MonitoringCollector, MonitoringConfig, SiteCounters};
+pub use collector::{
+    CacheCounters, GridCounters, MonitoringCollector, MonitoringConfig, SiteCounters,
+};
 pub use event::{EventRecord, JobOutcome};
 pub use metrics::{MetricsReport, SiteMetrics};
 pub use store::{TableStore, Value};

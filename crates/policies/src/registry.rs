@@ -10,6 +10,7 @@
 //! the simulator.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::advanced::{
     CapacityProportionalPolicy, GreedyCostPolicy, ShortestExpectedWaitPolicy,
@@ -22,10 +23,17 @@ use crate::builtin::{
 use crate::plugin::AllocationPolicy;
 
 /// Factory signature: builds a fresh policy instance from a seed (policies
-/// that do not use randomness simply ignore it).
-pub type PolicyFactory = Box<dyn Fn(u64) -> Box<dyn AllocationPolicy> + Send + Sync>;
+/// that do not use randomness simply ignore it). Factories are reference
+/// counted so registries can be cloned cheaply and shared across the sweep
+/// workers and long-running evaluation services.
+pub type PolicyFactory = Arc<dyn Fn(u64) -> Box<dyn AllocationPolicy> + Send + Sync>;
 
 /// A string-keyed registry of allocation-policy factories.
+///
+/// Cloning a registry clones the name → factory table only (the factories
+/// themselves are `Arc`-shared), so handing a registry to a
+/// `ScenarioEngine` or a worker pool costs a few pointer copies per policy.
+#[derive(Clone)]
 pub struct PolicyRegistry {
     factories: BTreeMap<String, PolicyFactory>,
 }
@@ -79,7 +87,7 @@ impl PolicyRegistry {
         name: impl Into<String>,
         factory: impl Fn(u64) -> Box<dyn AllocationPolicy> + Send + Sync + 'static,
     ) {
-        self.factories.insert(name.into(), Box::new(factory));
+        self.factories.insert(name.into(), Arc::new(factory));
     }
 
     /// Instantiates the policy registered under `name`.

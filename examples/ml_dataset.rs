@@ -1,13 +1,19 @@
-//! ML dataset generation (paper §1 / §4.3.2): run a simulation, flatten the
+//! ML dataset generation (paper §1 / §4.3.2): run simulations, flatten the
 //! event-level dataset into supervised-learning examples, and fit a trivial
 //! baseline model (linear regression on queue time) to show the dataset is
 //! directly consumable — the paper's motivation is training AI surrogates for
 //! performance prediction.
 //!
+//! Dataset generation is exactly the workload the [`ScenarioEngine`] is
+//! built for: one `Arc`-shared base (platform + trace held once), a batch of
+//! seed deltas evaluated over the worker pool, and memoised results so
+//! regenerating the dataset after a post-processing tweak costs nothing.
+//!
 //! ```bash
 //! cargo run --release --example ml_dataset
 //! ```
 
+use cgsim::core::ScenarioSpec;
 use cgsim::des::stats::linear_fit;
 use cgsim::monitor::mldataset;
 use cgsim::prelude::*;
@@ -15,20 +21,36 @@ use cgsim::prelude::*;
 fn main() {
     let platform = wlcg_platform(12, 5);
     let trace = TraceGenerator::new(TraceConfig::with_jobs(2_000, 17)).generate(&platform);
-    let results = Simulation::builder()
-        .platform_spec(&platform)
-        .expect("platform is valid")
-        .trace(trace)
-        .policy_name("least-loaded")
-        .execution(ExecutionConfig::default())
-        .run()
-        .expect("simulation runs");
+    let base = ScenarioBase::shared(platform, trace);
+    let engine = ScenarioEngine::new();
 
-    let examples = mldataset::build_examples(&results.outcomes, &results.events);
+    // One batch of seed replicas: same grid, same jobs, different stochastic
+    // draws — the standard way to widen a training set without new traces.
+    let specs: Vec<ScenarioSpec> = [17u64, 18, 19]
+        .iter()
+        .map(|&seed| {
+            let execution = ExecutionConfig {
+                seed,
+                ..ExecutionConfig::default()
+            };
+            ScenarioSpec::new(base.clone(), execution)
+        })
+        .collect();
+    let mut examples = Vec::new();
+    let mut event_rows = 0usize;
+    for outcome in engine.evaluate_batch(&specs) {
+        let results = outcome.expect("simulation runs").results;
+        examples.extend(mldataset::build_examples(
+            &results.outcomes,
+            &results.events,
+        ));
+        event_rows += results.events.len();
+    }
     println!(
-        "generated {} training examples from {} event rows",
+        "generated {} training examples from {} event rows ({} simulations, one shared base)",
         examples.len(),
-        results.events.len()
+        event_rows,
+        engine.simulations_run()
     );
 
     // Persist the dataset (CSV, one row per job).

@@ -1,20 +1,25 @@
 //! Parameter sweeps on worker threads: the shape of every scalability
 //! experiment in the paper (Fig. 4) is "run many independent simulations and
 //! plot a metric against a swept parameter". This example sweeps the number
-//! of computing sites, runs every point in parallel, and prints the resulting
-//! table (the same data Fig. 4(b) is drawn from).
+//! of computing sites through a shared [`ScenarioEngine`], runs every point
+//! in parallel, and prints the resulting table (the same data Fig. 4(b) is
+//! drawn from). Because the engine memoises results in its deterministic
+//! response cache, re-running the sweep — the usual "tweak the plot, rerun
+//! the script" loop — answers every point from the cache.
 //!
 //! ```bash
 //! cargo run --release --example parallel_sweep
 //! ```
 
-use cgsim::core::sweep::{run_sweep, sweep_csv, SweepPoint};
+use cgsim::core::sweep::{run_sweep_on, sweep_csv, SweepPoint};
+use cgsim::core::ScenarioEngine;
 use cgsim::prelude::*;
 
 fn main() {
-    let registry = PolicyRegistry::with_builtins();
     let jobs_per_site = 150;
 
+    // Platform and trace move into the point once and are Arc-shared from
+    // there: fanning a point out to worker threads never deep-clones them.
     let points: Vec<SweepPoint> = [1usize, 2, 5, 10, 20, 30]
         .iter()
         .map(|&sites| {
@@ -30,8 +35,9 @@ fn main() {
         })
         .collect();
 
+    let engine = ScenarioEngine::new();
     let started = std::time::Instant::now();
-    let outcomes = run_sweep(points, true, &registry).expect("sweep runs");
+    let outcomes = run_sweep_on(&engine, points.clone()).expect("sweep runs");
     println!(
         "ran {} simulations in {:.2?} across {} worker threads\n",
         outcomes.len(),
@@ -54,4 +60,18 @@ fn main() {
         .collect();
     let k = cgsim::des::stats::scaling_exponent(&xs, &ys);
     println!("engine-event scaling exponent vs workload size: {k:.2} (≈1 is linear)");
+
+    // Second pass over the same sweep: every point is a cache hit, no
+    // simulation reruns.
+    let started = std::time::Instant::now();
+    let again = run_sweep_on(&engine, points).expect("sweep replays");
+    let counters = engine.cache_counters();
+    println!(
+        "\nreplayed {} points in {:.2?}: {} cache hits, {} simulations run in total",
+        again.len(),
+        started.elapsed(),
+        counters.hits,
+        engine.simulations_run()
+    );
+    assert_eq!(counters.hits as usize, again.len());
 }

@@ -5,12 +5,16 @@
 //! The example compares every built-in allocation policy (including the
 //! advanced cost-model and fair-share strategies) on the same platform and
 //! workload, then shows the effect of the data-movement policy (cache
-//! admission) on wide-area traffic.
+//! admission) and the queue-time model. All ablations run through one
+//! [`ScenarioEngine`] over one `Arc`-shared [`ScenarioBase`]: the platform
+//! and the 3000-job trace are held once, each variant is just an execution
+//! delta, and repeated variants are answered from the response cache.
 //!
 //! ```bash
 //! cargo run --release --example policy_comparison
 //! ```
 
+use cgsim::core::ScenarioSpec;
 use cgsim::prelude::*;
 
 fn main() {
@@ -18,7 +22,8 @@ fn main() {
     let trace = TraceGenerator::new(TraceConfig::with_jobs(3_000, 21)).generate(&platform);
     let registry = PolicyRegistry::with_builtins();
 
-    // 1. Allocation-policy comparison under identical conditions.
+    // 1. Allocation-policy comparison under identical conditions
+    //    (compare_policies itself batches through a scenario engine).
     let policies = [
         "least-loaded",
         "round-robin",
@@ -53,25 +58,34 @@ fn main() {
         report.best_by_queue_time().expect("non-empty").policy
     );
 
+    // One shared base for every ablation below: the platform and trace are
+    // content-hashed once, never cloned per run.
+    let engine = ScenarioEngine::with_registry(registry);
+    let base = ScenarioBase::shared(platform, trace);
+
     // 2. Data-movement ablation: cache admission policies change WAN traffic.
     println!("\n# Data-movement policies (staged bytes over the WAN)\n");
-    for data_policy in [
+    let data_specs: Vec<ScenarioSpec> = [
         "default-data-movement",
         "never-cache",
         "size-threshold-cache",
-    ] {
+    ]
+    .iter()
+    .map(|&data_policy| {
         let mut execution = ExecutionConfig::with_policy("least-loaded");
         execution.data_movement_policy = data_policy.to_string();
-        let results = Simulation::builder()
-            .platform_spec(&platform)
-            .expect("platform is valid")
-            .trace(trace.clone())
-            .execution(execution)
-            .run()
-            .expect("simulation runs");
+        ScenarioSpec::new(base.clone(), execution)
+    })
+    .collect();
+    for (outcome, spec) in engine
+        .evaluate_batch(&data_specs)
+        .into_iter()
+        .zip(&data_specs)
+    {
+        let results = outcome.expect("simulation runs").results;
         println!(
             "{:<24} staged {:>8.1} GB, makespan {:>6.1} h",
-            data_policy,
+            spec.execution.data_movement_policy,
             results.metrics.staged_bytes as f64 / 1e9,
             results.metrics.makespan_s / 3600.0
         );
@@ -82,23 +96,29 @@ fn main() {
     for overhead_s in [0.0, 120.0, 600.0] {
         let mut execution = ExecutionConfig::with_policy("least-loaded");
         execution.queue_model = QueueModel::constant(overhead_s);
-        let results = Simulation::builder()
-            .platform_spec(&platform)
-            .expect("platform is valid")
-            .trace(trace.clone())
-            .execution(execution)
-            .run()
+        let outcome = engine
+            .evaluate(&ScenarioSpec::new(base.clone(), execution))
             .expect("simulation runs");
         println!(
             "overhead {:>5.0} s -> mean queue time {:>7.1} s, makespan {:>6.1} h",
             overhead_s,
-            results
+            outcome
+                .results
                 .metrics
                 .queue_time
                 .as_ref()
                 .map(|s| s.mean)
                 .unwrap_or(0.0),
-            results.metrics.makespan_s / 3600.0
+            outcome.results.metrics.makespan_s / 3600.0
         );
     }
+
+    let counters = engine.cache_counters();
+    println!(
+        "\nengine: {} simulations run, cache {} hits / {} misses ({} entries)",
+        engine.simulations_run(),
+        counters.hits,
+        counters.misses,
+        counters.entries
+    );
 }

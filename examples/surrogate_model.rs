@@ -3,27 +3,32 @@
 //! surrogate models on it, pick the best one by cross-validation and compare
 //! surrogate inference against re-running the simulator.
 //!
+//! The two prediction paths compose: the trained surrogate is the *cheap*
+//! path (microseconds per job, approximate), the scenario engine is the
+//! *slow* path (a full simulation per novel scenario, exact — but memoised,
+//! so a scenario is only ever paid for once). A what-if service would answer
+//! from the surrogate when the question tolerates approximation and fall
+//! back to `ScenarioEngine::evaluate` when it does not.
+//!
 //! ```bash
 //! cargo run --release --example surrogate_model
 //! ```
 
+use cgsim::core::ScenarioSpec;
 use cgsim::monitor::mldataset::build_examples;
 use cgsim::prelude::*;
 use cgsim::surrogate::{self, Dataset, SurrogateReport};
 
 fn main() {
-    // 1. Simulate a mid-sized grid and collect the event-level dataset.
+    // 1. Simulate a mid-sized grid through the scenario engine and collect
+    //    the event-level dataset (the slow, exact path).
     let platform = wlcg_platform(10, 3);
     let trace = TraceGenerator::new(TraceConfig::with_jobs(2_500, 11)).generate(&platform);
+    let base = ScenarioBase::shared(platform, trace);
+    let engine = ScenarioEngine::new();
+    let spec = ScenarioSpec::new(base, ExecutionConfig::with_policy("least-loaded"));
     let started = std::time::Instant::now();
-    let results = Simulation::builder()
-        .platform_spec(&platform)
-        .expect("platform is valid")
-        .trace(trace)
-        .policy_name("least-loaded")
-        .execution(ExecutionConfig::default())
-        .run()
-        .expect("simulation runs");
+    let results = engine.evaluate(&spec).expect("simulation runs").results;
     let sim_elapsed = started.elapsed();
     let examples = build_examples(&results.outcomes, &results.events);
     println!(
@@ -71,5 +76,16 @@ fn main() {
         predictions.len(),
         predict_elapsed,
         sim_elapsed
+    );
+
+    // 4. The exact path, revisited: asking the engine the same scenario again
+    //    is a cache lookup, not a rerun — the slow path is only slow once.
+    let started = std::time::Instant::now();
+    let replay = engine.evaluate(&spec).expect("cached scenario replays");
+    println!(
+        "re-asking the engine for the same scenario: {:.2?} (cached: {}, {} simulations run)",
+        started.elapsed(),
+        replay.cached,
+        engine.simulations_run()
     );
 }

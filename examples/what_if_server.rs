@@ -1,0 +1,74 @@
+//! Simulation as a service, in-process: drives the `cgsim serve` JSONL loop
+//! directly against a [`ScenarioEngine`] — the same code path the CLI wires
+//! to stdin/stdout or a TCP socket — to answer a batch of what-if questions
+//! about one grid ("what if we switch the allocation policy? add site
+//! outages? turn on checkpointing?") without a subprocess.
+//!
+//! The platform and trace are loaded once into an `Arc`-shared
+//! [`ScenarioBase`]; every question is a small delta. Repeating a question
+//! is answered from the deterministic response cache with a byte-identical
+//! response line.
+//!
+//! ```bash
+//! cargo run --release --example what_if_server
+//! ```
+
+use cgsim::prelude::*;
+
+fn main() {
+    let platform = wlcg_platform(12, 5);
+    let trace = TraceGenerator::new(TraceConfig::with_jobs(1_500, 17)).generate(&platform);
+    let base = ScenarioBase::shared(platform, trace);
+    let execution = ExecutionConfig::default();
+    let engine = ScenarioEngine::new();
+
+    // One batch line holding mixed what-if deltas (evaluated together over
+    // the worker pool), a repeat of the baseline (cache hit), and a stats
+    // probe — exactly what a client would pipe into `cgsim serve`.
+    let transcript = r#"[{"id":"baseline"},{"id":"round-robin","policy":"round-robin"},{"id":"outages","faults":"outage:site=2,mttf=4h,mttr=30m;horizon=48h"},{"id":"outages+ckpt","faults":"outage:site=2,mttf=4h,mttr=30m;horizon=48h","checkpoint":{"interval_s":1800.0,"base_bytes":2000000000,"bytes_per_core":0,"target":"SiteStorage"}}]
+{"id":"baseline"}
+{"cmd":"stats"}
+"#;
+
+    let mut output = Vec::new();
+    serve_loop(
+        &engine,
+        &base,
+        &execution,
+        std::io::Cursor::new(transcript.as_bytes()),
+        &mut output,
+    )
+    .expect("in-memory IO cannot fail");
+    let output = String::from_utf8(output).expect("responses are UTF-8");
+
+    println!("# JSONL transcript (requests > / responses <)\n");
+    for line in transcript.lines() {
+        println!("> {line}");
+    }
+    println!();
+    for line in output.lines() {
+        // Response lines embed the full deterministic results; keep the
+        // console readable by trimming them.
+        let shown = if line.len() > 160 {
+            let mut end = 160;
+            while !line.is_char_boundary(end) {
+                end -= 1;
+            }
+            format!("{}…", &line[..end])
+        } else {
+            line.to_string()
+        };
+        println!("< {shown}");
+    }
+
+    // The repeated baseline request is served from cache, byte-identically.
+    let lines: Vec<&str> = output.lines().collect();
+    assert_eq!(lines[0], lines[4], "cache replies are byte-identical");
+    let counters = engine.cache_counters();
+    println!(
+        "\nengine: {} simulations for {} answers ({} cache hits)",
+        engine.simulations_run(),
+        lines.len() - 1,
+        counters.hits
+    );
+}

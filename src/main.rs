@@ -33,6 +33,7 @@ fn main() -> ExitCode {
         "init" => cmd_init(&options),
         "simulate" => cmd_simulate(&options),
         "demo" => cmd_demo(&options),
+        "serve" => cmd_serve(&options),
         "policies" => {
             for name in PolicyRegistry::with_builtins().names() {
                 println!("{name}");
@@ -63,7 +64,18 @@ USAGE:
                     [--faults SPEC] [--fault-seed N] [CHECKPOINT FLAGS]
     cgsim demo      [--sites N] [--jobs N] [--policy NAME] [--seed N] [--output DIR]
                     [--faults SPEC] [--fault-seed N] [CHECKPOINT FLAGS]
+    cgsim serve     --platform <platform.json> --execution <execution.json>
+                    --trace <trace.jsonl> [--listen HOST:PORT]
+                    [--cache-capacity N] [--no-cache] [--serial]
     cgsim policies            list the registered allocation policies
+
+SERVE (simulation as a service):
+    Reads one JSONL request per line from stdin (or, with --listen, from
+    sequential TCP connections) and writes one JSON response line per
+    request. A line holding an array is a batch: evaluated as one engine
+    batch, one response line per element, in order. Repeated scenarios are
+    answered from a deterministic response cache; replies are byte-identical
+    across server restarts. See README \"Simulation as a service\".
 
 FAULT SPECS (semicolon-separated clauses; durations take s/m/h/d suffixes):
     outage:site=2,mttf=4h,mttr=30m[,shape=1.5]   random outages (site=all for every site)
@@ -85,10 +97,15 @@ CHECKPOINT FLAGS (override the execution config; interval 0 disables):
 
 fn parse_options(args: &[String]) -> HashMap<String, String> {
     let mut options = HashMap::new();
-    let mut iter = args.iter();
+    let mut iter = args.iter().peekable();
     while let Some(flag) = iter.next() {
         if let Some(name) = flag.strip_prefix("--") {
-            let value = iter.next().cloned().unwrap_or_default();
+            // A following `--token` is the next flag, not this one's value,
+            // so valueless switches like `--no-cache` parse as empty.
+            let value = match iter.peek() {
+                Some(next) if !next.starts_with("--") => iter.next().cloned().unwrap_or_default(),
+                _ => String::new(),
+            };
             options.insert(name.to_string(), value);
         }
     }
@@ -265,6 +282,84 @@ fn cmd_demo(options: &HashMap<String, String>) -> Result<(), String> {
     }
     let results = builder.run().map_err(|e| e.to_string())?;
     report(&results, options)
+}
+
+/// `cgsim serve`: long-running JSONL scenario-evaluation service over the
+/// loaded platform + trace. stdout (or the TCP stream) carries the protocol;
+/// human-readable chatter goes to stderr.
+fn cmd_serve(options: &HashMap<String, String>) -> Result<(), String> {
+    let platform_path = options
+        .get("platform")
+        .ok_or("missing --platform <platform.json>")?;
+    let execution_path = options
+        .get("execution")
+        .ok_or("missing --execution <execution.json>")?;
+    let trace_path = options
+        .get("trace")
+        .ok_or("missing --trace <trace.jsonl>")?;
+
+    let config =
+        SimulationConfig::load(platform_path, execution_path).map_err(|e| e.to_string())?;
+    let trace = Trace::load_jsonl(trace_path).map_err(|e| e.to_string())?;
+    let mut execution = config.execution.clone();
+    if let Some(policy) = options.get("policy") {
+        if !policy.is_empty() {
+            execution.allocation_policy = policy.clone();
+        }
+    }
+    apply_checkpoint_flags(options, &mut execution)?;
+
+    let no_cache = options.contains_key("no-cache");
+    let mut engine = ScenarioEngine::new();
+    let cache_label = if no_cache {
+        engine = engine.no_cache();
+        "off".to_string()
+    } else if let Some(capacity) = options.get("cache-capacity") {
+        let capacity: usize = capacity
+            .parse()
+            .map_err(|_| format!("--cache-capacity '{capacity}' is not a number"))?;
+        engine = engine.cache_capacity(capacity);
+        format!("{capacity} entries")
+    } else {
+        "256 entries".to_string()
+    };
+    if options.contains_key("serial") {
+        engine = engine.parallel(false);
+    }
+    let base = ScenarioBase::shared(config.platform, trace);
+    eprintln!(
+        "cgsim serve: {} jobs on {} sites, base policy '{}', cache {}",
+        base.trace().len(),
+        base.platform().sites.len(),
+        execution.allocation_policy,
+        cache_label
+    );
+
+    match options.get("listen") {
+        Some(addr) if !addr.is_empty() => {
+            let listener = std::net::TcpListener::bind(addr)
+                .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+            eprintln!("listening on {addr} (one JSONL session per connection)");
+            for stream in listener.incoming() {
+                let stream = stream.map_err(|e| e.to_string())?;
+                let reader =
+                    std::io::BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+                let shutdown = serve_loop(&engine, &base, &execution, reader, stream)
+                    .map_err(|e| e.to_string())?;
+                if shutdown {
+                    break;
+                }
+            }
+        }
+        _ => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_loop(&engine, &base, &execution, stdin.lock(), stdout.lock())
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    eprintln!("cgsim serve: bye");
+    Ok(())
 }
 
 fn report(results: &SimulationResults, options: &HashMap<String, String>) -> Result<(), String> {

@@ -1,0 +1,92 @@
+//! End-to-end contract of the scenario engine's response cache: serving a
+//! repeated scenario from cache must be observationally identical to
+//! re-simulating it — same `results.json` bytes — while actually running the
+//! simulator exactly once. This is what lets `cgsim serve` answer what-if
+//! queries from memory without clients being able to tell.
+
+use cgsim::core::ScenarioSpec;
+use cgsim::prelude::*;
+use std::sync::Arc;
+
+fn base_and_spec() -> (Arc<ScenarioBase>, ScenarioSpec) {
+    let platform = wlcg_platform(6, 19);
+    let trace = TraceGenerator::new(TraceConfig::with_jobs(300, 23)).generate(&platform);
+    let base = ScenarioBase::shared(platform, trace);
+    let mut execution = ExecutionConfig::with_policy("least-loaded");
+    execution.failure_probability = 0.05;
+    execution.max_retries = 1;
+    let spec = ScenarioSpec::new(base.clone(), execution).with_faults("kill:rate=0.5;horizon=48h");
+    (base, spec)
+}
+
+#[test]
+fn repeated_scenario_is_served_from_cache_byte_identically() {
+    let (_base, spec) = base_and_spec();
+    let engine = ScenarioEngine::new();
+
+    let first = engine.evaluate(&spec).expect("scenario runs");
+    assert!(!first.cached, "first evaluation must simulate");
+    assert_eq!(engine.simulations_run(), 1);
+    let first_json = first.results.deterministic_json();
+
+    let second = engine.evaluate(&spec).expect("cached scenario replays");
+    assert!(second.cached, "second evaluation must come from cache");
+    assert_eq!(
+        second.hash, first.hash,
+        "same scenario, same canonical hash"
+    );
+    assert_eq!(
+        engine.simulations_run(),
+        1,
+        "the cache hit must not rerun the simulator"
+    );
+    let counters = engine.cache_counters();
+    assert_eq!(counters.hits, 1);
+    assert_eq!(counters.misses, 1);
+    assert_eq!(counters.entries, 1);
+
+    // Byte-identical results.json — and in fact the very same allocation.
+    assert_eq!(second.results.deterministic_json(), first_json);
+    assert!(Arc::ptr_eq(&first.results, &second.results));
+}
+
+#[test]
+fn no_cache_engine_reruns_and_stays_byte_identical() {
+    let (_base, spec) = base_and_spec();
+    let cached_engine = ScenarioEngine::new();
+    let reference = cached_engine.evaluate(&spec).expect("scenario runs");
+
+    let engine = ScenarioEngine::new().no_cache();
+    let first = engine.evaluate(&spec).expect("scenario runs");
+    let second = engine.evaluate(&spec).expect("scenario reruns");
+    assert!(!first.cached && !second.cached);
+    assert_eq!(engine.simulations_run(), 2, "--no-cache must re-simulate");
+    let counters = engine.cache_counters();
+    assert_eq!(
+        (counters.hits, counters.misses, counters.entries),
+        (0, 0, 0)
+    );
+
+    // Determinism holds with and without the cache: all three runs agree.
+    let json = reference.results.deterministic_json();
+    assert_eq!(first.results.deterministic_json(), json);
+    assert_eq!(second.results.deterministic_json(), json);
+}
+
+#[test]
+fn distinct_deltas_are_never_conflated_by_the_cache() {
+    let (base, spec) = base_and_spec();
+    let engine = ScenarioEngine::new();
+    let baseline = engine.evaluate(&spec).expect("scenario runs");
+
+    let mut other_execution = spec.execution.clone();
+    other_execution.seed += 1;
+    let other = engine
+        .evaluate(
+            &ScenarioSpec::new(base, other_execution).with_faults("kill:rate=0.5;horizon=48h"),
+        )
+        .expect("scenario runs");
+    assert_ne!(baseline.hash, other.hash, "different seed, different hash");
+    assert!(!other.cached);
+    assert_eq!(engine.simulations_run(), 2);
+}
