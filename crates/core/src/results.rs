@@ -44,6 +44,16 @@ pub struct SimulationResults {
     pub grid_counters: cgsim_monitor::GridCounters,
     /// Name of the allocation policy used.
     pub policy: String,
+    /// Self-profiling report (`None` unless profiling was requested).
+    /// Wall-clock data lives here and in the separate `profile.json` the CLI
+    /// writes — never in [`SimulationResults::deterministic_json`].
+    #[serde(default)]
+    pub profile: Option<cgsim_obs::ProfileReport>,
+    /// Windowed metrics (empty unless `MonitoringConfig::window_s` enabled
+    /// them): per-window site/grid counter snapshots, bounded by the
+    /// configured ring capacity.
+    #[serde(default)]
+    pub windows: Vec<cgsim_monitor::WindowSnapshot>,
 }
 
 impl SimulationResults {
@@ -260,6 +270,8 @@ mod tests {
             site_panels: Vec::new(),
             grid_counters: cgsim_monitor::GridCounters::default(),
             policy: "test".into(),
+            profile: None,
+            windows: Vec::new(),
         }
     }
 

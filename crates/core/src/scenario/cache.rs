@@ -127,6 +127,8 @@ mod tests {
             site_panels: Vec::new(),
             grid_counters: cgsim_monitor::GridCounters::default(),
             policy: "test".into(),
+            profile: None,
+            windows: Vec::new(),
         })
     }
 

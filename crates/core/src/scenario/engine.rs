@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use cgsim_monitor::CacheCounters;
+use cgsim_obs::{ProfileReport, Profiler, Subsystem, TraceSink};
 use cgsim_policies::PolicyRegistry;
 
 use crate::results::SimulationResults;
@@ -39,6 +40,10 @@ pub struct ScenarioEngine {
     cache: Option<Mutex<ResponseCache>>,
     simulations_run: AtomicU64,
     parallel: bool,
+    /// Engine-level self-profiler (`None` unless profiling was requested):
+    /// times response-cache probes, the engine's own contribution to a
+    /// request's latency.
+    profiler: Option<Mutex<Profiler>>,
 }
 
 impl Default for ScenarioEngine {
@@ -63,6 +68,7 @@ impl ScenarioEngine {
             cache: Some(Mutex::new(ResponseCache::new(DEFAULT_CACHE_CAPACITY))),
             simulations_run: AtomicU64::new(0),
             parallel: true,
+            profiler: None,
         }
     }
 
@@ -85,6 +91,23 @@ impl ScenarioEngine {
     pub fn parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
         self
+    }
+
+    /// Enables engine-level self-profiling (cache-lookup timing). Read the
+    /// accumulated report with [`ScenarioEngine::profile_report`].
+    pub fn profiling(mut self, enabled: bool) -> Self {
+        self.profiler = enabled.then(|| Mutex::new(Profiler::new(true)));
+        self
+    }
+
+    /// The accumulated engine self-profile (`None` unless
+    /// [`ScenarioEngine::profiling`] enabled it).
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        self.profiler.as_ref().map(|p| {
+            p.lock()
+                .expect("profiler mutex poisoned")
+                .report("scenario-engine")
+        })
     }
 
     /// The policy registry the engine resolves names through.
@@ -123,6 +146,7 @@ impl ScenarioEngine {
         &self,
         specs: &[ScenarioSpec],
     ) -> Vec<Result<ScenarioOutcome, SimulationError>> {
+        let probe_started = self.profiler.as_ref().map(|_| std::time::Instant::now());
         let hashes: Vec<u64> = specs.iter().map(ScenarioSpec::canonical_hash).collect();
         let mut slots: Vec<Option<Result<ScenarioOutcome, SimulationError>>> =
             (0..specs.len()).map(|_| None).collect();
@@ -152,6 +176,11 @@ impl ScenarioEngine {
             }
             // Without a cache nothing is deduplicated: every request runs.
             None => unique = (0..specs.len()).collect(),
+        }
+        if let Some(p) = &self.profiler {
+            p.lock()
+                .expect("profiler mutex poisoned")
+                .stop(Subsystem::CacheLookup, probe_started);
         }
 
         let to_run: Vec<&ScenarioSpec> = unique.iter().map(|&i| &specs[i]).collect();
@@ -188,11 +217,48 @@ impl ScenarioEngine {
             .collect()
     }
 
+    /// Evaluates one scenario with a structured-trace sink attached. The
+    /// trace must come from a real run, so the cache is bypassed on the way
+    /// in; on the way out the fresh results are fed *into* the cache — by
+    /// the determinism contract they are byte-identical to untraced ones, so
+    /// later untraced duplicates can be answered from memory.
+    pub fn evaluate_traced(
+        &self,
+        spec: &ScenarioSpec,
+        sink: Box<dyn TraceSink>,
+        mask: u32,
+    ) -> Result<ScenarioOutcome, SimulationError> {
+        let hash = spec.canonical_hash();
+        let results = Arc::new(self.run_spec_with(spec, |b| b.trace_sink(sink, mask))?);
+        if let Some(cache) = &self.cache {
+            let mut cache = cache.lock().expect("cache mutex poisoned");
+            cache.record_miss();
+            cache.insert(hash, results.clone());
+        }
+        Ok(ScenarioOutcome {
+            results,
+            cached: false,
+            hash,
+        })
+    }
+
     /// Runs one scenario unconditionally (no cache involvement), faithfully
     /// reproducing the CLI's `simulate` pipeline: resolve the policy by name,
     /// generate the fault plan from the spec text, build the platform from
     /// the shared spec and run.
     fn run_spec(&self, spec: &ScenarioSpec) -> Result<SimulationResults, SimulationError> {
+        self.run_spec_with(spec, |b| b)
+    }
+
+    /// [`ScenarioEngine::run_spec`] with a builder customisation hook (used
+    /// to attach per-run observability options).
+    fn run_spec_with(
+        &self,
+        spec: &ScenarioSpec,
+        customise: impl FnOnce(
+            crate::simulation::SimulationBuilder,
+        ) -> crate::simulation::SimulationBuilder,
+    ) -> Result<SimulationResults, SimulationError> {
         let policy = self
             .registry
             .create(&spec.execution.allocation_policy, spec.execution.seed)
@@ -208,7 +274,7 @@ impl ScenarioEngine {
         if let Some(plan) = fault_plan {
             builder = builder.fault_plan(plan);
         }
-        let results = builder.run()?;
+        let results = customise(builder).run()?;
         self.simulations_run.fetch_add(1, Ordering::Relaxed);
         Ok(results)
     }

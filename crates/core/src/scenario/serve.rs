@@ -22,9 +22,21 @@
 //! deterministic results (the same bytes `cgsim simulate --output` writes to
 //! `results.json`) to the given path on the server side.
 //!
+//! A request may also ask for a structured execution trace of its run:
+//! `"trace"` names a server-side output path, with optional
+//! `"trace_format"` (`"jsonl"`, the default, or `"chrome"`) and
+//! `"trace_filter"` (the CLI `--trace-filter` grammar). Traced requests
+//! always run a fresh simulation (a cached response has no run to trace),
+//! and by the observability determinism contract their response line is
+//! byte-identical to the untraced one.
+//!
 //! Control commands (single requests only, never inside a batch):
-//! `{"cmd": "stats"}` reports cache counters and the simulation-run counter;
-//! `{"cmd": "shutdown"}` acknowledges and ends the loop.
+//! `{"cmd": "stats"}` reports cache counters, the simulation-run counter,
+//! the scenario-requests-served counter and client-observed wall-clock
+//! latency percentiles (per input line, so batch members share a sample);
+//! `{"cmd": "shutdown"}` acknowledges and ends the loop. Latency statistics
+//! are per serve loop (per TCP connection), while cache counters and
+//! `simulations_run` live in the engine and span connections.
 //!
 //! Responses: `{"id": …, "ok": true, "results": {…}}` on success, where
 //! `results` is the deterministic subset (policy, makespan, engine events,
@@ -71,6 +83,15 @@ pub struct ServeRequest {
     /// Server-side path to write the pretty deterministic results to.
     #[serde(default)]
     pub save: Option<String>,
+    /// Server-side path for a structured execution trace of this run.
+    #[serde(default)]
+    pub trace: Option<String>,
+    /// Trace file format: `"jsonl"` (default) or `"chrome"`.
+    #[serde(default)]
+    pub trace_format: Option<String>,
+    /// Trace category filter (comma-separated, CLI `--trace-filter` grammar).
+    #[serde(default)]
+    pub trace_filter: Option<String>,
 }
 
 impl ServeRequest {
@@ -90,12 +111,69 @@ impl ServeRequest {
 enum Planned {
     /// Evaluate `specs[index]` and reply with its results.
     Scenario { index: usize },
+    /// Evaluate `traced[index]` with its trace sink and reply.
+    Traced { index: usize },
     /// Reply with an error message.
     Error(String),
     /// Reply with engine statistics.
     Stats,
     /// Acknowledge and end the serve loop.
     Shutdown,
+}
+
+/// Per-loop service statistics: scenario requests served and client-observed
+/// latency samples (one per request, the wall-clock of its whole input line).
+/// Samples live in a fixed ring so long-lived servers stay bounded.
+struct ServeStats {
+    requests: u64,
+    latencies_ms: Vec<f64>,
+}
+
+const LATENCY_SAMPLE_CAP: usize = 4096;
+
+impl ServeStats {
+    fn new() -> Self {
+        ServeStats {
+            requests: 0,
+            latencies_ms: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, elapsed_ms: f64) {
+        if self.latencies_ms.len() < LATENCY_SAMPLE_CAP {
+            self.latencies_ms.push(elapsed_ms);
+        } else {
+            self.latencies_ms[self.requests as usize % LATENCY_SAMPLE_CAP] = elapsed_ms;
+        }
+        self.requests += 1;
+    }
+
+    fn percentile(sorted: &[f64], p: f64) -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let pos = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+        sorted[pos.min(sorted.len() - 1)]
+    }
+
+    fn latency_value(&self) -> Value {
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let mut map = Map::new();
+        for (label, p) in [("p50", 50.0), ("p90", 90.0), ("p99", 99.0)] {
+            map.insert(
+                label.into(),
+                Value::Number(serde_json::Number::from_f64(Self::percentile(&sorted, p))),
+            );
+        }
+        map.insert(
+            "max".into(),
+            Value::Number(serde_json::Number::from_f64(
+                sorted.last().copied().unwrap_or(0.0),
+            )),
+        );
+        Value::Object(map)
+    }
 }
 
 /// Runs the request/response loop until end-of-input or a `shutdown`
@@ -107,6 +185,7 @@ pub fn serve_loop<R: BufRead, W: Write>(
     input: R,
     mut output: W,
 ) -> std::io::Result<bool> {
+    let mut stats = ServeStats::new();
     for line in input.lines() {
         let line = line?;
         let text = line.trim();
@@ -140,7 +219,10 @@ pub fn serve_loop<R: BufRead, W: Write>(
         };
 
         // Plan every request, collecting the scenario specs into one batch.
+        // Traced requests are kept aside: each needs its own sink-carrying
+        // run, so they cannot share the batch's deduplicated evaluation.
         let mut specs: Vec<ScenarioSpec> = Vec::new();
+        let mut traced: Vec<(ScenarioSpec, TraceOptions)> = Vec::new();
         let mut planned: Vec<(Option<String>, Option<String>, Planned)> = Vec::new();
         let mut shutdown = false;
         for request in requests {
@@ -157,12 +239,21 @@ pub fn serve_loop<R: BufRead, W: Write>(
                             Planned::Error(format!("cmd '{cmd}' is not allowed inside a batch"))
                         }
                         Some(cmd) => Planned::Error(format!("unknown cmd: {cmd}")),
-                        None => {
-                            specs.push(req.delta().resolve(base, execution));
-                            Planned::Scenario {
-                                index: specs.len() - 1,
+                        None => match trace_options(req) {
+                            Err(message) => Planned::Error(message),
+                            Ok(Some(options)) => {
+                                traced.push((req.delta().resolve(base, execution), options));
+                                Planned::Traced {
+                                    index: traced.len() - 1,
+                                }
                             }
-                        }
+                            Ok(None) => {
+                                specs.push(req.delta().resolve(base, execution));
+                                Planned::Scenario {
+                                    index: specs.len() - 1,
+                                }
+                            }
+                        },
                     };
                     (req.id.clone(), req.save.clone(), plan)
                 }
@@ -170,12 +261,21 @@ pub fn serve_loop<R: BufRead, W: Write>(
             planned.push(plan);
         }
 
+        let line_started = std::time::Instant::now();
         let outcomes = engine.evaluate_batch(&specs);
+        let traced_outcomes: Vec<Result<crate::scenario::ScenarioOutcome, String>> = traced
+            .into_iter()
+            .map(|(spec, options)| evaluate_traced(engine, &spec, options))
+            .collect();
+        let elapsed_ms = line_started.elapsed().as_secs_f64() * 1e3;
+        for _ in 0..outcomes.len() + traced_outcomes.len() {
+            stats.record(elapsed_ms);
+        }
 
         for (id, save, plan) in planned {
             let response = match plan {
                 Planned::Error(message) => error_value(&id, &message),
-                Planned::Stats => stats_value(engine),
+                Planned::Stats => stats_value(engine, &stats),
                 Planned::Shutdown => {
                     let mut map = Map::new();
                     insert_id(&mut map, &id);
@@ -185,6 +285,13 @@ pub fn serve_loop<R: BufRead, W: Write>(
                 }
                 Planned::Scenario { index } => match &outcomes[index] {
                     Err(e) => error_value(&id, &e.to_string()),
+                    Ok(outcome) => match save_results(&save, &outcome.results) {
+                        Err(message) => error_value(&id, &message),
+                        Ok(()) => ok_value(&id, &outcome.results),
+                    },
+                },
+                Planned::Traced { index } => match &traced_outcomes[index] {
+                    Err(message) => error_value(&id, message),
                     Ok(outcome) => match save_results(&save, &outcome.results) {
                         Err(message) => error_value(&id, &message),
                         Ok(()) => ok_value(&id, &outcome.results),
@@ -230,7 +337,54 @@ fn ok_value(id: &Option<String>, results: &SimulationResults) -> Value {
     Value::Object(map)
 }
 
-fn stats_value(engine: &ScenarioEngine) -> Value {
+/// The trace options of a request (`Ok(None)` when untraced; `Err` on a bad
+/// format or filter, caught at planning time so no simulation runs).
+fn trace_options(req: &ServeRequest) -> Result<Option<TraceOptions>, String> {
+    let Some(path) = req.trace.clone().filter(|p| !p.is_empty()) else {
+        return Ok(None);
+    };
+    let chrome = match req.trace_format.as_deref() {
+        None | Some("") | Some("jsonl") => false,
+        Some("chrome") => true,
+        Some(other) => return Err(format!("trace_format must be jsonl or chrome, got {other}")),
+    };
+    let mask = match req.trace_filter.as_deref() {
+        Some(spec) if !spec.is_empty() => cgsim_obs::parse_filter(spec)?,
+        _ => cgsim_obs::MASK_ALL,
+    };
+    Ok(Some(TraceOptions { path, chrome, mask }))
+}
+
+/// Where and how a traced request writes its trace.
+struct TraceOptions {
+    path: String,
+    chrome: bool,
+    mask: u32,
+}
+
+fn evaluate_traced(
+    engine: &ScenarioEngine,
+    spec: &ScenarioSpec,
+    options: TraceOptions,
+) -> Result<crate::scenario::ScenarioOutcome, String> {
+    let path = std::path::Path::new(&options.path);
+    let sink: Box<dyn cgsim_obs::TraceSink> = if options.chrome {
+        Box::new(
+            cgsim_obs::ChromeSink::create(path)
+                .map_err(|e| format!("trace '{}' failed: {e}", options.path))?,
+        )
+    } else {
+        Box::new(
+            cgsim_obs::JsonlSink::create(path)
+                .map_err(|e| format!("trace '{}' failed: {e}", options.path))?,
+        )
+    };
+    engine
+        .evaluate_traced(spec, sink, options.mask)
+        .map_err(|e| e.to_string())
+}
+
+fn stats_value(engine: &ScenarioEngine, serve_stats: &ServeStats) -> Value {
     let mut stats = Map::new();
     stats.insert(
         "cache".into(),
@@ -240,6 +394,11 @@ fn stats_value(engine: &ScenarioEngine) -> Value {
         "simulations_run".into(),
         Value::Number(serde_json::Number::from_u64(engine.simulations_run())),
     );
+    stats.insert(
+        "requests".into(),
+        Value::Number(serde_json::Number::from_u64(serve_stats.requests)),
+    );
+    stats.insert("latency_ms".into(), serve_stats.latency_value());
     let mut map = Map::new();
     map.insert("ok".into(), Value::Bool(true));
     map.insert("stats".into(), Value::Object(stats));
@@ -352,7 +511,47 @@ not json
         assert!(lines[2].contains(r#""hits":1"#));
         assert!(lines[2].contains(r#""misses":1"#));
         assert!(lines[2].contains(r#""simulations_run":1"#));
+        assert!(lines[2].contains(r#""requests":2"#));
+        assert!(lines[2].contains(r#""latency_ms""#));
+        assert!(lines[2].contains(r#""p50""#));
+        assert!(lines[2].contains(r#""p99""#));
         assert!(lines[3].contains(r#""shutdown":true"#));
+    }
+
+    #[test]
+    fn traced_requests_answer_identically_and_write_the_trace() {
+        let dir = std::env::temp_dir().join("cgsim-serve-trace-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("run.jsonl");
+        let chrome = dir.join("run.json");
+        let input = format!(
+            "{{\"id\":\"plain\",\"faults\":\"kill:rate=1\"}}\n\
+             {{\"id\":\"plain\",\"faults\":\"kill:rate=1\",\"trace\":{jsonl:?}}}\n\
+             {{\"id\":\"plain\",\"faults\":\"kill:rate=1\",\"trace\":{chrome:?},\
+               \"trace_format\":\"chrome\",\"trace_filter\":\"fault,job\"}}\n\
+             {{\"id\":\"bad\",\"trace\":\"x\",\"trace_format\":\"xml\"}}\n",
+            jsonl = jsonl.to_str().unwrap(),
+            chrome = chrome.to_str().unwrap(),
+        );
+        let (out, _) = drive(&input);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(
+            lines[0], lines[1],
+            "tracing must not change the response line"
+        );
+        assert_eq!(lines[0], lines[2]);
+        assert!(lines[3].contains("trace_format must be jsonl or chrome"));
+
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        let records = cgsim_obs::validate_jsonl(&text).expect("schema-valid trace");
+        assert!(records > 0);
+        let chrome_text = std::fs::read_to_string(&chrome).unwrap();
+        cgsim_obs::validate_chrome(&chrome_text).expect("well-formed Chrome trace");
+        assert!(chrome_text.contains("\"cat\":\"fault\""));
+        assert!(!chrome_text.contains("\"cat\":\"broker\""), "filtered out");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use cgsim_des::{Context, SimTime};
 use cgsim_monitor::dashboard::SitePanel;
 use cgsim_monitor::JobOutcome;
+use cgsim_obs::{SpanPhase, TraceCategory};
 use cgsim_workload::JobState;
 
 use super::events::GridEvent;
@@ -23,6 +24,20 @@ impl GridModel {
         };
         self.collector
             .record_transition(now.as_secs(), job_id, state, site_index, avail, queued);
+        if let Some(t) = self.tracer.as_mut() {
+            if t.wants(TraceCategory::Job) {
+                let site = site_index.map(|s| self.platform.sites()[s].name.as_str());
+                t.emit(
+                    now.as_secs(),
+                    TraceCategory::Job,
+                    SpanPhase::Instant,
+                    &format!("state.{}", state.label()),
+                    Some(job_id.0),
+                    site,
+                    None,
+                );
+            }
+        }
     }
 
     /// Records the terminal state, outcome, and frees resources, then lets

@@ -4,6 +4,7 @@
 use std::collections::VecDeque;
 
 use cgsim_des::{Context, SimTime};
+use cgsim_obs::{SpanPhase, TraceCategory};
 use cgsim_platform::{NodeId, SiteId};
 use cgsim_policies::{GridView, SiteLoad};
 use cgsim_workload::JobState;
@@ -56,6 +57,17 @@ impl GridModel {
         let decision = self.policy.assign_job(&self.jobs[idx].record, &view);
         match decision {
             Some(site) if site.index() < self.sites.len() && self.availability.site_up(site) => {
+                if let Some(t) = self.tracer.as_mut() {
+                    t.emit(
+                        now.as_secs(),
+                        TraceCategory::Broker,
+                        SpanPhase::Instant,
+                        "broker.dispatch",
+                        Some(self.jobs[idx].record.id.0),
+                        Some(&self.platform.site(site).name),
+                        None,
+                    );
+                }
                 self.jobs[idx].site = Some(site);
                 self.jobs[idx].assign_time = now.as_secs();
                 self.jobs[idx].state = JobState::Assigned;
@@ -84,6 +96,19 @@ impl GridModel {
                                 self.sites.len()
                             );
                         }
+                    }
+                }
+                if let Some(t) = self.tracer.as_mut() {
+                    if t.wants(TraceCategory::Broker) {
+                        t.emit(
+                            now.as_secs(),
+                            TraceCategory::Broker,
+                            SpanPhase::Instant,
+                            "broker.park",
+                            Some(self.jobs[idx].record.id.0),
+                            None,
+                            Some("no dispatchable site".to_string()),
+                        );
                     }
                 }
                 self.jobs[idx].site = None;

@@ -25,6 +25,7 @@
 
 use cgsim_data::DatasetId;
 use cgsim_des::{Context, SimTime};
+use cgsim_obs::{SpanPhase, Subsystem, TraceCategory};
 use cgsim_platform::{NodeId, SiteId};
 use cgsim_workload::ideal_walltime;
 
@@ -95,6 +96,19 @@ impl GridModel {
                 self.jobs[idx].frac_done = ck.frac;
                 let saved = ck.frac * self.nominal_walltime_at(idx, site);
                 self.collector.record_checkpoint_restore(saved);
+                if let Some(t) = self.tracer.as_mut() {
+                    if t.wants(TraceCategory::Ckpt) {
+                        t.emit(
+                            ctx.now().as_secs(),
+                            TraceCategory::Ckpt,
+                            SpanPhase::Instant,
+                            "ckpt.restore",
+                            Some(self.jobs[idx].record.id.0),
+                            Some(&self.platform.site(site).name),
+                            Some(format!("local frac={:.4}", ck.frac)),
+                        );
+                    }
+                }
                 self.start_execution_segment(idx, site, ctx);
             }
             Some(ck) => {
@@ -165,6 +179,7 @@ impl GridModel {
                 self.jobs[idx].seg_walltime_s = seg_w;
                 let key = ctx.schedule_in(SimTime::from_secs(seg_w), GridEvent::ExecutionDone(idx));
                 self.jobs[idx].timer = Some(key);
+                self.trace_phase(now.as_secs(), idx, Phase::Execute, SpanPhase::Begin, None);
             }
             ComputeMode::TimeShared => {
                 let record = &self.jobs[idx].record;
@@ -242,6 +257,7 @@ impl GridModel {
     /// replica + stack entry), superseding any older checkpoint of this job
     /// at the same node, and the next execution segment starts.
     pub(super) fn finish_checkpoint_write(&mut self, idx: usize, ctx: &mut Context<'_, GridEvent>) {
+        let timer = self.profiler.start();
         let site = self.jobs[idx].site.expect("checkpointing job has a site");
         let node = self.jobs[idx]
             .transfer_peer
@@ -284,6 +300,20 @@ impl GridModel {
         }
         self.collector
             .record_checkpoint_written(site.index(), bytes);
+        if let Some(t) = self.tracer.as_mut() {
+            if t.wants(TraceCategory::Ckpt) {
+                t.emit(
+                    ctx.now().as_secs(),
+                    TraceCategory::Ckpt,
+                    SpanPhase::Instant,
+                    "ckpt.durable",
+                    Some(self.jobs[idx].record.id.0),
+                    Some(&self.platform.site(site).name),
+                    Some(format!("frac={frac:.4} bytes={bytes} node={node}")),
+                );
+            }
+        }
+        self.profiler.stop(Subsystem::Checkpoint, timer);
         self.start_execution_segment(idx, site, ctx);
     }
 
@@ -300,6 +330,7 @@ impl GridModel {
     /// catalog replicas (terminal jobs and application failures clean up
     /// after themselves).
     pub(super) fn discard_checkpoints(&mut self, idx: usize) {
+        let timer = self.profiler.start();
         let stack = std::mem::take(&mut self.jobs[idx].checkpoints);
         for ck in stack {
             let ni = self.node_index(ck.node);
@@ -309,6 +340,7 @@ impl GridModel {
             self.catalog.remove_replica(ck.dataset, ck.node);
             self.release_checkpoint_storage(ck.node, ck.bytes);
         }
+        self.profiler.stop(Subsystem::Checkpoint, timer);
     }
 
     /// Debug-only: the checkpoint-holder index must agree exactly with the
@@ -333,6 +365,7 @@ impl GridModel {
     /// order; each job's surviving stack entries keep their relative order
     /// (`best_durable_checkpoint`'s tie-break observes it).
     pub(super) fn invalidate_checkpoints_at(&mut self, node: NodeId) -> u64 {
+        let timer = self.profiler.start();
         #[cfg(debug_assertions)]
         self.assert_holder_index_matches_scan(node);
         let ni = self.node_index(node);
@@ -353,6 +386,7 @@ impl GridModel {
         if freed > 0 {
             self.release_checkpoint_storage(node, freed);
         }
+        self.profiler.stop(Subsystem::Checkpoint, timer);
         lost
     }
 

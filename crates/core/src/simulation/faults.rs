@@ -50,6 +50,7 @@
 
 use cgsim_des::{Context, SimTime};
 use cgsim_faults::FaultAction;
+use cgsim_obs::{SpanPhase, Subsystem, TraceCategory};
 use cgsim_platform::{LinkId, NodeId, SiteId};
 use cgsim_workload::JobState;
 
@@ -60,6 +61,7 @@ use super::GridModel;
 impl GridModel {
     /// Applies fault-plan event `index` and chains the next one.
     pub(super) fn handle_fault(&mut self, index: usize, ctx: &mut Context<'_, GridEvent>) {
+        let timer = self.profiler.start();
         self.fault_key = None;
         let now = ctx.now();
         // Credit all in-flight fluid work at the pre-fault rates before any
@@ -68,6 +70,38 @@ impl GridModel {
         self.handle_completed_activities(completed, ctx);
 
         let action = self.fault_plan[index].action;
+        if let Some(t) = self.tracer.as_mut() {
+            if t.wants(TraceCategory::Fault) {
+                let (kind, info) = match action {
+                    FaultAction::SiteDown { site } => ("fault.site_down", format!("site={site}")),
+                    FaultAction::SiteUp { site } => ("fault.site_up", format!("site={site}")),
+                    FaultAction::NodeLoss { site, fraction } => (
+                        "fault.node_loss",
+                        format!("site={site} fraction={fraction}"),
+                    ),
+                    FaultAction::NodeRestore { site } => {
+                        ("fault.node_restore", format!("site={site}"))
+                    }
+                    FaultAction::DiskLoss { site } => ("fault.disk_loss", format!("site={site}")),
+                    FaultAction::LinkDegrade { link, factor } => {
+                        ("fault.link_degrade", format!("link={link} factor={factor}"))
+                    }
+                    FaultAction::LinkRestore { link } => {
+                        ("fault.link_restore", format!("link={link}"))
+                    }
+                    FaultAction::KillJob { job } => ("fault.kill_job", format!("job={job}")),
+                };
+                t.emit(
+                    now.as_secs(),
+                    TraceCategory::Fault,
+                    SpanPhase::Instant,
+                    kind,
+                    None,
+                    None,
+                    Some(info),
+                );
+            }
+        }
         match action {
             FaultAction::SiteDown { site } if site < self.sites.len() => {
                 let site = SiteId::new(site);
@@ -120,6 +154,7 @@ impl GridModel {
 
         self.reschedule_fluid(ctx);
         self.schedule_next_fault(index + 1, ctx);
+        self.profiler.stop(Subsystem::FaultReplay, timer);
     }
 
     /// Schedules fault-plan event `index`, unless the plan or the workload
@@ -146,6 +181,7 @@ impl GridModel {
         let lost = self.invalidate_checkpoints_at(node);
         if lost > 0 {
             self.collector.record_checkpoints_lost(lost);
+            self.trace_ckpt_lost(now.as_secs(), site, lost);
         }
         self.catalog.evict_node(node);
         self.caches[site.index()].clear();
@@ -182,10 +218,29 @@ impl GridModel {
         let lost = self.invalidate_checkpoints_at(node);
         if lost > 0 {
             self.collector.record_checkpoints_lost(lost);
+            self.trace_ckpt_lost(ctx.now().as_secs(), site, lost);
         }
         self.catalog.evict_node(node);
         self.caches[site.index()].clear();
         self.repair_transfers_touching(node, ctx);
+    }
+
+    /// Emits the `ckpt.lost` instant after a data-loss event destroyed
+    /// durable checkpoints at `site`.
+    fn trace_ckpt_lost(&mut self, time_s: f64, site: SiteId, lost: u64) {
+        if let Some(t) = self.tracer.as_mut() {
+            if t.wants(TraceCategory::Ckpt) {
+                t.emit(
+                    time_s,
+                    TraceCategory::Ckpt,
+                    SpanPhase::Instant,
+                    "ckpt.lost",
+                    None,
+                    Some(&self.platform.site(site).name),
+                    Some(format!("count={lost}")),
+                );
+            }
+        }
     }
 
     /// Dense index of `node` into the per-node fault-repair indexes
@@ -298,6 +353,15 @@ impl GridModel {
             if !peer_hit && !dest_hit {
                 continue;
             }
+            // Close the cancelled transfer's span; the re-plan below opens a
+            // fresh one through the normal admission funnel.
+            self.trace_phase(
+                ctx.now().as_secs(),
+                idx,
+                phase,
+                SpanPhase::End,
+                Some("repair"),
+            );
             self.unindex_transfer(idx);
             self.fluid.remove_activity(activity);
             self.activity_map.remove(activity);
@@ -411,10 +475,25 @@ impl GridModel {
 
         if let Some(key) = self.jobs[idx].timer.take() {
             ctx.cancel(key);
+            // A cancelled `ExecutionDone` timer means a dedicated-core
+            // execution span is open; close it. (A pending pilot start has
+            // no open span.)
+            if self.jobs[idx].state == JobState::Running && self.jobs[idx].seg_walltime_s > 0.0 {
+                self.trace_phase(
+                    now.as_secs(),
+                    idx,
+                    Phase::Execute,
+                    SpanPhase::End,
+                    Some("interrupted"),
+                );
+            }
         }
         self.unindex_transfer(idx);
         if let Some(activity) = self.jobs[idx].activity.take() {
             let phase = self.activity_map.get(activity).map(|&(_, p)| p);
+            if let Some(p) = phase {
+                self.trace_phase(now.as_secs(), idx, p, SpanPhase::End, Some("interrupted"));
+            }
             self.fluid.remove_activity(activity);
             self.activity_map.remove(activity);
             // An interrupted checkpoint write never became durable: free the
@@ -437,6 +516,19 @@ impl GridModel {
         self.jobs[idx].restore_frac = 0.0;
         self.release_cores(idx, site);
         self.collector.record_interruption(site.index());
+        if let Some(t) = self.tracer.as_mut() {
+            if t.wants(TraceCategory::Fault) {
+                t.emit(
+                    now.as_secs(),
+                    TraceCategory::Fault,
+                    SpanPhase::Instant,
+                    "fault.interrupt",
+                    Some(self.jobs[idx].record.id.0),
+                    Some(&self.platform.site(site).name),
+                    None,
+                );
+            }
+        }
 
         let view = self.grid_view(now, idx);
         let record = self.jobs[idx].record.clone();

@@ -3,6 +3,7 @@
 
 use cgsim_des::fluid::ActivityId;
 use cgsim_des::{Context, EventKey};
+use cgsim_obs::{SpanPhase, TraceCategory};
 use cgsim_platform::{NodeId, SiteId};
 use cgsim_policies::CachePolicy;
 use cgsim_workload::{ideal_walltime, JobRecord, JobState};
@@ -23,6 +24,27 @@ pub(super) enum Phase {
     /// Re-staging of checkpoint data to the resume site before execution
     /// continues from it.
     Restore,
+}
+
+impl Phase {
+    /// Trace category a span covering this phase is filed under.
+    pub(super) fn trace_cat(self) -> TraceCategory {
+        match self {
+            Phase::Input | Phase::Execute | Phase::Output => TraceCategory::Job,
+            Phase::Checkpoint | Phase::Restore => TraceCategory::Ckpt,
+        }
+    }
+
+    /// Trace span name of this phase.
+    pub(super) fn trace_kind(self) -> &'static str {
+        match self {
+            Phase::Input => "input",
+            Phase::Execute => "execute",
+            Phase::Output => "output",
+            Phase::Checkpoint => "ckpt.write",
+            Phase::Restore => "ckpt.restore",
+        }
+    }
 }
 
 /// Mutable per-job simulation state.
@@ -164,6 +186,7 @@ impl GridModel {
                     GridEvent::ExecutionDone(idx),
                 );
                 self.jobs[idx].timer = Some(key);
+                self.trace_phase(now.as_secs(), idx, Phase::Execute, SpanPhase::Begin, None);
             }
             ComputeMode::TimeShared => {
                 let resource = self.cpu_resources[site.index()];
@@ -182,6 +205,15 @@ impl GridModel {
     /// finished: either the job is done, or it pauses to write a checkpoint
     /// before the next segment.
     pub(super) fn execution_segment_done(&mut self, idx: usize, ctx: &mut Context<'_, GridEvent>) {
+        // Closes the span opened at segment admission — the shared funnel for
+        // both compute modes (fluid completion or `ExecutionDone` timer).
+        self.trace_phase(
+            ctx.now().as_secs(),
+            idx,
+            Phase::Execute,
+            SpanPhase::End,
+            None,
+        );
         if !self.execution.checkpoint.enabled() {
             // Execution is complete: mark the full fraction done so a kill
             // during the output phase accounts the whole discarded execution
@@ -260,6 +292,11 @@ impl GridModel {
         for (idx, phase) in completed {
             self.unindex_transfer(idx);
             self.jobs[idx].activity = None;
+            // `Execute` spans close in `execution_segment_done` (shared with
+            // the dedicated-core timer path); everything else closes here.
+            if phase != Phase::Execute {
+                self.trace_phase(ctx.now().as_secs(), idx, phase, SpanPhase::End, None);
+            }
             match phase {
                 Phase::Input => {
                     self.jobs[idx].transfer_peer = None;

@@ -36,6 +36,7 @@ use cgsim_des::rng::Rng;
 use cgsim_des::{Engine, EventKey, SimTime};
 use cgsim_faults::{FaultEvent, FaultPlan};
 use cgsim_monitor::{MetricsReport, MonitoringCollector};
+use cgsim_obs::{Profiler, SpanPhase, Subsystem, TraceSink, Tracer};
 use cgsim_platform::{GridAvailability, Platform, PlatformSpec};
 use cgsim_policies::{
     AllocationPolicy, DataMovementPolicy, DataPolicyRegistry, GridInfo, PolicyRegistry,
@@ -144,9 +145,16 @@ struct GridModel {
     ckpt_holders: Vec<Vec<usize>>,
     /// Jobs that reached a terminal state so far.
     completed_jobs: usize,
+    // Observability (see `cgsim_obs`). `None`/disabled adds a single branch
+    // per emission site and nothing else — no allocation, no formatting.
+    /// Structured trace of simulated behaviour (spans carry sim-time only).
+    tracer: Option<Tracer>,
+    /// Wall-clock self-profiler (buckets stay empty when disabled).
+    profiler: Profiler,
 }
 
 impl GridModel {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         platform: Platform,
         trace: &Trace,
@@ -155,6 +163,8 @@ impl GridModel {
         execution: ExecutionConfig,
         fault_plan: Vec<FaultEvent>,
         fault_key: Option<EventKey>,
+        tracer: Option<Tracer>,
+        profiler: Profiler,
     ) -> Self {
         let mut fluid = FluidModel::new();
         let link_resources: Vec<ResourceId> = platform
@@ -226,7 +236,41 @@ impl GridModel {
             transfer_touch: vec![Vec::new(); node_count],
             ckpt_holders: vec![Vec::new(); node_count],
             completed_jobs: 0,
+            tracer,
+            profiler,
         }
+    }
+
+    /// Emits one edge (begin/end) of a job-phase span. A single branch when
+    /// tracing is off; site resolution and the record only happen once the
+    /// category passed the filter.
+    #[inline]
+    fn trace_phase(
+        &mut self,
+        time_s: f64,
+        idx: usize,
+        phase: Phase,
+        ph: SpanPhase,
+        info: Option<&str>,
+    ) {
+        let Some(t) = self.tracer.as_mut() else {
+            return;
+        };
+        if !t.wants(phase.trace_cat()) {
+            return;
+        }
+        let site = self.jobs[idx]
+            .site
+            .map(|s| self.platform.sites()[s.index()].name.as_str());
+        t.emit(
+            time_s,
+            phase.trace_cat(),
+            ph,
+            phase.trace_kind(),
+            Some(self.jobs[idx].record.id.0),
+            site,
+            info.map(str::to_string),
+        );
     }
 }
 
@@ -241,6 +285,8 @@ pub struct SimulationBuilder {
     data_registry: DataPolicyRegistry,
     execution: ExecutionConfig,
     fault_plan: Option<FaultPlan>,
+    trace_sink: Option<(Box<dyn TraceSink>, u32)>,
+    profile: bool,
 }
 
 impl Default for SimulationBuilder {
@@ -255,6 +301,8 @@ impl Default for SimulationBuilder {
             data_registry: DataPolicyRegistry::with_builtins(),
             execution: ExecutionConfig::default(),
             fault_plan: None,
+            trace_sink: None,
+            profile: false,
         }
     }
 }
@@ -332,6 +380,22 @@ impl SimulationBuilder {
         self
     }
 
+    /// Attaches a structured-trace sink recording the categories selected by
+    /// `mask` (see [`cgsim_obs::parse_filter`]). Tracing never changes the
+    /// simulation: the deterministic results are byte-identical with or
+    /// without a sink attached.
+    pub fn trace_sink(mut self, sink: Box<dyn TraceSink>, mask: u32) -> Self {
+        self.trace_sink = Some((sink, mask));
+        self
+    }
+
+    /// Enables wall-clock self-profiling; the report lands in
+    /// [`SimulationResults::profile`].
+    pub fn profile(mut self, enabled: bool) -> Self {
+        self.profile = enabled;
+        self
+    }
+
     /// Builds the simulation.
     pub fn build(self) -> Result<Simulation, SimulationError> {
         let platform = self
@@ -368,6 +432,8 @@ impl SimulationBuilder {
             data_policy,
             execution: self.execution,
             fault_plan: self.fault_plan,
+            trace_sink: self.trace_sink,
+            profile: self.profile,
         })
     }
 
@@ -385,6 +451,8 @@ pub struct Simulation {
     data_policy: Box<dyn DataMovementPolicy>,
     execution: ExecutionConfig,
     fault_plan: Option<FaultPlan>,
+    trace_sink: Option<(Box<dyn TraceSink>, u32)>,
+    profile: bool,
 }
 
 impl Simulation {
@@ -424,6 +492,9 @@ impl Simulation {
             _ => None,
         };
 
+        let tracer = self.trace_sink.map(|(sink, mask)| Tracer::new(sink, mask));
+        let profiler = Profiler::new(self.profile);
+
         let mut model = GridModel::new(
             self.platform,
             &self.trace,
@@ -432,11 +503,38 @@ impl Simulation {
             self.execution,
             fault_events,
             fault_key,
+            tracer,
+            profiler,
         );
+        let loop_timer = model.profiler.start();
         let report = engine.run(&mut model);
+        model.profiler.stop(Subsystem::EventLoop, loop_timer);
+
+        if let Some(mut tracer) = model.tracer.take() {
+            if let Err(e) = tracer.finish() {
+                eprintln!("warning: trace sink failed: {e}");
+            }
+        }
+        let profile = if model.profiler.enabled() {
+            model
+                .profiler
+                .add_counter("engine_events", report.events_processed);
+            let (fast, slow) = model.fluid.solver_stats();
+            model.profiler.add_counter("fluid_fast_solves", fast);
+            model.profiler.add_counter("fluid_slow_solves", slow);
+            Some(model.profiler.report(&policy_name))
+        } else {
+            None
+        };
 
         let site_panels = model.site_panels();
         let grid_counters = model.collector.grid_counters();
+        model.collector.finish_windows();
+        let windows = model
+            .collector
+            .windows()
+            .map(|w| w.windows().cloned().collect())
+            .unwrap_or_default();
         let (events, outcomes) = model.collector.into_parts();
         let metrics = MetricsReport::from_outcomes(&outcomes);
         SimulationResults {
@@ -449,6 +547,8 @@ impl Simulation {
             site_panels,
             grid_counters,
             policy: policy_name,
+            profile,
+            windows,
         }
     }
 }

@@ -6,6 +6,7 @@ use cgsim_data::transfer::plan_staging;
 use cgsim_data::DatasetId;
 use cgsim_des::fluid::ResourceId;
 use cgsim_des::{Context, SimTime};
+use cgsim_obs::{SpanPhase, Subsystem, TraceCategory};
 use cgsim_platform::{NodeId, SiteId};
 use cgsim_workload::JobState;
 
@@ -38,6 +39,7 @@ impl GridModel {
     /// (slot-ordered) completion order. The `ActivityId` buffer is reused
     /// across calls, so the common no-completion sync allocates nothing.
     pub(super) fn advance_fluid(&mut self, now: SimTime) -> Vec<(usize, Phase)> {
+        let timer = self.profiler.start();
         let dt = now.saturating_sub(self.last_fluid_sync);
         self.last_fluid_sync = now;
         let mut finished = std::mem::take(&mut self.fluid_done_scratch);
@@ -48,17 +50,20 @@ impl GridModel {
             .collect();
         finished.clear();
         self.fluid_done_scratch = finished;
+        self.profiler.stop(Subsystem::Fluid, timer);
         completed
     }
 
     /// (Re)schedules the next fluid completion event.
     pub(super) fn reschedule_fluid(&mut self, ctx: &mut Context<'_, GridEvent>) {
+        let timer = self.profiler.start();
         if let Some(key) = self.fluid_event.take() {
             ctx.cancel(key);
         }
         if let Some(dt) = self.fluid.time_to_next_completion() {
             self.fluid_event = Some(ctx.schedule_in(dt, GridEvent::FluidAdvance));
         }
+        self.profiler.stop(Subsystem::Fluid, timer);
     }
 
     /// Starts one fluid activity for a job phase: syncs the model to `now`,
@@ -80,6 +85,7 @@ impl GridModel {
         self.activity_map.insert(activity, (idx, phase));
         self.jobs[idx].activity = Some(activity);
         self.index_transfer(idx, phase);
+        self.trace_phase(ctx.now().as_secs(), idx, phase, SpanPhase::Begin, None);
         self.handle_completed_activities(completed, ctx);
         self.reschedule_fluid(ctx);
     }
@@ -96,6 +102,19 @@ impl GridModel {
         to: NodeId,
         ctx: &mut Context<'_, GridEvent>,
     ) {
+        if let Some(t) = self.tracer.as_mut() {
+            if t.wants(TraceCategory::Fluid) {
+                t.emit(
+                    ctx.now().as_secs(),
+                    TraceCategory::Fluid,
+                    SpanPhase::Instant,
+                    "fluid.transfer",
+                    Some(self.jobs[idx].record.id.0),
+                    None,
+                    Some(format!("{from}->{to} bytes={bytes}")),
+                );
+            }
+        }
         let mut route = std::mem::take(&mut self.route_scratch);
         route.clear();
         route.extend(

@@ -11,6 +11,7 @@ use cgsim_workload::{JobId, JobState};
 use serde::{Deserialize, Serialize};
 
 use crate::event::{EventRecord, JobOutcome};
+use crate::window::WindowedAggregator;
 
 /// Collector configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -19,6 +20,26 @@ pub struct MonitoringConfig {
     pub enabled: bool,
     /// Keep one out of every `sample_stride` event records (1 = keep all).
     pub sample_stride: u64,
+    /// Upper bound on retained event records (0 = unbounded, the default).
+    /// When set, the dataset becomes a ring: once the bound is exceeded the
+    /// *oldest* records are discarded, [`MonitoringCollector::events`] holds
+    /// the most recent tail, and [`MonitoringCollector::events_dropped`]
+    /// counts the truncation. Event ids keep counting from the start of the
+    /// run, so a dropped prefix is visible in the data as well.
+    #[serde(default)]
+    pub max_events: u64,
+    /// Width of the windowed-metrics windows in simulated seconds
+    /// (0 = windowed metrics off, the default).
+    #[serde(default)]
+    pub window_s: f64,
+    /// Closed windows retained by the windowed aggregator (a ring: the
+    /// oldest windows are dropped beyond this).
+    #[serde(default = "default_max_windows")]
+    pub max_windows: usize,
+}
+
+fn default_max_windows() -> usize {
+    512
 }
 
 impl Default for MonitoringConfig {
@@ -26,6 +47,9 @@ impl Default for MonitoringConfig {
         MonitoringConfig {
             enabled: true,
             sample_stride: 1,
+            max_events: 0,
+            window_s: 0.0,
+            max_windows: default_max_windows(),
         }
     }
 }
@@ -35,7 +59,16 @@ impl MonitoringConfig {
     pub fn disabled() -> Self {
         MonitoringConfig {
             enabled: false,
-            sample_stride: 1,
+            ..MonitoringConfig::default()
+        }
+    }
+
+    /// A configuration with windowed metrics on (windows of `window_s`
+    /// simulated seconds).
+    pub fn windowed(window_s: f64) -> Self {
+        MonitoringConfig {
+            window_s,
+            ..MonitoringConfig::default()
         }
     }
 }
@@ -127,12 +160,16 @@ pub struct MonitoringCollector {
     outcomes: Vec<JobOutcome>,
     next_event_id: u64,
     transitions_seen: u64,
+    events_dropped: u64,
+    windows: Option<WindowedAggregator>,
 }
 
 impl MonitoringCollector {
     /// Creates a collector for the given sites.
     pub fn new(site_names: Vec<String>, config: MonitoringConfig) -> Self {
         let counters = vec![SiteCounters::default(); site_names.len()];
+        let windows = (config.window_s > 0.0)
+            .then(|| WindowedAggregator::new(config.window_s, config.max_windows));
         MonitoringCollector {
             config,
             site_names,
@@ -142,6 +179,8 @@ impl MonitoringCollector {
             outcomes: Vec::new(),
             next_event_id: 0,
             transitions_seen: 0,
+            events_dropped: 0,
+            windows,
         }
     }
 
@@ -240,6 +279,9 @@ impl MonitoringCollector {
             }
         }
         self.transitions_seen += 1;
+        if let Some(windows) = &mut self.windows {
+            windows.observe(time_s, state, &self.grid_counters, &self.counters);
+        }
         if !self.config.enabled {
             return;
         }
@@ -270,6 +312,15 @@ impl MonitoringCollector {
             assigned_jobs: assigned,
             finished_jobs: finished,
         });
+        // Ring-buffer mode: let the vector overshoot to 2× the bound, then
+        // drain the front in one move — amortised O(1) per event while
+        // `events()` stays a contiguous slice.
+        let cap = self.config.max_events as usize;
+        if cap > 0 && self.events.len() >= cap * 2 {
+            let drop = self.events.len() - cap;
+            self.events.drain(..drop);
+            self.events_dropped += drop as u64;
+        }
     }
 
     /// Records the final outcome of a job.
@@ -277,9 +328,33 @@ impl MonitoringCollector {
         self.outcomes.push(outcome);
     }
 
-    /// Event-level dataset collected so far.
+    /// Event-level dataset collected so far. With
+    /// [`MonitoringConfig::max_events`] set this is the most recent tail of
+    /// the dataset, not the full history — check
+    /// [`MonitoringCollector::events_dropped`].
     pub fn events(&self) -> &[EventRecord] {
         &self.events
+    }
+
+    /// Event records discarded by the `max_events` ring (0 when unbounded or
+    /// never exceeded).
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
+    /// The windowed-metrics aggregator (`None` unless
+    /// [`MonitoringConfig::window_s`] enabled it). The final partial window
+    /// stays open until [`MonitoringCollector::finish_windows`].
+    pub fn windows(&self) -> Option<&WindowedAggregator> {
+        self.windows.as_ref()
+    }
+
+    /// Seals the still-open metrics window with the final counters. Call
+    /// once when the simulation ends.
+    pub fn finish_windows(&mut self) {
+        if let Some(windows) = &mut self.windows {
+            windows.finish(&self.grid_counters, &self.counters);
+        }
     }
 
     /// Per-job outcomes collected so far.
@@ -367,8 +442,8 @@ mod tests {
         let mut c = MonitoringCollector::new(
             vec!["X".into()],
             MonitoringConfig {
-                enabled: true,
                 sample_stride: 10,
+                ..MonitoringConfig::default()
             },
         );
         for i in 0..100 {
@@ -376,6 +451,42 @@ mod tests {
         }
         assert_eq!(c.events().len(), 10);
         assert_eq!(c.transitions_seen(), 100);
+    }
+
+    #[test]
+    fn max_events_ring_keeps_the_recent_tail() {
+        let mut c = MonitoringCollector::new(
+            vec!["X".into()],
+            MonitoringConfig {
+                max_events: 10,
+                ..MonitoringConfig::default()
+            },
+        );
+        for i in 0..95 {
+            c.record_transition(i as f64, JobId(i), JobState::Running, Some(0), 5, 0);
+        }
+        assert!(c.events().len() < 20, "bounded at twice the cap");
+        assert_eq!(c.events_dropped() + c.events().len() as u64, 95);
+        // The retained rows are the newest, with their original ids.
+        assert_eq!(c.events().last().unwrap().event_id, 94);
+        let first = c.events().first().unwrap().event_id;
+        assert_eq!(first, c.events_dropped());
+    }
+
+    #[test]
+    fn windowed_metrics_follow_the_config() {
+        let mut c = MonitoringCollector::new(vec!["X".into()], MonitoringConfig::windowed(100.0));
+        c.record_transition(10.0, JobId(1), JobState::Assigned, Some(0), 5, 0);
+        c.record_transition(50.0, JobId(1), JobState::Finished, Some(0), 5, 0);
+        c.record_transition(150.0, JobId(2), JobState::Assigned, Some(0), 5, 0);
+        c.finish_windows();
+        let windows: Vec<_> = c.windows().unwrap().windows().collect();
+        assert_eq!(windows.len(), 2);
+        assert_eq!((windows[0].transitions, windows[0].finished), (2, 1));
+        assert_eq!(windows[0].sites[0].finished, 1, "cumulative at close");
+        assert_eq!(windows[1].assigned, 1);
+        // Off by default.
+        assert!(collector().windows().is_none());
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!   per-site node-pressure view of Fig. 5,
 //! * [`mldataset`] — flattened, ML-ready feature rows generated from the
 //!   event-level dataset (the "automatic dataset generation for ML training"
-//!   feature).
+//!   feature),
+//! * [`window`] — bounded-memory windowed metrics: a ring of per-window
+//!   site/grid counter snapshots for long-horizon monitoring where the full
+//!   event dataset would grow without bound.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -32,6 +35,7 @@ pub mod metrics;
 pub mod mldataset;
 pub mod store;
 pub mod timeseries;
+pub mod window;
 
 pub use collector::{
     CacheCounters, GridCounters, MonitoringCollector, MonitoringConfig, SiteCounters,
@@ -39,3 +43,4 @@ pub use collector::{
 pub use event::{EventRecord, JobOutcome};
 pub use metrics::{MetricsReport, SiteMetrics};
 pub use store::{TableStore, Value};
+pub use window::{windows_csv, WindowSnapshot, WindowedAggregator};

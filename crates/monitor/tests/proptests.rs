@@ -74,7 +74,7 @@ proptest! {
     ) {
         let mut collector = MonitoringCollector::new(
             vec!["A".into(), "B".into(), "C".into()],
-            MonitoringConfig { enabled: true, sample_stride: stride },
+            MonitoringConfig { sample_stride: stride, ..MonitoringConfig::default() },
         );
         let mut expected_finished = [0u64; 3];
         let mut expected_assigned = [0u64; 3];

@@ -21,6 +21,7 @@
 //! | [`faults`] | `cgsim-faults` | deterministic fault-injection plans: outages, degradation, job kills |
 //! | [`core`] | `cgsim-core` | the simulation core: main server, site receivers, job lifecycle |
 //! | [`monitor`] | `cgsim-monitor` | event-level datasets, metrics, table store, dashboards, ML export |
+//! | [`obs`] | `cgsim-obs` | deterministic structured tracing and self-profiling |
 //! | [`calibrate`] | `cgsim-calibrate` | calibration objectives and the four optimisers of §4.2 |
 //! | [`baseline`] | `cgsim-baseline` | coarse-grained GridSim/CloudSim-style baseline simulator |
 //! | [`surrogate`] | `cgsim-surrogate` | ML surrogate models trained on the event-level datasets |
@@ -55,6 +56,7 @@ pub use cgsim_data as data;
 pub use cgsim_des as des;
 pub use cgsim_faults as faults;
 pub use cgsim_monitor as monitor;
+pub use cgsim_obs as obs;
 pub use cgsim_platform as platform;
 pub use cgsim_policies as policies;
 pub use cgsim_surrogate as surrogate;
@@ -74,6 +76,9 @@ pub mod prelude {
     pub use cgsim_des::SimTime;
     pub use cgsim_faults::{parse_fault_spec, FaultPlan, FaultPlanConfig, FaultTopology};
     pub use cgsim_monitor::{MetricsReport, MonitoringConfig};
+    pub use cgsim_obs::{
+        parse_filter, ChromeSink, JsonlSink, ProfileReport, TraceRecord, TraceSink, MASK_ALL,
+    };
     pub use cgsim_platform::presets::{example_platform, wlcg_platform};
     pub use cgsim_platform::{Platform, PlatformSpec, SiteId, SiteSpec, Tier};
     pub use cgsim_policies::{

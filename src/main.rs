@@ -34,6 +34,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&options),
         "demo" => cmd_demo(&options),
         "serve" => cmd_serve(&options),
+        "trace-check" => cmd_trace_check(&options),
         "policies" => {
             for name in PolicyRegistry::with_builtins().names() {
                 println!("{name}");
@@ -62,12 +63,28 @@ USAGE:
     cgsim simulate  --platform <platform.json> --execution <execution.json>
                     --trace <trace.jsonl> [--output <DIR>] [--policy NAME]
                     [--faults SPEC] [--fault-seed N] [CHECKPOINT FLAGS]
+                    [OBSERVABILITY FLAGS]
     cgsim demo      [--sites N] [--jobs N] [--policy NAME] [--seed N] [--output DIR]
                     [--faults SPEC] [--fault-seed N] [CHECKPOINT FLAGS]
+                    [OBSERVABILITY FLAGS]
     cgsim serve     --platform <platform.json> --execution <execution.json>
                     --trace <trace.jsonl> [--listen HOST:PORT]
                     [--cache-capacity N] [--no-cache] [--serial]
+    cgsim trace-check  [--jsonl <trace.jsonl>] [--chrome <trace.json>]
+                    validate trace files against the record schema (CI gate)
     cgsim policies            list the registered allocation policies
+
+OBSERVABILITY FLAGS (see README \"Observability\"; tracing and profiling never
+change simulation results — results.json stays byte-identical either way):
+    --trace-out <path>       write a structured execution trace (sim-time
+                             spans/events; on demo, --trace works too)
+    --trace-format jsonl|chrome   trace file format (default jsonl; chrome
+                             loads in Perfetto / chrome://tracing)
+    --trace-filter CATS      comma-separated categories to keep, from:
+                             job,fault,ckpt,fluid,broker (default: all)
+    --profile [path]         print a per-subsystem wall-clock table and write
+                             machine-readable profile JSON to <path> (default
+                             <output>/profile.json when --output is given)
 
 SERVE (simulation as a service):
     Reads one JSONL request per line from stdin (or, with --listen, from
@@ -216,6 +233,79 @@ fn apply_checkpoint_flags(
     Ok(())
 }
 
+/// A trace sink paired with its category mask, ready for
+/// `SimulationBuilder::trace_sink`.
+type MaskedSink = (Box<dyn TraceSink>, u32);
+
+/// Builds a trace sink from the observability flags. `keys` lists the flag
+/// names that may carry the output path (`simulate` only honours
+/// `--trace-out` because `--trace` is its workload input; `demo` takes both).
+fn build_trace_sink(
+    options: &HashMap<String, String>,
+    keys: &[&str],
+) -> Result<Option<MaskedSink>, String> {
+    let Some(path) = keys
+        .iter()
+        .find_map(|k| options.get(*k))
+        .filter(|p| !p.is_empty())
+    else {
+        return Ok(None);
+    };
+    let mask = match options.get("trace-filter") {
+        Some(spec) if !spec.is_empty() => parse_filter(spec)?,
+        _ => MASK_ALL,
+    };
+    let path = PathBuf::from(path);
+    let sink: Box<dyn TraceSink> = match options.get("trace-format").map(String::as_str) {
+        None | Some("") | Some("jsonl") => Box::new(
+            JsonlSink::create(&path).map_err(|e| format!("cannot create trace file: {e}"))?,
+        ),
+        Some("chrome") => Box::new(
+            ChromeSink::create(&path).map_err(|e| format!("cannot create trace file: {e}"))?,
+        ),
+        Some(other) => {
+            return Err(format!(
+                "--trace-format must be jsonl or chrome, got {other}"
+            ))
+        }
+    };
+    println!("tracing to {}", path.display());
+    Ok(Some((sink, mask)))
+}
+
+/// Applies the observability flags to a simulation builder.
+fn apply_observability(
+    options: &HashMap<String, String>,
+    mut builder: cgsim::core::SimulationBuilder,
+    trace_keys: &[&str],
+) -> Result<cgsim::core::SimulationBuilder, String> {
+    if let Some((sink, mask)) = build_trace_sink(options, trace_keys)? {
+        builder = builder.trace_sink(sink, mask);
+    }
+    Ok(builder.profile(options.contains_key("profile")))
+}
+
+/// `cgsim trace-check`: validate trace files for the CI trace gate.
+fn cmd_trace_check(options: &HashMap<String, String>) -> Result<(), String> {
+    let mut checked = false;
+    if let Some(path) = options.get("jsonl").filter(|p| !p.is_empty()) {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let records = cgsim::obs::validate_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: {records} schema-valid JSONL records");
+        checked = true;
+    }
+    if let Some(path) = options.get("chrome").filter(|p| !p.is_empty()) {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let events = cgsim::obs::validate_chrome(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: {events} well-formed trace_event objects");
+        checked = true;
+    }
+    if !checked {
+        return Err("trace-check needs --jsonl <path> and/or --chrome <path>".to_string());
+    }
+    Ok(())
+}
+
 /// `cgsim simulate`: run the three input files through the simulator.
 fn cmd_simulate(options: &HashMap<String, String>) -> Result<(), String> {
     let platform_path = options
@@ -251,6 +341,7 @@ fn cmd_simulate(options: &HashMap<String, String>) -> Result<(), String> {
     if let Some(plan) = fault_plan {
         builder = builder.fault_plan(plan);
     }
+    builder = apply_observability(options, builder, &["trace-out"])?;
     let results = builder.run().map_err(|e| e.to_string())?;
     report(&results, options)
 }
@@ -280,6 +371,7 @@ fn cmd_demo(options: &HashMap<String, String>) -> Result<(), String> {
     if let Some(plan) = fault_plan {
         builder = builder.fault_plan(plan);
     }
+    builder = apply_observability(options, builder, &["trace-out", "trace"])?;
     let results = builder.run().map_err(|e| e.to_string())?;
     report(&results, options)
 }
@@ -394,6 +486,28 @@ fn report(results: &SimulationResults, options: &HashMap<String, String>) -> Res
         "simulator wall-clock: {:.3}s for {} events",
         results.wall_clock_s, results.engine_events
     );
+    if let Some(profile) = &results.profile {
+        println!("\n{}", profile.summary_table());
+        // `--profile <path>` names the JSON destination explicitly; with a
+        // bare `--profile` it lands next to the other outputs when there are
+        // any. Wall-clock numbers stay out of results.json either way.
+        let dest = options
+            .get("profile")
+            .filter(|p| !p.is_empty())
+            .map(PathBuf::from)
+            .or_else(|| {
+                options
+                    .get("output")
+                    .map(|o| PathBuf::from(o).join("profile.json"))
+            });
+        if let Some(dest) = dest {
+            if let Some(parent) = dest.parent() {
+                std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+            }
+            std::fs::write(&dest, profile.to_json()).map_err(|e| e.to_string())?;
+            println!("profile written to {}", dest.display());
+        }
+    }
     println!("\n{}", results.ascii_dashboard());
     if let Some(output) = options.get("output") {
         let dir = PathBuf::from(output);
@@ -407,6 +521,13 @@ fn report(results: &SimulationResults, options: &HashMap<String, String>) -> Res
         // gate runs the same scenario twice and diffs this file.
         std::fs::write(dir.join("results.json"), results.deterministic_json())
             .map_err(|e| e.to_string())?;
+        if !results.windows.is_empty() {
+            std::fs::write(
+                dir.join("windows.csv"),
+                cgsim::monitor::windows_csv(&results.windows),
+            )
+            .map_err(|e| e.to_string())?;
+        }
         let examples =
             cgsim::monitor::mldataset::build_examples(&results.outcomes, &results.events);
         std::fs::write(
