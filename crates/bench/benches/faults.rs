@@ -8,13 +8,17 @@
 //!   `clean` (the fault hooks on the hot path are a branch on empty state),
 //! * `site_churn` — every site bouncing with a 2 h MTTF / 20 min MTTR plus
 //!   WAN-wide degradation, exercising kill/resubmit, staged-data
-//!   invalidation and fluid re-rating.
+//!   invalidation and fluid re-rating,
+//! * `site_churn_repair` — the same churn plus per-site disk losses, with
+//!   the self-healing layer fully on: fault-aware re-replication (target
+//!   factor 2) and asynchronous incremental checkpoints every 20 min, so
+//!   repair transfers and overlapped writes contend on the same WAN.
 //!
 //! The committed baseline lives in `BENCH_faults.json` at the repository
 //! root; the fault-free hot-path guarantee is additionally covered by
 //! re-running `--bench fluid` against `BENCH_fluid.json`.
 
-use cgsim_core::{ExecutionConfig, Simulation};
+use cgsim_core::{CheckpointConfig, CheckpointTarget, ExecutionConfig, RepairConfig, Simulation};
 use cgsim_faults::{parse_fault_spec, FaultPlan, FaultTopology};
 use cgsim_platform::presets::wlcg_platform;
 use cgsim_platform::{Platform, PlatformSpec};
@@ -39,13 +43,50 @@ fn churn_plan(platform_spec: &PlatformSpec, jobs: usize) -> FaultPlan {
     FaultPlan::generate(&config, &FaultTopology::for_platform(&platform, jobs), 7)
 }
 
+fn repair_churn_plan(platform_spec: &PlatformSpec, jobs: usize) -> FaultPlan {
+    let config =
+        parse_fault_spec("outage:site=all,mttf=2h,mttr=20m;diskloss:site=all,mttf=90m;kill:rate=2")
+            .expect("spec parses");
+    let platform = Platform::build(platform_spec).expect("platform builds");
+    FaultPlan::generate(&config, &FaultTopology::for_platform(&platform, jobs), 7)
+}
+
+/// Execution config with the self-healing layer on: repair to 2 replicas,
+/// asynchronous incremental checkpoints every 20 minutes.
+fn self_healing_exec() -> ExecutionConfig {
+    ExecutionConfig {
+        checkpoint: CheckpointConfig {
+            interval_s: 1_200.0,
+            base_bytes: 1_000_000_000,
+            bytes_per_core: 0,
+            target: CheckpointTarget::MainServer,
+            overlap: true,
+            delta_bytes_per_s: 10_000_000,
+        },
+        repair: RepairConfig {
+            enabled: true,
+            ..RepairConfig::default()
+        },
+        ..ExecutionConfig::default()
+    }
+}
+
 fn run(platform: &PlatformSpec, trace: &Trace, plan: Option<&FaultPlan>) -> f64 {
+    run_with(platform, trace, plan, ExecutionConfig::default())
+}
+
+fn run_with(
+    platform: &PlatformSpec,
+    trace: &Trace,
+    plan: Option<&FaultPlan>,
+    execution: ExecutionConfig,
+) -> f64 {
     let mut builder = Simulation::builder()
         .platform_spec(platform)
         .expect("platform builds")
         .trace(trace.clone())
         .policy_name("least-loaded")
-        .execution(ExecutionConfig::default());
+        .execution(execution);
     if let Some(plan) = plan {
         builder = builder.fault_plan(plan.clone());
     }
@@ -66,6 +107,10 @@ fn bench_faults(c: &mut Criterion) {
     });
     group.bench_function("site_churn", |b| {
         b.iter(|| run(&platform, &trace, Some(&plan)))
+    });
+    let repair_plan = repair_churn_plan(&platform, trace.len());
+    group.bench_function("site_churn_repair", |b| {
+        b.iter(|| run_with(&platform, &trace, Some(&repair_plan), self_healing_exec()))
     });
     group.finish();
 }

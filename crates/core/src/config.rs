@@ -37,11 +37,13 @@ pub enum CheckpointTarget {
 ///
 /// Checkpoints are *simulated work*, not free metadata: each write is a
 /// fluid-model transfer from the execution site to the target storage,
-/// contending with staging traffic, and execution pauses until the write is
-/// durable (synchronous checkpointing). A fault-interrupted job resumes from
-/// its newest surviving checkpoint — re-staging the checkpoint data through
-/// the fluid model when it lives at another endpoint — instead of rerunning
-/// from scratch.
+/// contending with staging traffic. By default checkpointing is synchronous
+/// (execution pauses until the write is durable); with `overlap` the write
+/// proceeds concurrently with the next execution segment and the job only
+/// stalls when the previous write is still in flight at the next boundary.
+/// A fault-interrupted job resumes from its newest surviving *durable*
+/// checkpoint — re-staging the checkpoint data through the fluid model when
+/// it lives at another endpoint — instead of rerunning from scratch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CheckpointConfig {
     /// Checkpoint interval in completed-work seconds: a job writes a
@@ -56,6 +58,22 @@ pub struct CheckpointConfig {
     pub bytes_per_core: u64,
     /// Where checkpoints are written.
     pub target: CheckpointTarget,
+    /// Asynchronous checkpointing: when true, a checkpoint write overlaps
+    /// the next execution segment instead of pausing the job. The job only
+    /// stalls if the previous write is still in flight when it reaches the
+    /// next checkpoint boundary. `false` (the default) keeps the original
+    /// synchronous write-then-resume behaviour bit-for-bit.
+    #[serde(default)]
+    pub overlap: bool,
+    /// Incremental checkpointing: bytes of *new* state produced per
+    /// completed-work second since the previous checkpoint. When non-zero, a
+    /// write whose target already holds an older checkpoint of the job ships
+    /// only `delta_bytes_per_s × progress-seconds` (capped at the full image
+    /// size); the first write to a target always ships the full image, and
+    /// restores always re-stage the full image. `0` (the default) disables
+    /// deltas and every write ships the full image.
+    #[serde(default)]
+    pub delta_bytes_per_s: u64,
 }
 
 impl Default for CheckpointConfig {
@@ -65,6 +83,8 @@ impl Default for CheckpointConfig {
             base_bytes: 2_000_000_000,   // 2 GB of application state
             bytes_per_core: 250_000_000, // + 250 MB per rank
             target: CheckpointTarget::SiteStorage,
+            overlap: false,
+            delta_bytes_per_s: 0,
         }
     }
 }
@@ -88,6 +108,90 @@ impl CheckpointConfig {
     pub fn bytes_for(&self, cores: u32) -> u64 {
         self.base_bytes
             .saturating_add(self.bytes_per_core.saturating_mul(cores as u64))
+    }
+
+    /// Bytes actually shipped by a checkpoint write for a job of `cores`
+    /// cores that made `progress_s` completed-work seconds since the target
+    /// last received a checkpoint of this job. `has_base` says whether the
+    /// target holds such an older checkpoint (delta writes need a base
+    /// image to apply against). Never exceeds the full image size.
+    pub fn transfer_bytes_for(&self, cores: u32, progress_s: f64, has_base: bool) -> u64 {
+        let full = self.bytes_for(cores);
+        if self.delta_bytes_per_s == 0 || !has_base {
+            return full;
+        }
+        let delta = (self.delta_bytes_per_s as f64 * progress_s.max(0.0)).round() as u64;
+        delta.min(full).max(1)
+    }
+}
+
+/// Fault-aware re-replication policy: after an outage or disk loss evicts
+/// replicas, a background repair planner re-establishes them as real fluid
+/// transfers (contending with staging and checkpoint traffic on the WAN).
+///
+/// Disabled by default; a disabled configuration is bit-identical to builds
+/// without the feature. Source and destination selection are deterministic
+/// (seeded from the master seed), concurrency is bounded, and a repair whose
+/// chosen source dies mid-transfer retries with exponential backoff up to
+/// `max_retries` times before the deficit is abandoned — graceful
+/// degradation, never a livelock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepairConfig {
+    /// Master switch. `false` (the default) schedules no repair work at all.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Desired number of replicas per task-input dataset (including the
+    /// indestructible main-server copy). Deficits below this target trigger
+    /// re-replication.
+    #[serde(default = "default_repair_target_factor")]
+    pub target_factor: u32,
+    /// Maximum number of repair transfers in flight at once.
+    #[serde(default = "default_repair_max_concurrent")]
+    pub max_concurrent: u32,
+    /// Base retry backoff in seconds; attempt `n` waits `backoff_s × 2^(n-1)`.
+    #[serde(default = "default_repair_backoff_s")]
+    pub backoff_s: f64,
+    /// How many times a failed repair of one deficit is retried before the
+    /// deficit is abandoned.
+    #[serde(default = "default_repair_max_retries")]
+    pub max_retries: u32,
+}
+
+fn default_repair_target_factor() -> u32 {
+    2
+}
+
+fn default_repair_max_concurrent() -> u32 {
+    4
+}
+
+fn default_repair_backoff_s() -> f64 {
+    300.0
+}
+
+fn default_repair_max_retries() -> u32 {
+    5
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            enabled: false,
+            target_factor: default_repair_target_factor(),
+            max_concurrent: default_repair_max_concurrent(),
+            backoff_s: default_repair_backoff_s(),
+            max_retries: default_repair_max_retries(),
+        }
+    }
+}
+
+impl RepairConfig {
+    /// A repair policy enabled with the default knobs.
+    pub fn enabled() -> Self {
+        RepairConfig {
+            enabled: true,
+            ..RepairConfig::default()
+        }
     }
 }
 
@@ -114,6 +218,10 @@ pub struct ExecutionConfig {
     /// the serde default).
     #[serde(default)]
     pub checkpoint: CheckpointConfig,
+    /// Fault-aware re-replication policy (disabled by default; absent from
+    /// configurations written before the feature existed).
+    #[serde(default)]
+    pub repair: RepairConfig,
     /// Replica-source selection strategy for input staging.
     pub source_selection: SourceSelection,
     /// Name of the data-movement policy to instantiate from the data-policy
@@ -155,6 +263,7 @@ impl Default for ExecutionConfig {
             max_retries: 1,
             fault_max_retries: default_fault_max_retries(),
             checkpoint: CheckpointConfig::default(),
+            repair: RepairConfig::default(),
             source_selection: SourceSelection::LowestLatency,
             data_movement_policy: default_data_movement_policy(),
             enable_output_transfers: true,
@@ -240,24 +349,42 @@ mod tests {
         assert_eq!(cfg.data_movement_policy, "default-data-movement");
         assert!(cfg.queue_model.is_zero());
         assert!(!cfg.checkpoint.enabled());
+        assert!(!cfg.checkpoint.overlap);
+        assert_eq!(cfg.checkpoint.delta_bytes_per_s, 0);
+        assert!(!cfg.repair.enabled);
     }
 
     #[test]
     fn configs_without_queue_model_or_data_policy_still_parse() {
-        // Configuration files written before the queue-time model and the
-        // data-movement policy existed must keep loading (serde defaults).
+        // Configuration files written before the queue-time model, the
+        // data-movement policy, checkpointing or repair existed must keep
+        // loading (serde defaults).
         let mut json: serde_json::Value =
             serde_json::from_str(&ExecutionConfig::default().to_json()).unwrap();
         json.as_object_mut().unwrap().remove("queue_model");
         json.as_object_mut().unwrap().remove("data_movement_policy");
         json.as_object_mut().unwrap().remove("fault_max_retries");
         json.as_object_mut().unwrap().remove("checkpoint");
+        json.as_object_mut().unwrap().remove("repair");
         let cfg = ExecutionConfig::from_json(&json.to_string()).unwrap();
         assert!(cfg.queue_model.is_zero());
         assert_eq!(cfg.data_movement_policy, "default-data-movement");
         assert_eq!(cfg.fault_max_retries, 3);
         assert_eq!(cfg.checkpoint, CheckpointConfig::default());
         assert!(!cfg.checkpoint.enabled());
+        assert_eq!(cfg.repair, RepairConfig::default());
+        assert!(!cfg.repair.enabled);
+    }
+
+    #[test]
+    fn checkpoint_configs_without_async_fields_still_parse() {
+        // Checkpoint blocks written before overlap/delta existed keep
+        // loading as synchronous full-image checkpointing.
+        let json = r#"{"interval_s": 600.0, "base_bytes": 1000,
+                       "bytes_per_core": 10, "target": "SiteStorage"}"#;
+        let ck: CheckpointConfig = serde_json::from_str(json).unwrap();
+        assert!(!ck.overlap);
+        assert_eq!(ck.delta_bytes_per_s, 0);
     }
 
     #[test]
@@ -267,6 +394,8 @@ mod tests {
             base_bytes: 1_000,
             bytes_per_core: 10,
             target: CheckpointTarget::MainServer,
+            overlap: true,
+            delta_bytes_per_s: 5,
         };
         assert!(ck.enabled());
         assert_eq!(ck.bytes_for(8), 1_080);
@@ -277,6 +406,49 @@ mod tests {
         };
         let back = ExecutionConfig::from_json(&cfg.to_json()).unwrap();
         assert_eq!(back.checkpoint, ck);
+    }
+
+    #[test]
+    fn delta_checkpoints_cap_at_the_full_image() {
+        let ck = CheckpointConfig {
+            interval_s: 100.0,
+            base_bytes: 1_000,
+            bytes_per_core: 0,
+            delta_bytes_per_s: 4,
+            ..CheckpointConfig::default()
+        };
+        // No base image at the target -> full image.
+        assert_eq!(ck.transfer_bytes_for(1, 100.0, false), 1_000);
+        // Base present -> delta bytes, capped at the full image.
+        assert_eq!(ck.transfer_bytes_for(1, 100.0, true), 400);
+        assert_eq!(ck.transfer_bytes_for(1, 1e9, true), 1_000);
+        // Deltas disabled -> always the full image.
+        let full = CheckpointConfig {
+            delta_bytes_per_s: 0,
+            ..ck.clone()
+        };
+        assert_eq!(full.transfer_bytes_for(1, 100.0, true), 1_000);
+    }
+
+    #[test]
+    fn repair_config_defaults_and_roundtrip() {
+        let off = RepairConfig::default();
+        assert!(!off.enabled);
+        let on = RepairConfig::enabled();
+        assert!(on.enabled);
+        assert_eq!(on.target_factor, 2);
+        assert_eq!(on.max_concurrent, 4);
+        assert_eq!(on.backoff_s, 300.0);
+        assert_eq!(on.max_retries, 5);
+        let cfg = ExecutionConfig {
+            repair: on.clone(),
+            ..ExecutionConfig::default()
+        };
+        let back = ExecutionConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back.repair, on);
+        // A bare `{"enabled": true}` block fills the remaining knobs.
+        let sparse: RepairConfig = serde_json::from_str(r#"{"enabled": true}"#).unwrap();
+        assert_eq!(sparse, on);
     }
 
     #[test]

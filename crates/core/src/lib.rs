@@ -55,7 +55,8 @@ pub mod simulation;
 pub mod sweep;
 
 pub use config::{
-    CheckpointConfig, CheckpointTarget, ComputeMode, ExecutionConfig, SimulationConfig,
+    CheckpointConfig, CheckpointTarget, ComputeMode, ExecutionConfig, RepairConfig,
+    SimulationConfig,
 };
 pub use experiment::{compare_policies, compare_policies_faulted, ComparisonReport, ComparisonRow};
 pub use queue_model::QueueModel;

@@ -39,7 +39,7 @@ use cgsim_platform::{Platform, PlatformSpec};
 use cgsim_workload::Trace;
 use serde::{Deserialize, Serialize};
 
-use crate::config::{CheckpointConfig, ExecutionConfig};
+use crate::config::{CheckpointConfig, ExecutionConfig, RepairConfig};
 use crate::simulation::SimulationError;
 
 pub use cache::ResponseCache;
@@ -249,6 +249,9 @@ pub struct ScenarioDelta {
     /// Checkpoint/restart policy override.
     #[serde(default)]
     pub checkpoint: Option<CheckpointConfig>,
+    /// Fault-aware re-replication (repair planner) override.
+    #[serde(default)]
+    pub repair: Option<RepairConfig>,
 }
 
 impl ScenarioDelta {
@@ -263,6 +266,9 @@ impl ScenarioDelta {
         }
         if let Some(checkpoint) = &self.checkpoint {
             execution.checkpoint = checkpoint.clone();
+        }
+        if let Some(repair) = &self.repair {
+            execution.repair = repair.clone();
         }
         let mut spec = ScenarioSpec::new(base.clone(), execution);
         spec.faults = self.faults.clone();

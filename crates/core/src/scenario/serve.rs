@@ -51,9 +51,9 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 use serde_json::{Map, Value};
 
-use crate::config::{CheckpointConfig, ExecutionConfig};
+use crate::config::{CheckpointConfig, ExecutionConfig, RepairConfig};
 use crate::results::SimulationResults;
-use crate::scenario::{ScenarioBase, ScenarioDelta, ScenarioEngine, ScenarioSpec};
+use crate::scenario::{ScenarioBase, ScenarioDelta, ScenarioEngine, ScenarioOutcome, ScenarioSpec};
 
 /// One JSONL request: a scenario delta plus protocol envelope fields.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -80,6 +80,9 @@ pub struct ServeRequest {
     /// Checkpoint/restart policy override.
     #[serde(default)]
     pub checkpoint: Option<CheckpointConfig>,
+    /// Fault-aware re-replication (repair planner) override.
+    #[serde(default)]
+    pub repair: Option<RepairConfig>,
     /// Server-side path to write the pretty deterministic results to.
     #[serde(default)]
     pub save: Option<String>,
@@ -103,8 +106,23 @@ impl ServeRequest {
             faults: self.faults.clone(),
             fault_seed: self.fault_seed,
             checkpoint: self.checkpoint.clone(),
+            repair: self.repair.clone(),
         }
     }
+}
+
+/// Runs `f`, converting a panic into a printable error so one hostile or
+/// buggy request cannot take down the whole serve loop (every other request
+/// on the line — and every later line — still gets its response).
+fn catch_panic<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(|payload| {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "unknown panic".to_string());
+        format!("internal error: simulation panicked: {message}")
+    })
 }
 
 /// How one parsed request will be answered.
@@ -262,10 +280,19 @@ pub fn serve_loop<R: BufRead, W: Write>(
         }
 
         let line_started = std::time::Instant::now();
-        let outcomes = engine.evaluate_batch(&specs);
-        let traced_outcomes: Vec<Result<crate::scenario::ScenarioOutcome, String>> = traced
+        let outcomes: Vec<Result<ScenarioOutcome, String>> =
+            match catch_panic(|| engine.evaluate_batch(&specs)) {
+                Ok(outcomes) => outcomes
+                    .into_iter()
+                    .map(|r| r.map_err(|e| e.to_string()))
+                    .collect(),
+                Err(message) => specs.iter().map(|_| Err(message.clone())).collect(),
+            };
+        let traced_outcomes: Vec<Result<ScenarioOutcome, String>> = traced
             .into_iter()
-            .map(|(spec, options)| evaluate_traced(engine, &spec, options))
+            .map(|(spec, options)| {
+                catch_panic(|| evaluate_traced(engine, &spec, options)).and_then(|r| r)
+            })
             .collect();
         let elapsed_ms = line_started.elapsed().as_secs_f64() * 1e3;
         for _ in 0..outcomes.len() + traced_outcomes.len() {
@@ -552,6 +579,97 @@ not json
         assert!(chrome_text.contains("\"cat\":\"fault\""));
         assert!(!chrome_text.contains("\"cat\":\"broker\""), "filtered out");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn catch_panic_reports_str_and_string_payloads() {
+        assert_eq!(catch_panic(|| 7), Ok(7));
+        let err = catch_panic(|| panic!("boom")).unwrap_err();
+        assert!(err.contains("simulation panicked: boom"), "{err}");
+        let err = catch_panic(|| panic!("{}", String::from("dynamic"))).unwrap_err();
+        assert!(err.contains("simulation panicked: dynamic"), "{err}");
+        let err = catch_panic(|| std::panic::panic_any(42_i32)).unwrap_err();
+        assert!(err.contains("unknown panic"), "{err}");
+    }
+
+    #[test]
+    fn hostile_requests_each_get_one_error_line_and_the_loop_survives() {
+        // A battery of malformed / hostile inputs: wrong top-level types,
+        // type-confused fields, out-of-range numbers, pathological nesting,
+        // binary garbage. Every line must produce exactly one JSON response
+        // line per request (ok:false for the bad ones), and a well-formed
+        // request afterwards must still be served.
+        let deep_nest = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+        let input = format!(
+            r#""just a string"
+42
+true
+{{"seed": -1}}
+{{"seed": 1.5}}
+{{"policy": 42}}
+{{"policy": {{"name": "nested"}}}}
+{{"checkpoint": {{"interval_s": "soon"}}}}
+{{"repair": {{"enabled": "yes"}}}}
+{{"faults": ["not", "a", "string"]}}
+{{"faults": "bogus:clause"}}
+{{"id": "bad-policy", "policy": "does-not-exist"}}
+[1, "two", null]
+{deep_nest}
+{{"id": "unterminated"
+\x00\x01garbage
+{{"id": "still-alive", "seed": 3}}
+"#
+        );
+        let (out, shutdown) = drive(&input);
+        assert!(!shutdown);
+        let lines: Vec<&str> = out.lines().collect();
+        // 16 single-value lines + the 3-element array line = 19 responses.
+        assert_eq!(lines.len(), 19, "one response per request: {out}");
+        for line in &lines {
+            let value: Value = serde_json::from_str(line).expect("every response is valid JSON");
+            assert!(
+                value.get("ok").is_some(),
+                "response has an ok field: {line}"
+            );
+        }
+        // Everything except the final good request fails.
+        for line in &lines[..lines.len() - 1] {
+            assert!(
+                line.contains(r#""ok":false"#),
+                "hostile line passed: {line}"
+            );
+        }
+        let last = lines.last().unwrap();
+        assert!(last.contains(r#""id":"still-alive""#));
+        assert!(last.contains(r#""ok":true"#), "loop must survive: {last}");
+    }
+
+    #[test]
+    fn repair_delta_is_resolved_and_distinguishes_scenarios() {
+        let (base, execution) = setup();
+        let request: ServeRequest = serde_json::from_str(
+            r#"{"repair":{"enabled":true,"target_factor":3,"max_concurrent":2,
+                "backoff_s":60.0,"max_retries":3}}"#,
+        )
+        .unwrap();
+        let spec = request.delta().resolve(&base, &execution);
+        assert!(spec.execution.repair.enabled);
+        assert_eq!(spec.execution.repair.target_factor, 3);
+        assert_eq!(spec.execution.repair.backoff_s, 60.0);
+        // Partial overrides inherit the remaining knob defaults.
+        let partial: ServeRequest = serde_json::from_str(r#"{"repair":{"enabled":true}}"#).unwrap();
+        let partial = partial.delta().resolve(&base, &execution);
+        assert!(partial.execution.repair.enabled);
+        assert_eq!(partial.execution.repair.max_concurrent, 4);
+        // The override reaches the cache key: distinct scenario from the base.
+        let plain = ServeRequest::default().delta().resolve(&base, &execution);
+        assert_ne!(spec.canonical_hash(), plain.canonical_hash());
+        assert_ne!(partial.canonical_hash(), plain.canonical_hash());
+        // And the serve loop answers a repair-enabled faulted request.
+        let input = "{\"id\":\"on\",\"faults\":\"diskloss:site=1,mttf=30m;horizon=24h\",\
+                     \"repair\":{\"enabled\":true}}\n";
+        let (out, _) = drive(input);
+        assert!(out.contains(r#""id":"on","ok":true"#), "{out}");
     }
 
     #[test]

@@ -107,6 +107,9 @@ impl GridModel {
             if let Some(key) = self.fault_key.take() {
                 ctx.cancel(key);
             }
+            // Same contract for the repair planner: in-flight repairs and
+            // backoff timers must not outlive the workload.
+            self.shutdown_repairs(ctx);
         }
         site
     }
@@ -131,6 +134,7 @@ impl GridModel {
                     finished_jobs: counters.finished,
                     interrupted_jobs: counters.interrupted,
                     checkpoints: counters.checkpoints,
+                    repairs: counters.repairs,
                     up: self.availability.site_up(s.id),
                     running_sample: state
                         .running

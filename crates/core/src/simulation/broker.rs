@@ -40,6 +40,7 @@ impl GridModel {
                     finished_jobs: self.collector.site_counters(s.id.index()).finished,
                     has_input_replica: has_replica,
                     up: self.availability.site_up(s.id),
+                    active_repairs: self.repair.site_active[s.id.index()],
                 }
             })
             .collect();

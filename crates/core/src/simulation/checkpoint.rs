@@ -209,6 +209,26 @@ impl GridModel {
         }
     }
 
+    /// Bytes the *wire* has to carry to make the next checkpoint of job
+    /// `idx` durable at `target`: the full image by default, or just the
+    /// delta accrued since the target's previous checkpoint of this job when
+    /// incremental shipping (`delta_bytes_per_s`) is configured and a base
+    /// image survives there. The storage reservation is always the full
+    /// image — the durable artifact is self-contained either way.
+    fn checkpoint_transfer_bytes(&self, idx: usize, site: SiteId, target: NodeId) -> u64 {
+        let job = &self.jobs[idx];
+        let base = job
+            .checkpoints
+            .iter()
+            .find(|ck| ck.node == target && self.catalog.has_replica(ck.dataset, ck.node));
+        let progress_s = base
+            .map(|ck| (job.frac_done - ck.frac).max(0.0) * self.nominal_walltime_at(idx, site))
+            .unwrap_or(0.0);
+        self.execution
+            .checkpoint
+            .transfer_bytes_for(job.record.cores, progress_s, base.is_some())
+    }
+
     /// Starts the durable write of a checkpoint covering the job's progress
     /// so far: a fluid transfer to the configured storage target. A full
     /// site storage element skips the write (the job keeps computing and
@@ -232,19 +252,24 @@ impl GridModel {
                     self.start_execution_segment(idx, site, ctx);
                     return;
                 }
-                self.jobs[idx].transfer_peer = Some(NodeId::Site(site));
+                let target = NodeId::Site(site);
+                let xfer = self.checkpoint_transfer_bytes(idx, site, target);
+                self.collector.record_ckpt_shipped(xfer);
+                self.jobs[idx].transfer_peer = Some(target);
                 // A site-local write crosses only the site LAN, contending
                 // with staging transfers entering or leaving the site.
                 let lan = self.platform.site(site).lan_link;
                 let route = [self.link_resources[lan.index()]];
-                self.start_fluid_activity(idx, Phase::Checkpoint, bytes as f64, &route, 1.0, ctx);
+                self.start_fluid_activity(idx, Phase::Checkpoint, xfer as f64, &route, 1.0, ctx);
             }
             CheckpointTarget::MainServer => {
+                let xfer = self.checkpoint_transfer_bytes(idx, site, NodeId::MainServer);
+                self.collector.record_ckpt_shipped(xfer);
                 self.jobs[idx].transfer_peer = Some(NodeId::MainServer);
                 self.start_transfer(
                     idx,
                     Phase::Checkpoint,
-                    bytes,
+                    xfer,
                     NodeId::Site(site),
                     NodeId::MainServer,
                     ctx,
@@ -253,9 +278,8 @@ impl GridModel {
         }
     }
 
-    /// A checkpoint write landed: the checkpoint becomes durable (catalog
-    /// replica + stack entry), superseding any older checkpoint of this job
-    /// at the same node, and the next execution segment starts.
+    /// A synchronous checkpoint write landed: the checkpoint becomes durable
+    /// and the next execution segment starts.
     pub(super) fn finish_checkpoint_write(&mut self, idx: usize, ctx: &mut Context<'_, GridEvent>) {
         let timer = self.profiler.start();
         let site = self.jobs[idx].site.expect("checkpointing job has a site");
@@ -263,11 +287,27 @@ impl GridModel {
             .transfer_peer
             .take()
             .expect("checkpoint write has a target");
+        let frac = self.jobs[idx].frac_done;
+        self.make_checkpoint_durable(idx, site, node, frac, ctx);
+        self.profiler.stop(Subsystem::Checkpoint, timer);
+        self.start_execution_segment(idx, site, ctx);
+    }
+
+    /// Registers a completed checkpoint write as durable: catalog replica +
+    /// stack entry, superseding any older checkpoint of this job at the same
+    /// node (shared by the synchronous and asynchronous write paths).
+    fn make_checkpoint_durable(
+        &mut self,
+        idx: usize,
+        site: SiteId,
+        node: NodeId,
+        frac: f64,
+        ctx: &mut Context<'_, GridEvent>,
+    ) {
         let bytes = self
             .execution
             .checkpoint
             .bytes_for(self.jobs[idx].record.cores);
-        let frac = self.jobs[idx].frac_done;
         let name = format!("ckpt-job-{idx}@{node}");
         let dataset = self.catalog.register(&name, 1, bytes, node);
         self.catalog.add_replica(dataset, node);
@@ -313,8 +353,147 @@ impl GridModel {
                 );
             }
         }
+    }
+
+    /// Starts an *asynchronous* checkpoint write (`checkpoint.overlap`): the
+    /// same fluid transfer as the synchronous path, but held in the job's
+    /// `ckpt_activity` slot so the next execution segment runs concurrently.
+    /// Captures the job's current progress fraction — that snapshot, not the
+    /// progress at completion time, is what becomes durable. Returns whether
+    /// the write was admitted (a full storage element skips it, exactly like
+    /// the synchronous path).
+    pub(super) fn start_async_checkpoint_write(
+        &mut self,
+        idx: usize,
+        site: SiteId,
+        ctx: &mut Context<'_, GridEvent>,
+    ) -> bool {
+        debug_assert!(self.jobs[idx].ckpt_activity.is_none());
+        let timer = self.profiler.start();
+        let bytes = self
+            .execution
+            .checkpoint
+            .bytes_for(self.jobs[idx].record.cores);
+        let (node, route): (NodeId, Vec<_>) = match self.execution.checkpoint.target {
+            CheckpointTarget::SiteStorage => {
+                if !self.storage[site.index()].reserve(bytes) {
+                    self.profiler.stop(Subsystem::Checkpoint, timer);
+                    return false;
+                }
+                let lan = self.platform.site(site).lan_link;
+                (NodeId::Site(site), vec![self.link_resources[lan.index()]])
+            }
+            CheckpointTarget::MainServer => {
+                let route = self
+                    .platform
+                    .route(NodeId::Site(site), NodeId::MainServer)
+                    .links
+                    .iter()
+                    .map(|l| self.link_resources[l.index()])
+                    .collect();
+                (NodeId::MainServer, route)
+            }
+        };
+        let xfer = self.checkpoint_transfer_bytes(idx, site, node);
+        self.collector.record_ckpt_shipped(xfer);
+        let now = ctx.now();
+        let completed = self.advance_fluid(now);
+        let activity = self.fluid.add_weighted_activity(xfer as f64, &route, 1.0);
+        self.activity_map.insert(activity, (idx, Phase::CkptAsync));
+        self.jobs[idx].ckpt_activity = Some(activity);
+        self.jobs[idx].ckpt_node = Some(node);
+        self.jobs[idx].ckpt_frac = self.jobs[idx].frac_done;
+        // Register the write in the per-node transfer index under its target
+        // so data loss there finds it. The job's only possible concurrent
+        // main activity is Execute, which touches no node, so the index slot
+        // is unambiguous.
+        let ni = self.node_index(node);
+        let list = &mut self.transfer_touch[ni];
+        if let Err(pos) = list.binary_search(&idx) {
+            list.insert(pos, idx);
+        }
+        self.trace_phase(now.as_secs(), idx, Phase::CkptAsync, SpanPhase::Begin, None);
         self.profiler.stop(Subsystem::Checkpoint, timer);
-        self.start_execution_segment(idx, site, ctx);
+        self.handle_completed_activities(completed, ctx);
+        self.reschedule_fluid(ctx);
+        true
+    }
+
+    /// An asynchronous checkpoint write drained: the snapshot it carried
+    /// becomes durable, and a job stalled at its next segment boundary
+    /// resumes (writing the freshly accumulated state and computing on).
+    pub(super) fn finish_async_checkpoint_write(
+        &mut self,
+        idx: usize,
+        ctx: &mut Context<'_, GridEvent>,
+    ) {
+        let timer = self.profiler.start();
+        let site = self.jobs[idx].site.expect("checkpointing job has a site");
+        let node = self.jobs[idx]
+            .ckpt_node
+            .take()
+            .expect("async checkpoint write has a target");
+        self.jobs[idx].ckpt_activity = None;
+        let ni = self.node_index(node);
+        if let Ok(pos) = self.transfer_touch[ni].binary_search(&idx) {
+            self.transfer_touch[ni].remove(pos);
+        }
+        self.trace_phase(
+            ctx.now().as_secs(),
+            idx,
+            Phase::CkptAsync,
+            SpanPhase::End,
+            None,
+        );
+        let frac = self.jobs[idx].ckpt_frac;
+        self.make_checkpoint_durable(idx, site, node, frac, ctx);
+        self.profiler.stop(Subsystem::Checkpoint, timer);
+        if self.jobs[idx].ckpt_stalled {
+            self.jobs[idx].ckpt_stalled = false;
+            let admitted = self.start_async_checkpoint_write(idx, site, ctx);
+            self.start_execution_segment(idx, site, ctx);
+            if admitted {
+                self.collector.record_ckpt_overlap();
+            }
+        }
+    }
+
+    /// Tears down an in-flight asynchronous write (job interrupted, its
+    /// target lost its data, or the job finished first): the transfer leaves
+    /// the fluid model and the reservation is returned — nothing becomes
+    /// durable. Returns whether the job was stalled on this write (the
+    /// caller then owns restarting its execution segment, unless the job is
+    /// leaving the site anyway).
+    pub(super) fn cancel_async_write(
+        &mut self,
+        idx: usize,
+        ctx: &mut Context<'_, GridEvent>,
+        info: &str,
+    ) -> bool {
+        let Some(activity) = self.jobs[idx].ckpt_activity.take() else {
+            return false;
+        };
+        self.trace_phase(
+            ctx.now().as_secs(),
+            idx,
+            Phase::CkptAsync,
+            SpanPhase::End,
+            Some(info),
+        );
+        self.fluid.remove_activity(activity);
+        self.activity_map.remove(activity);
+        if let Some(node) = self.jobs[idx].ckpt_node.take() {
+            let ni = self.node_index(node);
+            if let Ok(pos) = self.transfer_touch[ni].binary_search(&idx) {
+                self.transfer_touch[ni].remove(pos);
+            }
+            let bytes = self
+                .execution
+                .checkpoint
+                .bytes_for(self.jobs[idx].record.cores);
+            self.release_checkpoint_storage(node, bytes);
+        }
+        std::mem::take(&mut self.jobs[idx].ckpt_stalled)
     }
 
     /// Releases a checkpoint's byte reservation at its storage node. The

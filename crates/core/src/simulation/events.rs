@@ -24,6 +24,10 @@ pub(super) enum GridEvent {
     /// successor — so an exhausted workload stops fault processing by
     /// cancelling a single pending event.
     Fault(usize),
+    /// A repair-backoff timer for a dataset (by index) elapses; the repair
+    /// planner re-examines the dataset's replication deficit. Only scheduled
+    /// when re-replication is enabled.
+    RepairRetry(usize),
 }
 
 impl EventHandler<GridEvent> for GridModel {
@@ -55,6 +59,9 @@ impl EventHandler<GridEvent> for GridModel {
             }
             GridEvent::Fault(index) => {
                 self.handle_fault(index, ctx);
+            }
+            GridEvent::RepairRetry(index) => {
+                self.handle_repair_retry(index, ctx);
             }
         }
     }

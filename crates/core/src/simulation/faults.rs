@@ -115,8 +115,10 @@ impl GridModel {
             FaultAction::SiteUp { site } if site < self.sites.len() => {
                 let site = SiteId::new(site);
                 if self.availability.site_down_end(site) {
-                    // Back up: reconsider parked work.
+                    // Back up: reconsider parked work, and give the repair
+                    // planner its restored source/destination candidates.
                     self.after_release(site, ctx);
+                    self.pump_repairs(ctx);
                 }
             }
             FaultAction::NodeLoss { site, fraction } if site < self.sites.len() => {
@@ -183,7 +185,12 @@ impl GridModel {
             self.collector.record_checkpoints_lost(lost);
             self.trace_ckpt_lost(now.as_secs(), site, lost);
         }
-        self.catalog.evict_node(node);
+        if self.repair.enabled {
+            let affected = self.catalog.evict_node_reporting(node);
+            self.note_repair_deficits(affected);
+        } else {
+            self.catalog.evict_node(node);
+        }
         self.caches[site.index()].clear();
         // Queued jobs hold no cores; they go back to the main server without
         // consuming a fault retry.
@@ -207,6 +214,9 @@ impl GridModel {
         // Bounced and killed jobs re-enter through the allocation policy,
         // which now sees the site as down.
         self.drain_pending(ctx);
+        // With the cancellation pass done, the repair planner fills its free
+        // slots from the freshly recorded deficits.
+        self.pump_repairs(ctx);
     }
 
     /// Storage-media loss at a site that stays up: every byte held there —
@@ -220,9 +230,15 @@ impl GridModel {
             self.collector.record_checkpoints_lost(lost);
             self.trace_ckpt_lost(ctx.now().as_secs(), site, lost);
         }
-        self.catalog.evict_node(node);
+        if self.repair.enabled {
+            let affected = self.catalog.evict_node_reporting(node);
+            self.note_repair_deficits(affected);
+        } else {
+            self.catalog.evict_node(node);
+        }
         self.caches[site.index()].clear();
         self.repair_transfers_touching(node, ctx);
+        self.pump_repairs(ctx);
     }
 
     /// Emits the `ckpt.lost` instant after a data-loss event destroyed
@@ -298,20 +314,32 @@ impl GridModel {
     /// O(jobs) scan it replaced.
     #[cfg(debug_assertions)]
     fn assert_touch_index_matches_scan(&self, node: NodeId) {
-        let scan: Vec<usize> = (0..self.jobs.len())
+        let mut scan: Vec<usize> = (0..self.jobs.len())
             .filter(|&idx| {
-                let Some(activity) = self.jobs[idx].activity else {
-                    return false;
-                };
-                let Some(&(_, phase)) = self.activity_map.get(activity) else {
-                    return false;
-                };
-                let peer_hit = self.jobs[idx].transfer_peer == Some(node);
-                let dest_hit = matches!(phase, Phase::Input | Phase::Restore)
-                    && self.jobs[idx].site.map(NodeId::Site) == Some(node);
-                peer_hit || dest_hit
+                let job = &self.jobs[idx];
+                let ckpt_hit = job.ckpt_activity.is_some() && job.ckpt_node == Some(node);
+                let main_hit = job.activity.is_some_and(|activity| {
+                    let Some(&(_, phase)) = self.activity_map.get(activity) else {
+                        return false;
+                    };
+                    let peer_hit = job.transfer_peer == Some(node);
+                    let dest_hit = matches!(phase, Phase::Input | Phase::Restore)
+                        && job.site.map(NodeId::Site) == Some(node);
+                    peer_hit || dest_hit
+                });
+                ckpt_hit || main_hit
             })
             .collect();
+        // Repair sentinels (`jobs.len() + slot`) sort after every job index,
+        // and slot order is ascending — matching the sorted index.
+        for (slot, transfer) in self.repair.active.iter().enumerate() {
+            if transfer
+                .as_ref()
+                .is_some_and(|t| t.touches.contains(&Some(node)))
+            {
+                scan.push(self.jobs.len() + slot);
+            }
+        }
         debug_assert_eq!(
             self.transfer_touch[self.node_index(node)],
             scan,
@@ -338,6 +366,33 @@ impl GridModel {
         // the new (surviving) endpoints while we iterate.
         let victims = self.transfer_touch[self.node_index(node)].clone();
         for idx in victims {
+            // Sentinel ids above the job range belong to the repair
+            // planner's re-replication transfers: a lost endpoint cancels
+            // the repair (it retries with backoff from surviving replicas).
+            // Cancellation only schedules retry timers — no admission
+            // happens mid-loop — so the snapshot stays valid.
+            if idx >= self.jobs.len() {
+                let slot = idx - self.jobs.len();
+                let hit = self.repair.active[slot]
+                    .as_ref()
+                    .map(|t| t.touches.contains(&Some(node)))
+                    .unwrap_or(false);
+                if hit {
+                    self.cancel_repair_slot(slot, node, ctx);
+                }
+                continue;
+            }
+            // An asynchronous checkpoint write targeting the dead storage is
+            // dropped; a job stalled on it resumes computing (its job-level
+            // transfer, if any, is handled below — an async write only ever
+            // coexists with an Execute activity, which touches no node).
+            if self.jobs[idx].ckpt_activity.is_some() && self.jobs[idx].ckpt_node == Some(node) {
+                let was_stalled = self.cancel_async_write(idx, ctx, "data loss");
+                if was_stalled {
+                    let site = self.jobs[idx].site.expect("stalled job has a site");
+                    self.start_execution_segment(idx, site, ctx);
+                }
+            }
             let Some(activity) = self.jobs[idx].activity else {
                 continue;
             };
@@ -387,6 +442,12 @@ impl GridModel {
                 // Execution holds no transfer peer and output transfers
                 // terminate at the indestructible main server.
                 Phase::Execute | Phase::Output => {}
+                // Async writes and repairs are never a job's *main* activity:
+                // both were already handled above (ckpt_activity / sentinel
+                // index branches) before this match is reached.
+                Phase::CkptAsync | Phase::Repair => {
+                    unreachable!("not a main-activity phase")
+                }
             }
         }
     }
@@ -508,6 +569,10 @@ impl GridModel {
                 }
             }
         }
+        // An in-flight asynchronous checkpoint write dies with the attempt
+        // (never durable); the job is leaving the site, so a stall does not
+        // restart a segment here.
+        self.cancel_async_write(idx, ctx, "interrupted");
         self.jobs[idx].transfer_peer = None;
         self.jobs[idx].frac_done = 0.0;
         self.jobs[idx].seg_fraction = 0.0;

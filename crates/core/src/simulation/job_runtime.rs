@@ -24,6 +24,15 @@ pub(super) enum Phase {
     /// Re-staging of checkpoint data to the resume site before execution
     /// continues from it.
     Restore,
+    /// An *asynchronous* checkpoint write overlapping the next execution
+    /// segment (`checkpoint.overlap = true`). Tracked per job in
+    /// `ckpt_activity`, never in the job's main `activity` slot.
+    CkptAsync,
+    /// A background re-replication transfer owned by the repair planner.
+    /// Activity-map entries carry the sentinel id `jobs.len() + slot`, not a
+    /// job index — completion routing must branch on this phase before any
+    /// per-job state is touched.
+    Repair,
 }
 
 impl Phase {
@@ -31,7 +40,8 @@ impl Phase {
     pub(super) fn trace_cat(self) -> TraceCategory {
         match self {
             Phase::Input | Phase::Execute | Phase::Output => TraceCategory::Job,
-            Phase::Checkpoint | Phase::Restore => TraceCategory::Ckpt,
+            Phase::Checkpoint | Phase::Restore | Phase::CkptAsync => TraceCategory::Ckpt,
+            Phase::Repair => TraceCategory::Repair,
         }
     }
 
@@ -43,6 +53,8 @@ impl Phase {
             Phase::Output => "output",
             Phase::Checkpoint => "ckpt.write",
             Phase::Restore => "ckpt.restore",
+            Phase::CkptAsync => "ckpt.write.async",
+            Phase::Repair => "repair.transfer",
         }
     }
 }
@@ -102,6 +114,20 @@ pub(super) struct JobRuntime {
     /// Durable checkpoints of this job, at most one per storage node
     /// (newer writes at a node supersede its older checkpoint).
     pub(super) checkpoints: Vec<JobCheckpoint>,
+    /// In-flight *asynchronous* checkpoint write, held separately from
+    /// `activity` because it overlaps the next execution segment.
+    pub(super) ckpt_activity: Option<ActivityId>,
+    /// Target node of the in-flight asynchronous write (doubles as its
+    /// `transfer_touch` registration record).
+    pub(super) ckpt_node: Option<NodeId>,
+    /// Progress fraction the in-flight asynchronous write captures — the
+    /// `frac_done` snapshot taken when the write started, which becomes the
+    /// checkpoint's durable fraction at completion.
+    pub(super) ckpt_frac: f64,
+    /// True while the job sits at a segment boundary waiting for the
+    /// previous asynchronous write to drain (the overlap model's only stall
+    /// condition).
+    pub(super) ckpt_stalled: bool,
 }
 
 impl JobRuntime {
@@ -130,6 +156,10 @@ impl JobRuntime {
             seg_amount: 0.0,
             restore_frac: 0.0,
             checkpoints: Vec::new(),
+            ckpt_activity: None,
+            ckpt_node: None,
+            ckpt_frac: 0.0,
+            ckpt_stalled: false,
         }
     }
 }
@@ -228,8 +258,42 @@ impl GridModel {
         self.jobs[idx].seg_fraction = 0.0;
         self.jobs[idx].seg_walltime_s = 0.0;
         self.jobs[idx].seg_amount = 0.0;
+        // A pending asynchronous write may complete at exactly this boundary;
+        // sync the fluid model so the decision below sees its final state.
+        if self.jobs[idx].ckpt_activity.is_some() {
+            let completed = self.advance_fluid(ctx.now());
+            self.handle_completed_activities(completed, ctx);
+        }
         if self.jobs[idx].frac_done >= 1.0 - 1e-9 {
+            // The run is complete — an overlapping write of an intermediate
+            // state has no further value, so it is dropped rather than
+            // allowed to delay the job's output phase.
+            if self.jobs[idx].ckpt_activity.is_some() {
+                self.cancel_async_write(idx, ctx, "job complete");
+                self.reschedule_fluid(ctx);
+            }
             self.finish_execution(idx, ctx);
+        } else if self.execution.checkpoint.overlap {
+            if self.jobs[idx].ckpt_activity.is_some() {
+                // The previous write is still draining: the job stalls at
+                // the boundary (the overlap model's only stall), and the
+                // write completion restarts it.
+                self.jobs[idx].ckpt_stalled = true;
+                self.collector.record_ckpt_stall();
+                self.trace_phase(
+                    ctx.now().as_secs(),
+                    idx,
+                    Phase::CkptAsync,
+                    SpanPhase::Instant,
+                    Some("ckpt.stall"),
+                );
+            } else {
+                let admitted = self.start_async_checkpoint_write(idx, site, ctx);
+                self.start_execution_segment(idx, site, ctx);
+                if admitted {
+                    self.collector.record_ckpt_overlap();
+                }
+            }
         } else {
             self.start_checkpoint_write(idx, site, ctx);
         }
@@ -290,6 +354,19 @@ impl GridModel {
         ctx: &mut Context<'_, GridEvent>,
     ) {
         for (idx, phase) in completed {
+            // Repair transfers carry sentinel ids (`jobs.len() + slot`) and
+            // asynchronous checkpoint writes live outside the job's main
+            // activity slot — both must route before any `jobs[idx]` access
+            // or main-transfer unindexing.
+            if phase == Phase::Repair {
+                let slot = idx - self.jobs.len();
+                self.finish_repair(slot, ctx);
+                continue;
+            }
+            if phase == Phase::CkptAsync {
+                self.finish_async_checkpoint_write(idx, ctx);
+                continue;
+            }
             self.unindex_transfer(idx);
             self.jobs[idx].activity = None;
             // `Execute` spans close in `execution_segment_done` (shared with
@@ -314,6 +391,9 @@ impl GridModel {
                 }
                 Phase::Restore => {
                     self.finish_restore(idx, ctx);
+                }
+                Phase::CkptAsync | Phase::Repair => {
+                    unreachable!("routed before the per-job teardown above")
                 }
             }
         }

@@ -23,6 +23,7 @@ mod checkpoint;
 mod events;
 mod faults;
 mod job_runtime;
+mod repair;
 mod staging;
 #[cfg(test)]
 mod tests;
@@ -49,6 +50,7 @@ use crate::results::SimulationResults;
 use broker::SiteState;
 use events::GridEvent;
 use job_runtime::{JobRuntime, Phase};
+use repair::RepairState;
 
 /// Errors raised while building or running a simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -145,6 +147,9 @@ struct GridModel {
     ckpt_holders: Vec<Vec<usize>>,
     /// Jobs that reached a terminal state so far.
     completed_jobs: usize,
+    /// Fault-aware re-replication planner (inert when disabled — no events,
+    /// no RNG draws, no allocation).
+    repair: RepairState,
     // Observability (see `cgsim_obs`). `None`/disabled adds a single branch
     // per emission site and nothing else — no allocation, no formatting.
     /// Structured trace of simulated behaviour (spans carry sim-time only).
@@ -206,6 +211,7 @@ impl GridModel {
         let availability = GridAvailability::all_up(&platform);
         // One slot per site plus the main server (see `node_index`).
         let node_count = platform.sites().len() + 1;
+        let repair = RepairState::new(&execution.repair, execution.seed, platform.sites().len());
 
         GridModel {
             rng: Rng::new(execution.seed),
@@ -236,6 +242,7 @@ impl GridModel {
             transfer_touch: vec![Vec::new(); node_count],
             ckpt_holders: vec![Vec::new(); node_count],
             completed_jobs: 0,
+            repair,
             tracer,
             profiler,
         }

@@ -31,6 +31,11 @@ impl GridModel {
             NodeId::MainServer,
         );
         self.task_datasets.insert(task, ds);
+        // Task inputs are the re-replication planner's repairable set
+        // (checkpoint datasets have their own lifecycle and stay out of it).
+        if self.repair.enabled {
+            self.repair.mark_repairable(ds);
+        }
         ds
     }
 

@@ -65,6 +65,7 @@ fn cheap_checkpoints(interval_s: f64, target: CheckpointTarget) -> CheckpointCon
         base_bytes: 100_000_000,
         bytes_per_core: 0,
         target,
+        ..CheckpointConfig::default()
     }
 }
 
@@ -242,6 +243,7 @@ fn zero_checkpoint_config_is_byte_identical_to_default() {
             base_bytes: u64::MAX / 4,
             bytes_per_core: 123_456_789,
             target: CheckpointTarget::MainServer,
+            ..CheckpointConfig::default()
         },
         ..ExecutionConfig::default()
     };

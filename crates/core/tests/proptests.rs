@@ -4,7 +4,10 @@
 //! simulation, but the configurations are drawn randomly: job mixes, site
 //! counts, policies, failure rates and compute modes.
 
-use cgsim_core::{ComputeMode, ExecutionConfig, Simulation};
+use cgsim_core::{
+    CheckpointConfig, CheckpointTarget, ComputeMode, ExecutionConfig, RepairConfig, Simulation,
+};
+use cgsim_faults::{parse_fault_spec, FaultPlan, FaultTopology};
 use cgsim_platform::presets::wlcg_platform;
 use cgsim_workload::{JobState, TraceConfig, TraceGenerator};
 use proptest::prelude::*;
@@ -136,6 +139,173 @@ proptest! {
             prop_assert_eq!(x.id, y.id);
             prop_assert_eq!(&x.site, &y.site);
             prop_assert_eq!(x.walltime.to_bits(), y.walltime.to_bits());
+        }
+    }
+}
+
+/// A randomized self-healing scenario: `sites`-site WLCG platform, generated
+/// trace, and a fault plan with disk losses, outages and kills aggressive
+/// enough that the repair planner and the checkpoint machinery both fire.
+fn self_healing_run(
+    jobs: usize,
+    sites: usize,
+    seed: u64,
+    checkpoint: CheckpointConfig,
+    repair: RepairConfig,
+) -> cgsim_core::SimulationResults {
+    let platform = wlcg_platform(sites, seed ^ 0x9e37);
+    let trace = TraceGenerator::new(TraceConfig::with_jobs(jobs, seed)).generate(&platform);
+    let config =
+        parse_fault_spec("diskloss:site=all,mttf=25m;outage:site=all,mttf=45m,mttr=8m;kill:rate=2")
+            .expect("static spec parses");
+    let topology = FaultTopology {
+        sites,
+        links: Vec::new(),
+        jobs,
+    };
+    let plan = FaultPlan::generate(&config, &topology, seed ^ 0x51ed);
+    let execution = ExecutionConfig {
+        checkpoint,
+        repair,
+        seed,
+        ..ExecutionConfig::default()
+    };
+    Simulation::builder()
+        .platform_spec(&platform)
+        .unwrap()
+        .trace(trace)
+        .policy_name("least-loaded")
+        .execution(execution)
+        .fault_plan(plan)
+        .run()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Repair-planner invariants under random knobs and fault pressure:
+    ///
+    /// * every admitted repair transfer is retired exactly once — completed
+    ///   or cancelled, never leaked (`started == completed + cancelled`),
+    /// * per-site completed-repair counts agree with the grid total,
+    /// * the workload still drains fully (all jobs terminal, no cores held),
+    /// * an identical second run is bit-for-bit identical.
+    ///
+    /// Debug builds (how tests run) additionally enforce the per-event
+    /// invariants inside the planner itself via `debug_assert`s: a repair is
+    /// only admitted while the dataset is below target and toward a node
+    /// without a replica, a landed replica never overshoots the target, and
+    /// the per-node transfer-touch index always matches a full scan after
+    /// every data-loss replay.
+    #[test]
+    fn repair_transfers_are_always_retired_and_runs_are_reproducible(
+        jobs in 30usize..80,
+        sites in 2usize..6,
+        seed in any::<u64>(),
+        target in 2u32..4,
+        concurrent in 1u32..6,
+        backoff in 60.0f64..900.0,
+        retries in 0u32..4,
+        overlap in any::<bool>(),
+        delta in prop::sample::select(vec![0u64, 2_000_000, 40_000_000]),
+    ) {
+        let checkpoint = CheckpointConfig {
+            interval_s: 600.0,
+            base_bytes: 50_000_000,
+            bytes_per_core: 0,
+            target: CheckpointTarget::MainServer,
+            overlap,
+            delta_bytes_per_s: delta,
+        };
+        let repair = RepairConfig {
+            enabled: true,
+            target_factor: target,
+            max_concurrent: concurrent,
+            backoff_s: backoff,
+            max_retries: retries,
+        };
+        let run = || self_healing_run(jobs, sites, seed, checkpoint.clone(), repair.clone());
+        let a = run();
+
+        // The workload drained: every job terminal, every core returned.
+        prop_assert_eq!(a.outcomes.len(), jobs);
+        for o in &a.outcomes {
+            prop_assert!(o.final_state.is_terminal());
+        }
+        for panel in &a.site_panels {
+            prop_assert_eq!(panel.busy_cores, 0);
+            prop_assert_eq!(panel.queued_jobs, 0);
+            prop_assert_eq!(panel.running_jobs, 0);
+        }
+
+        // Repair ledger closes: nothing admitted is still unaccounted for.
+        let g = &a.grid_counters;
+        prop_assert_eq!(
+            g.repairs_started,
+            g.repairs_completed + g.repairs_cancelled,
+            "admitted repairs leaked: started {} completed {} cancelled {}",
+            g.repairs_started,
+            g.repairs_completed,
+            g.repairs_cancelled
+        );
+        let per_site: u64 = a.site_panels.iter().map(|p| p.repairs).sum();
+        prop_assert_eq!(per_site, g.repairs_completed);
+        if g.repairs_completed > 0 {
+            prop_assert!(g.repair_bytes >= g.repairs_completed);
+        }
+
+        // The async-write counters only move when overlap is on.
+        if !overlap {
+            prop_assert_eq!(g.ckpt_overlapped, 0);
+            prop_assert_eq!(g.ckpt_stalls, 0);
+        }
+
+        // Bit-for-bit reproducible, repair traffic and all.
+        let b = run();
+        prop_assert_eq!(a.deterministic_json(), b.deterministic_json());
+        prop_assert_eq!(a.engine_events, b.engine_events);
+    }
+
+    /// Feature-off ≡ feature-absent, under random *disabled* knob settings:
+    /// a run whose repair config carries arbitrary target/concurrency/backoff
+    /// values but `enabled = false`, with `overlap = false` and a zero delta
+    /// rate, is byte-identical to the same faulted run with plain default
+    /// fields — the knobs alone must not perturb a single RNG draw or event.
+    #[test]
+    fn disabled_self_healing_knobs_are_byte_identical_to_defaults(
+        jobs in 30usize..70,
+        sites in 2usize..5,
+        seed in any::<u64>(),
+        target in 1u32..9,
+        concurrent in 1u32..17,
+        backoff in 0.0f64..10_000.0,
+        retries in 0u32..50,
+    ) {
+        let checkpoint = CheckpointConfig {
+            interval_s: 600.0,
+            base_bytes: 50_000_000,
+            bytes_per_core: 0,
+            target: CheckpointTarget::SiteStorage,
+            ..CheckpointConfig::default()
+        };
+        let knobs = RepairConfig {
+            enabled: false,
+            target_factor: target,
+            max_concurrent: concurrent,
+            backoff_s: backoff,
+            max_retries: retries,
+        };
+        let a = self_healing_run(jobs, sites, seed, checkpoint.clone(), knobs);
+        let b = self_healing_run(jobs, sites, seed, checkpoint, RepairConfig::default());
+        prop_assert_eq!(a.deterministic_json(), b.deterministic_json());
+        prop_assert_eq!(a.engine_events, b.engine_events);
+        prop_assert_eq!(a.grid_counters.repairs_started, 0);
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(&x.site, &y.site);
+            prop_assert_eq!(x.walltime.to_bits(), y.walltime.to_bits());
+            prop_assert_eq!(x.staged_bytes, y.staged_bytes);
         }
     }
 }

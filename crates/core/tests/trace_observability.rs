@@ -73,6 +73,7 @@ fn checkpointed_exec() -> ExecutionConfig {
             base_bytes: 100_000_000,
             bytes_per_core: 0,
             target: CheckpointTarget::SiteStorage,
+            ..CheckpointConfig::default()
         },
         ..ExecutionConfig::default()
     }

@@ -116,6 +116,24 @@ impl ReplicaCatalog {
             .sum()
     }
 
+    /// Like [`evict_node`](Self::evict_node), but also reports *which*
+    /// datasets lost a replica (in dataset-id order) so a repair planner can
+    /// inspect the resulting replication-factor deficits.
+    pub fn evict_node_reporting(&mut self, location: NodeId) -> Vec<DatasetId> {
+        let mut affected = Vec::new();
+        for (index, locations) in self.replicas.iter_mut().enumerate() {
+            if locations.remove(&location) {
+                affected.push(DatasetId::new(index));
+            }
+        }
+        affected
+    }
+
+    /// Number of replicas a single dataset currently has.
+    pub fn replicas_of(&self, dataset: DatasetId) -> usize {
+        self.replicas[dataset.index()].len()
+    }
+
     /// True if `location` holds a replica of `dataset`.
     pub fn has_replica(&self, dataset: DatasetId, location: NodeId) -> bool {
         self.replicas[dataset.index()].contains(&location)
@@ -224,6 +242,27 @@ mod tests {
         // Main-server copies survive; re-evicting is a no-op.
         assert!(cat.has_replica(a, NodeId::MainServer));
         assert_eq!(cat.evict_node(cern), 0);
+    }
+
+    #[test]
+    fn evict_node_reporting_names_the_affected_datasets() {
+        let p = platform();
+        let cern = NodeId::Site(p.site_by_name("CERN").unwrap());
+        let bnl = NodeId::Site(p.site_by_name("BNL").unwrap());
+        let mut cat = ReplicaCatalog::new();
+        let a = cat.register("a", 1, 10, NodeId::MainServer);
+        let b = cat.register("b", 1, 10, NodeId::MainServer);
+        let c = cat.register("c", 1, 10, NodeId::MainServer);
+        cat.add_replica(a, cern);
+        cat.add_replica(c, cern);
+        cat.add_replica(b, bnl);
+        assert_eq!(cat.replicas_of(a), 2);
+        let affected = cat.evict_node_reporting(cern);
+        assert_eq!(affected, vec![a, c]);
+        assert_eq!(cat.replicas_of(a), 1);
+        assert_eq!(cat.replicas_of(c), 1);
+        assert_eq!(cat.replicas_of(b), 2);
+        assert!(cat.evict_node_reporting(cern).is_empty());
     }
 
     #[test]

@@ -43,38 +43,40 @@ pub fn parse_fault_spec(spec: &str) -> Result<FaultPlanConfig, String> {
         match kind.trim() {
             "outage" => config.outages.push(OutageSpec {
                 site: parse_site_selector(require(&kvs, "site", clause)?)?,
-                mttf_s: parse_duration(require(&kvs, "mttf", clause)?)?,
-                mttr_s: parse_duration(require(&kvs, "mttr", clause)?)?,
-                shape: optional_f64(&kvs, "shape")?.unwrap_or(1.0),
+                mttf_s: positive_duration(require(&kvs, "mttf", clause)?, "mttf")?,
+                mttr_s: positive_duration(require(&kvs, "mttr", clause)?, "mttr")?,
+                shape: optional_shape(&kvs)?,
             }),
             "maint" => config.maintenance.push(MaintenanceSpec {
                 site: parse_index(require(&kvs, "site", clause)?)?,
                 start_s: parse_duration(require(&kvs, "start", clause)?)?,
                 duration_s: parse_duration(require(&kvs, "duration", clause)?)?,
-                period_s: lookup(&kvs, "period").map(parse_duration).transpose()?,
+                period_s: lookup(&kvs, "period")
+                    .map(|v| positive_duration(v, "period"))
+                    .transpose()?,
             }),
             "incident" => config.incidents.push(IncidentSpec {
                 sites: parse_site_list(require(&kvs, "sites", clause)?)?,
-                mttf_s: parse_duration(require(&kvs, "mttf", clause)?)?,
-                mttr_s: parse_duration(require(&kvs, "mttr", clause)?)?,
-                shape: optional_f64(&kvs, "shape")?.unwrap_or(1.0),
+                mttf_s: positive_duration(require(&kvs, "mttf", clause)?, "mttf")?,
+                mttr_s: positive_duration(require(&kvs, "mttr", clause)?, "mttr")?,
+                shape: optional_shape(&kvs)?,
             }),
             "nodeloss" => config.node_losses.push(NodeLossSpec {
                 site: parse_site_selector(require(&kvs, "site", clause)?)?,
                 fraction: parse_fraction(require(&kvs, "fraction", clause)?)?,
-                mttf_s: parse_duration(require(&kvs, "mttf", clause)?)?,
-                mttr_s: parse_duration(require(&kvs, "mttr", clause)?)?,
+                mttf_s: positive_duration(require(&kvs, "mttf", clause)?, "mttf")?,
+                mttr_s: positive_duration(require(&kvs, "mttr", clause)?, "mttr")?,
             }),
             "diskloss" => config.disk_losses.push(DiskLossSpec {
                 site: parse_site_selector(require(&kvs, "site", clause)?)?,
-                mttf_s: parse_duration(require(&kvs, "mttf", clause)?)?,
+                mttf_s: positive_duration(require(&kvs, "mttf", clause)?, "mttf")?,
             }),
             "degrade" => config.degradations.push(DegradationSpec {
                 link: parse_link_selector(require(&kvs, "link", clause)?)?,
                 factor: parse_fraction(require(&kvs, "factor", clause)?)?,
-                mttf_s: parse_duration(require(&kvs, "mttf", clause)?)?,
-                mttr_s: parse_duration(require(&kvs, "mttr", clause)?)?,
-                shape: optional_f64(&kvs, "shape")?.unwrap_or(1.0),
+                mttf_s: positive_duration(require(&kvs, "mttf", clause)?, "mttf")?,
+                mttr_s: positive_duration(require(&kvs, "mttr", clause)?, "mttr")?,
+                shape: optional_shape(&kvs)?,
             }),
             "kill" => {
                 let rate: f64 = require(&kvs, "rate", clause)?
@@ -98,16 +100,27 @@ pub fn parse_fault_spec(spec: &str) -> Result<FaultPlanConfig, String> {
     Ok(config)
 }
 
-/// Splits `key=value,key=value` into pairs.
+/// Splits `key=value,key=value` into pairs, rejecting duplicate keys — a
+/// repeated key is almost always a typo (the last value would silently win
+/// or lose depending on lookup order), so it fails loudly instead.
 fn parse_kvs<'a>(body: &'a str, clause: &str) -> Result<Vec<(&'a str, &'a str)>, String> {
-    body.split(',')
+    let kvs: Vec<(&str, &str)> = body
+        .split(',')
         .filter(|part| !part.trim().is_empty())
         .map(|part| {
             part.split_once('=')
                 .map(|(k, v)| (k.trim(), v.trim()))
                 .ok_or_else(|| format!("expected key=value, found '{part}' in '{clause}'"))
         })
-        .collect()
+        .collect::<Result<_, _>>()?;
+    for (i, (key, _)) in kvs.iter().enumerate() {
+        if kvs[..i].iter().any(|(k, _)| k == key) {
+            return Err(format!(
+                "duplicate key '{key}' in '{clause}' (each key may appear once per clause)"
+            ));
+        }
+    }
+    Ok(kvs)
 }
 
 fn lookup<'a>(kvs: &[(&'a str, &'a str)], key: &str) -> Option<&'a str> {
@@ -126,6 +139,35 @@ fn optional_f64(kvs: &[(&str, &str)], key: &str) -> Result<Option<f64>, String> 
             .map(Some)
             .map_err(|_| format!("'{key}={v}' is not a number")),
     }
+}
+
+/// The optional Weibull `shape` parameter of a clause (default 1.0 =
+/// exponential). Shape must be strictly positive: zero or negative shapes
+/// have no Weibull meaning and would make the sampler produce nonsense (or
+/// worse) deep inside plan generation, far from the typo that caused them.
+fn optional_shape(kvs: &[(&str, &str)]) -> Result<f64, String> {
+    let shape = optional_f64(kvs, "shape")?.unwrap_or(1.0);
+    if !shape.is_finite() || shape <= 0.0 {
+        return Err(format!(
+            "shape must be a positive number, got {shape} (1.0 = exponential; \
+             >1 wear-out, <1 infant-mortality failures)"
+        ));
+    }
+    Ok(shape)
+}
+
+/// A duration that must be strictly positive: MTTF/MTTR/period values of 0
+/// would ask the plan generator for infinitely many events (a zero mean
+/// time between failures = failures always), so they are rejected here with
+/// the offending key named rather than hanging generation later.
+fn positive_duration(text: &str, key: &str) -> Result<f64, String> {
+    let value = parse_duration(text)?;
+    if value <= 0.0 {
+        return Err(format!(
+            "'{key}={text}' must be a positive duration (got {value}s; use a value > 0)"
+        ));
+    }
+    Ok(value)
 }
 
 /// Parses a duration: a number with an optional `s`/`m`/`h`/`d` suffix
@@ -257,6 +299,74 @@ mod tests {
         assert!(parse_fault_spec("diskloss:site=1")
             .unwrap_err()
             .contains("missing 'mttf='"));
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let err = parse_fault_spec("outage:site=1,mttf=1h,mttf=2h,mttr=1m").unwrap_err();
+        assert!(err.contains("duplicate key 'mttf'"), "got: {err}");
+        let err = parse_fault_spec("maint:site=0,start=1h,duration=1h,site=2").unwrap_err();
+        assert!(err.contains("duplicate key 'site'"), "got: {err}");
+    }
+
+    #[test]
+    fn zero_mttf_is_rejected() {
+        for spec in [
+            "outage:site=1,mttf=0,mttr=1m",
+            "incident:sites=0+1,mttf=0s,mttr=1m",
+            "nodeloss:site=1,fraction=0.5,mttf=0h,mttr=1m",
+            "diskloss:site=all,mttf=0",
+            "degrade:link=all,factor=0.5,mttf=0m,mttr=1m",
+        ] {
+            let err = parse_fault_spec(spec).unwrap_err();
+            assert!(
+                err.contains("'mttf=0") && err.contains("positive duration"),
+                "spec '{spec}' got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_mttr_is_rejected() {
+        let err = parse_fault_spec("outage:site=1,mttf=1h,mttr=0").unwrap_err();
+        assert!(
+            err.contains("'mttr=0") && err.contains("positive duration"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn zero_maintenance_period_is_rejected() {
+        let err = parse_fault_spec("maint:site=0,start=1h,duration=30m,period=0").unwrap_err();
+        assert!(
+            err.contains("'period=0") && err.contains("positive duration"),
+            "got: {err}"
+        );
+        // Non-periodic maintenance (no period key) still parses.
+        assert!(parse_fault_spec("maint:site=0,start=1h,duration=30m").is_ok());
+    }
+
+    #[test]
+    fn non_positive_shape_is_rejected() {
+        for spec in [
+            "outage:site=1,mttf=1h,mttr=1m,shape=0",
+            "incident:sites=0+1,mttf=1h,mttr=1m,shape=-1.5",
+            "degrade:link=all,factor=0.5,mttf=1h,mttr=1m,shape=0.0",
+        ] {
+            let err = parse_fault_spec(spec).unwrap_err();
+            assert!(
+                err.contains("shape must be a positive"),
+                "spec '{spec}' got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_fraction_and_factor_are_rejected() {
+        let err = parse_fault_spec("nodeloss:site=1,fraction=-0.2,mttf=1h,mttr=1m").unwrap_err();
+        assert!(err.contains("must be in [0, 1]"), "got: {err}");
+        let err = parse_fault_spec("degrade:link=all,factor=-0.3,mttf=1h,mttr=1m").unwrap_err();
+        assert!(err.contains("must be in [0, 1]"), "got: {err}");
     }
 
     #[test]

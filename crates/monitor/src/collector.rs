@@ -87,6 +87,10 @@ pub struct SiteCounters {
     pub interrupted: u64,
     /// Checkpoints durably written by jobs executing at the site.
     pub checkpoints: u64,
+    /// Re-replication repair transfers completed *into* the site (the site
+    /// received a fresh replica from the repair planner).
+    #[serde(default)]
+    pub repairs: u64,
 }
 
 /// Grid-level (main-server) counters not attributable to any single site.
@@ -127,6 +131,37 @@ pub struct GridCounters {
     /// last durable checkpoint at the moment of the kill). With checkpointing
     /// disabled this is the full progress of every killed attempt.
     pub work_lost_s: f64,
+    /// Re-replication repair transfers admitted by the repair planner.
+    #[serde(default)]
+    pub repairs_started: u64,
+    /// Repair transfers that completed and (deficit permitting) landed a
+    /// fresh replica.
+    #[serde(default)]
+    pub repairs_completed: u64,
+    /// Repair transfers cancelled mid-flight (an endpoint died, or the
+    /// workload completed first).
+    #[serde(default)]
+    pub repairs_cancelled: u64,
+    /// Datasets whose repair-retry budget ran out (graceful degradation:
+    /// the planner stops trying rather than livelock).
+    #[serde(default)]
+    pub repairs_abandoned: u64,
+    /// Bytes carried by completed repair transfers.
+    #[serde(default)]
+    pub repair_bytes: u64,
+    /// Segment boundaries where a job stalled because its previous
+    /// asynchronous checkpoint write was still in flight.
+    #[serde(default)]
+    pub ckpt_stalls: u64,
+    /// Asynchronous checkpoint writes admitted concurrently with the next
+    /// execution segment (the overlap actually happening).
+    #[serde(default)]
+    pub ckpt_overlapped: u64,
+    /// Bytes actually put on the wire by checkpoint writes — equals
+    /// `checkpoint_bytes` for full-image shipping, less once incremental
+    /// (`delta_bytes_per_s`) shipping kicks in.
+    #[serde(default)]
+    pub ckpt_bytes_shipped: u64,
 }
 
 /// Counters of a deterministic scenario-response cache (the memoisation
@@ -255,6 +290,49 @@ impl MonitoringCollector {
     /// Records execution progress discarded by a fault interruption.
     pub fn record_work_lost(&mut self, work_lost_s: f64) {
         self.grid_counters.work_lost_s += work_lost_s;
+    }
+
+    /// Records the admission of a re-replication repair transfer.
+    pub fn record_repair_started(&mut self) {
+        self.grid_counters.repairs_started += 1;
+    }
+
+    /// Records a completed repair transfer of `bytes` into the given site.
+    pub fn record_repair_completed(&mut self, site_index: usize, bytes: u64) {
+        self.grid_counters.repairs_completed += 1;
+        self.grid_counters.repair_bytes += bytes;
+        if let Some(counters) = self.counters.get_mut(site_index) {
+            counters.repairs += 1;
+        }
+    }
+
+    /// Records a repair transfer cancelled mid-flight.
+    pub fn record_repair_cancelled(&mut self) {
+        self.grid_counters.repairs_cancelled += 1;
+    }
+
+    /// Records a dataset abandoned by the repair planner (retry budget
+    /// exhausted).
+    pub fn record_repair_abandoned(&mut self) {
+        self.grid_counters.repairs_abandoned += 1;
+    }
+
+    /// Records a job stalling at a segment boundary on its still-draining
+    /// asynchronous checkpoint write.
+    pub fn record_ckpt_stall(&mut self) {
+        self.grid_counters.ckpt_stalls += 1;
+    }
+
+    /// Records an asynchronous checkpoint write overlapping the next
+    /// execution segment.
+    pub fn record_ckpt_overlap(&mut self) {
+        self.grid_counters.ckpt_overlapped += 1;
+    }
+
+    /// Records `bytes` put on the wire by a checkpoint write (the full image,
+    /// or just the incremental delta).
+    pub fn record_ckpt_shipped(&mut self, bytes: u64) {
+        self.grid_counters.ckpt_bytes_shipped += bytes;
     }
 
     /// Records a job state transition at a site (`site_index` indexes the
@@ -545,6 +623,34 @@ mod tests {
         assert!((grid.work_lost_s - 45.0).abs() < 1e-12);
         assert_eq!(c.site_counters(0).checkpoints, 2);
         assert_eq!(c.site_counters(1).checkpoints, 1);
+    }
+
+    #[test]
+    fn repair_and_async_checkpoint_counters_accumulate() {
+        let mut c = collector();
+        c.record_repair_started();
+        c.record_repair_started();
+        c.record_repair_started();
+        c.record_repair_completed(1, 4_000);
+        c.record_repair_completed(1, 6_000);
+        c.record_repair_cancelled();
+        c.record_repair_abandoned();
+        c.record_ckpt_stall();
+        c.record_ckpt_overlap();
+        c.record_ckpt_overlap();
+        c.record_ckpt_shipped(700);
+        c.record_ckpt_shipped(300);
+        let grid = c.grid_counters();
+        assert_eq!(grid.repairs_started, 3);
+        assert_eq!(grid.repairs_completed, 2);
+        assert_eq!(grid.repairs_cancelled, 1);
+        assert_eq!(grid.repairs_abandoned, 1);
+        assert_eq!(grid.repair_bytes, 10_000);
+        assert_eq!(grid.ckpt_stalls, 1);
+        assert_eq!(grid.ckpt_overlapped, 2);
+        assert_eq!(grid.ckpt_bytes_shipped, 1_000);
+        assert_eq!(c.site_counters(1).repairs, 2);
+        assert_eq!(c.site_counters(0).repairs, 0);
     }
 
     #[test]

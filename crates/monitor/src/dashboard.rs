@@ -28,6 +28,10 @@ pub struct SitePanel {
     pub interrupted_jobs: u64,
     /// Checkpoints durably written by jobs executing at the site so far.
     pub checkpoints: u64,
+    /// Repair transfers that completed into the site (fresh replicas
+    /// received from the re-replication planner) so far.
+    #[serde(default)]
+    pub repairs: u64,
     /// True when the site is up (not taken down by fault injection) at the
     /// time the panel was rendered.
     pub up: bool,
@@ -52,8 +56,8 @@ pub fn ascii_dashboard(time_s: f64, panels: &[SitePanel]) -> String {
     const BAR_WIDTH: usize = 40;
     let mut out = format!("CGSim dashboard @ t={time_s:.1}s\n");
     out.push_str(&format!(
-        "{:<16} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}  node pressure\n",
-        "site", "cores", "busy", "queue", "done", "intr", "ckpt"
+        "{:<16} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}  node pressure\n",
+        "site", "cores", "busy", "queue", "done", "intr", "ckpt", "rep"
     ));
     for p in panels {
         let filled = (p.pressure() * BAR_WIDTH as f64).round() as usize;
@@ -61,7 +65,7 @@ pub fn ascii_dashboard(time_s: f64, panels: &[SitePanel]) -> String {
             "#".repeat(filled.min(BAR_WIDTH)) + &"-".repeat(BAR_WIDTH - filled.min(BAR_WIDTH));
         let status = if p.up { "" } else { "  DOWN" };
         out.push_str(&format!(
-            "{:<16} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}  [{bar}] {:>4.0}%{status}\n",
+            "{:<16} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}  [{bar}] {:>4.0}%{status}\n",
             p.site,
             p.total_cores,
             p.busy_cores,
@@ -69,6 +73,7 @@ pub fn ascii_dashboard(time_s: f64, panels: &[SitePanel]) -> String {
             p.finished_jobs,
             p.interrupted_jobs,
             p.checkpoints,
+            p.repairs,
             p.pressure() * 100.0
         ));
     }
@@ -86,7 +91,7 @@ pub fn html_dashboard(time_s: f64, panels: &[SitePanel]) -> String {
             jobs.push_str(&format!("<li>job {job_id} ({cores} cores)</li>"));
         }
         rows.push_str(&format!(
-            "<tr><td>{site}{down}</td><td>{total}</td><td>{busy}</td><td>{queued}</td><td>{running}</td><td>{finished}</td><td>{interrupted}</td><td>{checkpoints}</td>\
+            "<tr><td>{site}{down}</td><td>{total}</td><td>{busy}</td><td>{queued}</td><td>{running}</td><td>{finished}</td><td>{interrupted}</td><td>{checkpoints}</td><td>{repairs}</td>\
              <td><svg width=\"220\" height=\"18\"><rect width=\"220\" height=\"18\" fill=\"#eee\"/>\
              <rect width=\"{bar}\" height=\"18\" fill=\"#4a90d9\"/></svg> {pct}%</td>\
              <td><details><summary>{running} running</summary><ul>{jobs}</ul></details></td></tr>\n",
@@ -99,6 +104,7 @@ pub fn html_dashboard(time_s: f64, panels: &[SitePanel]) -> String {
             finished = p.finished_jobs,
             interrupted = p.interrupted_jobs,
             checkpoints = p.checkpoints,
+            repairs = p.repairs,
             bar = (p.pressure() * 220.0).round(),
             pct = pct,
             jobs = jobs,
@@ -108,7 +114,7 @@ pub fn html_dashboard(time_s: f64, panels: &[SitePanel]) -> String {
         "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>CGSim dashboard</title>\
          <style>body{{font-family:sans-serif}}table{{border-collapse:collapse}}td,th{{border:1px solid #ccc;padding:4px 8px}}</style>\
          </head><body><h1>CGSim dashboard</h1><p>simulated time: {time_s:.1} s</p>\
-         <table><tr><th>site</th><th>cores</th><th>busy</th><th>queued</th><th>running</th><th>finished</th><th>interrupted</th><th>checkpoints</th><th>node pressure</th><th>jobs</th></tr>\n{rows}</table></body></html>"
+         <table><tr><th>site</th><th>cores</th><th>busy</th><th>queued</th><th>running</th><th>finished</th><th>interrupted</th><th>checkpoints</th><th>repairs</th><th>node pressure</th><th>jobs</th></tr>\n{rows}</table></body></html>"
     )
 }
 
@@ -127,6 +133,7 @@ mod tests {
                 finished_jobs: 340,
                 interrupted_jobs: 7,
                 checkpoints: 4,
+                repairs: 3,
                 up: true,
                 running_sample: vec![(6466065355, 8), (6466065356, 1)],
             },
@@ -139,6 +146,7 @@ mod tests {
                 finished_jobs: 10,
                 interrupted_jobs: 0,
                 checkpoints: 0,
+                repairs: 0,
                 up: false,
                 running_sample: vec![],
             },
@@ -159,6 +167,7 @@ mod tests {
             finished_jobs: 0,
             interrupted_jobs: 0,
             checkpoints: 0,
+            repairs: 0,
             up: true,
             running_sample: vec![],
         };
@@ -173,6 +182,7 @@ mod tests {
         assert!(text.contains("75%"));
         assert!(text.contains("intr"));
         assert!(text.contains("ckpt"));
+        assert!(text.contains("rep"));
         assert!(text.contains("DOWN"));
         assert!(text.lines().count() >= 4);
     }
@@ -186,6 +196,7 @@ mod tests {
         assert!(html.contains("CERN"));
         assert!(html.contains("<th>interrupted</th>"));
         assert!(html.contains("<th>checkpoints</th>"));
+        assert!(html.contains("<th>repairs</th>"));
         assert!(html.contains("BNL <b>(down)</b>"));
         assert!(
             !html.contains("http://"),

@@ -32,15 +32,19 @@ pub enum Subsystem {
     Checkpoint,
     /// Scenario-engine response-cache lookups (hash + probe).
     CacheLookup,
+    /// Re-replication repair: deficit bookkeeping, transfer planning and
+    /// completion/cancellation handling.
+    Repair,
 }
 
 /// Every subsystem, in report order.
-pub const ALL_SUBSYSTEMS: [Subsystem; 5] = [
+pub const ALL_SUBSYSTEMS: [Subsystem; 6] = [
     Subsystem::EventLoop,
     Subsystem::Fluid,
     Subsystem::FaultReplay,
     Subsystem::Checkpoint,
     Subsystem::CacheLookup,
+    Subsystem::Repair,
 ];
 
 impl Subsystem {
@@ -52,6 +56,7 @@ impl Subsystem {
             Subsystem::FaultReplay => "fault_replay",
             Subsystem::Checkpoint => "checkpoint",
             Subsystem::CacheLookup => "cache_lookup",
+            Subsystem::Repair => "repair",
         }
     }
 }

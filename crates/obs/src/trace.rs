@@ -30,15 +30,19 @@ pub enum TraceCategory {
     Fluid,
     /// Allocation-policy decisions at the main server.
     Broker,
+    /// Re-replication repair activity: deficit detection, repair transfers,
+    /// retries, and abandonments.
+    Repair,
 }
 
 /// Every category, in bit order.
-pub const ALL_CATEGORIES: [TraceCategory; 5] = [
+pub const ALL_CATEGORIES: [TraceCategory; 6] = [
     TraceCategory::Job,
     TraceCategory::Fault,
     TraceCategory::Ckpt,
     TraceCategory::Fluid,
     TraceCategory::Broker,
+    TraceCategory::Repair,
 ];
 
 /// Bitmask enabling every category.
@@ -60,6 +64,7 @@ impl TraceCategory {
             TraceCategory::Ckpt => "ckpt",
             TraceCategory::Fluid => "fluid",
             TraceCategory::Broker => "broker",
+            TraceCategory::Repair => "repair",
         }
     }
 
@@ -101,7 +106,7 @@ pub fn parse_filter(spec: &str) -> Result<u32, String> {
             Some(cat) => mask |= cat.bit(),
             None => {
                 return Err(format!(
-                    "unknown trace category `{part}` (expected one of job, fault, ckpt, fluid, broker, all)"
+                    "unknown trace category `{part}` (expected one of job, fault, ckpt, fluid, broker, repair, all)"
                 ))
             }
         }

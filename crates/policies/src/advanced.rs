@@ -307,6 +307,7 @@ mod tests {
                     finished_jobs: 0,
                     has_input_replica: replica,
                     up: true,
+                    active_repairs: 0,
                 })
                 .collect(),
             pending_jobs: 0,

@@ -15,6 +15,11 @@
 //!   sites with enough free cores.
 //! * [`DataAwarePolicy`] — prefers sites that already hold the job's input
 //!   data, falling back to least-loaded (a simple Rucio-aware strategy).
+//! * [`CheckpointLocalityPolicy`] — resubmits fault-interrupted jobs to the
+//!   site holding their newest durable checkpoint, turning the restore into
+//!   a site-local read instead of a WAN re-stage.
+//! * [`RepairAwarePolicy`] — least-loaded allocation that avoids sites whose
+//!   storage and LAN are busy with re-replication repair transfers.
 
 use cgsim_des::rng::Rng;
 use cgsim_platform::SiteId;
@@ -338,6 +343,101 @@ impl AllocationPolicy for BlacklistFlappingPolicy {
     }
 }
 
+/// Prefer the site holding a restored job's newest durable checkpoint.
+///
+/// This is the reference consumer of the
+/// [`AllocationPolicy::on_job_restored`] hook: when the fault subsystem
+/// resubmits a job that has a surviving checkpoint, the hook records which
+/// site's storage holds it, and the next `assign_job` for that job returns
+/// the recorded site (if it is still up) so the restore read never crosses
+/// the WAN. Jobs without a recorded checkpoint — first submissions, jobs
+/// whose checkpoint lives at the main server, jobs whose checkpoint site is
+/// down — fall back to plain least-loaded.
+#[derive(Debug, Default)]
+pub struct CheckpointLocalityPolicy {
+    /// Newest durable checkpoint site per job id (`None` = main server).
+    checkpoint_sites: std::collections::HashMap<u64, Option<SiteId>>,
+}
+
+impl CheckpointLocalityPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl AllocationPolicy for CheckpointLocalityPolicy {
+    fn name(&self) -> &str {
+        "checkpoint-locality"
+    }
+
+    fn assign_job(&mut self, job: &JobRecord, view: &GridView) -> Option<SiteId> {
+        if let Some(&Some(site)) = self.checkpoint_sites.get(&job.id.0) {
+            if view.sites.get(site.index()).is_some_and(|s| s.up) {
+                return Some(site);
+            }
+        }
+        least_loaded_site(view, job.cores as u64)
+    }
+
+    fn on_job_completed(&mut self, job: &JobRecord, _site: SiteId, _view: &GridView) {
+        self.checkpoint_sites.remove(&job.id.0);
+    }
+
+    fn on_job_restored(
+        &mut self,
+        job: &JobRecord,
+        checkpoint_site: Option<SiteId>,
+        _view: &GridView,
+    ) {
+        self.checkpoint_sites.insert(job.id.0, checkpoint_site);
+    }
+}
+
+/// Least-loaded allocation that steers work away from sites busy with
+/// re-replication repairs.
+///
+/// A site receiving repair transfers is reconstructing lost replicas: its
+/// storage frontend and LAN are saturated with repair traffic, and new jobs
+/// staged there contend with the repairs (slowing both). Among up sites that
+/// can fit the job, the policy picks the one with the fewest in-flight
+/// repairs, breaking ties towards the most free cores and then the shortest
+/// queue; when nothing fits it falls back to plain least-loaded.
+#[derive(Debug, Default)]
+pub struct RepairAwarePolicy;
+
+impl RepairAwarePolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl AllocationPolicy for RepairAwarePolicy {
+    fn name(&self) -> &str {
+        "repair-aware"
+    }
+
+    fn assign_job(&mut self, job: &JobRecord, view: &GridView) -> Option<SiteId> {
+        let cores = job.cores as u64;
+        let calmest = view
+            .sites
+            .iter()
+            .filter(|s| s.up && s.available_cores >= cores)
+            .min_by_key(|s| {
+                (
+                    s.active_repairs,
+                    std::cmp::Reverse(s.available_cores),
+                    s.queued_jobs,
+                )
+            });
+        match calmest {
+            Some(s) => Some(s.site),
+            None => least_loaded_site(view, cores),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -363,6 +463,7 @@ mod tests {
                     finished_jobs: 0,
                     has_input_replica: false,
                     up: true,
+                    active_repairs: 0,
                 })
                 .collect(),
             pending_jobs: 0,
@@ -512,6 +613,41 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_locality_returns_to_checkpoint_site() {
+        let mut policy = CheckpointLocalityPolicy::new();
+        let v = view(&[80, 10, 20]);
+        // No recorded checkpoint -> plain least-loaded.
+        assert_eq!(policy.assign_job(&job(1), &v), Some(SiteId::new(0)));
+        // After a restore notification, the job goes back to its checkpoint.
+        policy.on_job_restored(&job(1), Some(SiteId::new(1)), &v);
+        assert_eq!(policy.assign_job(&job(1), &v), Some(SiteId::new(1)));
+        // A checkpoint at the main server gives no site preference.
+        policy.on_job_restored(&job(1), None, &v);
+        assert_eq!(policy.assign_job(&job(1), &v), Some(SiteId::new(0)));
+        // A down checkpoint site is not chosen.
+        policy.on_job_restored(&job(1), Some(SiteId::new(1)), &v);
+        let mut down = v.clone();
+        down.sites[1].up = false;
+        assert_eq!(policy.assign_job(&job(1), &down), Some(SiteId::new(0)));
+        // Completion clears the memory.
+        policy.on_job_completed(&job(1), SiteId::new(1), &v);
+        assert_eq!(policy.assign_job(&job(1), &v), Some(SiteId::new(0)));
+    }
+
+    #[test]
+    fn repair_aware_avoids_sites_under_repair() {
+        let mut policy = RepairAwarePolicy::new();
+        let mut v = view(&[80, 50, 20]);
+        // Without repairs it behaves like least-loaded.
+        assert_eq!(policy.assign_job(&job(1), &v), Some(SiteId::new(0)));
+        // The biggest site is busy repairing -> next calmest site wins.
+        v.sites[0].active_repairs = 3;
+        assert_eq!(policy.assign_job(&job(1), &v), Some(SiteId::new(1)));
+        // When nothing fits, it still queues somewhere (least-loaded fallback).
+        assert!(policy.assign_job(&job(200), &v).is_some());
+    }
+
+    #[test]
     fn policies_report_names() {
         assert_eq!(HistoricalPandaPolicy::new().name(), "historical-panda");
         assert_eq!(RoundRobinPolicy::new().name(), "round-robin");
@@ -520,5 +656,10 @@ mod tests {
         assert_eq!(FastestAvailablePolicy::new().name(), "fastest-available");
         assert_eq!(DataAwarePolicy::new().name(), "data-aware");
         assert_eq!(BlacklistFlappingPolicy::new().name(), "blacklist-flapping");
+        assert_eq!(
+            CheckpointLocalityPolicy::new().name(),
+            "checkpoint-locality"
+        );
+        assert_eq!(RepairAwarePolicy::new().name(), "repair-aware");
     }
 }

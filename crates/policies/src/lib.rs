@@ -38,8 +38,8 @@ pub use advanced::{
     WeightedFairSharePolicy,
 };
 pub use builtin::{
-    BlacklistFlappingPolicy, DataAwarePolicy, FastestAvailablePolicy, HistoricalPandaPolicy,
-    LeastLoadedPolicy, RandomPolicy, RoundRobinPolicy,
+    BlacklistFlappingPolicy, CheckpointLocalityPolicy, DataAwarePolicy, FastestAvailablePolicy,
+    HistoricalPandaPolicy, LeastLoadedPolicy, RandomPolicy, RepairAwarePolicy, RoundRobinPolicy,
 };
 pub use data_builtin::{
     DataPolicyRegistry, MainServerSourcePolicy, NeverCachePolicy, RandomSourcePolicy,

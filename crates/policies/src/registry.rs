@@ -17,8 +17,8 @@ use crate::advanced::{
     WeightedFairSharePolicy,
 };
 use crate::builtin::{
-    BlacklistFlappingPolicy, DataAwarePolicy, FastestAvailablePolicy, HistoricalPandaPolicy,
-    LeastLoadedPolicy, RandomPolicy, RoundRobinPolicy,
+    BlacklistFlappingPolicy, CheckpointLocalityPolicy, DataAwarePolicy, FastestAvailablePolicy,
+    HistoricalPandaPolicy, LeastLoadedPolicy, RandomPolicy, RepairAwarePolicy, RoundRobinPolicy,
 };
 use crate::plugin::AllocationPolicy;
 
@@ -68,6 +68,10 @@ impl PolicyRegistry {
         registry.register("blacklist-flapping", |_| {
             Box::new(BlacklistFlappingPolicy::new())
         });
+        registry.register("checkpoint-locality", |_| {
+            Box::new(CheckpointLocalityPolicy::new())
+        });
+        registry.register("repair-aware", |_| Box::new(RepairAwarePolicy::new()));
         registry.register("shortest-expected-wait", |_| {
             Box::new(ShortestExpectedWaitPolicy::new())
         });
@@ -124,6 +128,8 @@ mod tests {
             "fastest-available",
             "data-aware",
             "blacklist-flapping",
+            "checkpoint-locality",
+            "repair-aware",
             "shortest-expected-wait",
             "weighted-fair-share",
             "greedy-cost",
@@ -133,7 +139,7 @@ mod tests {
             let policy = registry.create(name, 42).unwrap();
             assert_eq!(policy.name(), name);
         }
-        assert_eq!(registry.names().len(), 11);
+        assert_eq!(registry.names().len(), 13);
         assert!(registry.create("nope", 0).is_none());
     }
 

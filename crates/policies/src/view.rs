@@ -84,6 +84,12 @@ pub struct SiteLoad {
     /// True when the site is currently up (fault injection can take sites
     /// down mid-run; jobs dispatched to a down site are parked instead).
     pub up: bool,
+    /// Re-replication repair transfers currently streaming *into* the site
+    /// (0 unless the repair planner is enabled). Repair-aware policies avoid
+    /// sites with deep repair queues, whose storage and LAN are busy
+    /// reconstructing replicas.
+    #[serde(default)]
+    pub active_repairs: u64,
 }
 
 /// Dynamic snapshot of the grid at dispatch time.
@@ -150,6 +156,7 @@ mod tests {
                     finished_jobs: 1,
                     has_input_replica: false,
                     up: true,
+                    active_repairs: 0,
                 },
                 SiteLoad {
                     site: SiteId::new(1),
@@ -159,6 +166,7 @@ mod tests {
                     finished_jobs: 0,
                     has_input_replica: true,
                     up: false,
+                    active_repairs: 2,
                 },
             ],
             pending_jobs: 3,

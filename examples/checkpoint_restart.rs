@@ -68,6 +68,7 @@ fn main() {
                 base_bytes: 4_000_000_000, // 4 GB of state per checkpoint
                 bytes_per_core: 0,
                 target: CheckpointTarget::MainServer, // survives site outages
+                ..CheckpointConfig::default()
             },
             ..ExecutionConfig::default()
         };

@@ -110,6 +110,24 @@ CHECKPOINT FLAGS (override the execution config; interval 0 disables):
     --checkpoint-bytes <n>         fixed checkpoint size in bytes
     --checkpoint-per-core-bytes <n>  extra bytes per job core
     --checkpoint-target site|main  write to site storage or the main server
+    --checkpoint-overlap           asynchronous writes: overlap each write
+                                   with the next execution segment (stall
+                                   only if the previous write is in flight)
+    --checkpoint-delta-bytes-per-s <n>  incremental checkpoints: ship n bytes
+                                   per second of new progress instead of the
+                                   full image (0 = full images)
+
+REPAIR FLAGS (fault-aware re-replication; see README \"Self-healing data
+layer\" — only --repair enables the planner, the knob flags alone leave it
+off and the results byte-identical):
+    --repair                       enable background re-replication of task
+                                   inputs lost to diskloss/outage eviction
+    --repair-target <n>            replicas to maintain per dataset (default 2)
+    --repair-concurrent <n>        max in-flight repair transfers (default 4)
+    --repair-backoff <dur>         base retry backoff, doubled per failed
+                                   attempt (default 300s)
+    --repair-retries <n>           failed attempts before a dataset is
+                                   abandoned (default 5)
 ";
 
 fn parse_options(args: &[String]) -> HashMap<String, String> {
@@ -230,6 +248,46 @@ fn apply_checkpoint_flags(
             }
         };
     }
+    if options.contains_key("checkpoint-overlap") {
+        execution.checkpoint.overlap = true;
+    }
+    if let Some(rate) = options.get("checkpoint-delta-bytes-per-s") {
+        execution.checkpoint.delta_bytes_per_s = rate
+            .parse()
+            .map_err(|_| format!("--checkpoint-delta-bytes-per-s '{rate}' is not a byte rate"))?;
+    }
+    Ok(())
+}
+
+/// Applies the `--repair*` flag overrides to an execution config. Only the
+/// `--repair` switch enables the planner; the knob flags tune it without
+/// turning it on (so knobs passed alongside a disabled planner leave the
+/// simulation byte-identical — the CI determinism gate relies on this).
+fn apply_repair_flags(
+    options: &HashMap<String, String>,
+    execution: &mut ExecutionConfig,
+) -> Result<(), String> {
+    if options.contains_key("repair") {
+        execution.repair.enabled = true;
+    }
+    if let Some(target) = options.get("repair-target") {
+        execution.repair.target_factor = target
+            .parse()
+            .map_err(|_| format!("--repair-target '{target}' is not a replica count"))?;
+    }
+    if let Some(limit) = options.get("repair-concurrent") {
+        execution.repair.max_concurrent = limit
+            .parse()
+            .map_err(|_| format!("--repair-concurrent '{limit}' is not a transfer count"))?;
+    }
+    if let Some(backoff) = options.get("repair-backoff") {
+        execution.repair.backoff_s = cgsim::faults::parse_duration(backoff)?;
+    }
+    if let Some(retries) = options.get("repair-retries") {
+        execution.repair.max_retries = retries
+            .parse()
+            .map_err(|_| format!("--repair-retries '{retries}' is not a retry count"))?;
+    }
     Ok(())
 }
 
@@ -326,6 +384,7 @@ fn cmd_simulate(options: &HashMap<String, String>) -> Result<(), String> {
         execution.allocation_policy = policy.clone();
     }
     apply_checkpoint_flags(options, &mut execution)?;
+    apply_repair_flags(options, &mut execution)?;
     println!(
         "simulating {} jobs on {} sites with policy '{}'",
         trace.len(),
@@ -362,6 +421,7 @@ fn cmd_demo(options: &HashMap<String, String>) -> Result<(), String> {
     let fault_plan = build_fault_plan(options, &platform, trace.len())?;
     let mut execution = ExecutionConfig::with_policy(&policy);
     apply_checkpoint_flags(options, &mut execution)?;
+    apply_repair_flags(options, &mut execution)?;
     let mut builder = Simulation::builder()
         .platform_spec(&platform)
         .map_err(|e| e.to_string())?
@@ -400,6 +460,7 @@ fn cmd_serve(options: &HashMap<String, String>) -> Result<(), String> {
         }
     }
     apply_checkpoint_flags(options, &mut execution)?;
+    apply_repair_flags(options, &mut execution)?;
 
     let no_cache = options.contains_key("no-cache");
     let mut engine = ScenarioEngine::new();
@@ -480,6 +541,26 @@ fn report(results: &SimulationResults, options: &HashMap<String, String>) -> Res
             faults.work_saved_s / 3600.0,
             faults.checkpoints_lost,
             faults.work_lost_s / 3600.0
+        );
+    }
+    if faults.ckpt_overlapped + faults.ckpt_stalls > 0 {
+        println!(
+            "async checkpoints: {} overlapped with execution, {} stalls on the previous \
+             write, {:.2} GB shipped",
+            faults.ckpt_overlapped,
+            faults.ckpt_stalls,
+            faults.ckpt_bytes_shipped as f64 / 1e9
+        );
+    }
+    if faults.repairs_started > 0 {
+        println!(
+            "repairs: {} started, {} completed ({:.2} GB re-replicated), \
+             {} cancelled by faults, {} datasets abandoned",
+            faults.repairs_started,
+            faults.repairs_completed,
+            faults.repair_bytes as f64 / 1e9,
+            faults.repairs_cancelled,
+            faults.repairs_abandoned
         );
     }
     println!(
