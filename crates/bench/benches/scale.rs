@@ -1,0 +1,89 @@
+//! Scale campaign: 100k and 1M jobs under site churn, streamed, with
+//! bounded monitoring — the configuration million-job runs must use.
+//!
+//! Each iteration is a full end-to-end run: streamed workload generation
+//! (no materialised trace), the fault-bench churn spec (every site bouncing
+//! at 2 h MTTF / 20 min MTTR, WAN-wide degradation, 2 kills per simulated
+//! hour), asynchronous incremental checkpoints, and the bounded monitoring
+//! knobs (`max_events` ring, 1 h windowed aggregator, stride-100 sampling).
+//!
+//! Wall-clock rows live in `BENCH_scale.json` at the repository root, next
+//! to peak-RSS figures measured by the `scale_probe` binary (criterion
+//! cannot see another case's high-water mark, so RSS is probed with one
+//! subprocess per case).
+
+use cgsim_core::{CheckpointConfig, CheckpointTarget, ExecutionConfig, Simulation};
+use cgsim_faults::{parse_fault_spec, FaultPlan, FaultTopology};
+use cgsim_monitor::MonitoringConfig;
+use cgsim_platform::presets::wlcg_platform;
+use cgsim_platform::{Platform, PlatformSpec};
+use cgsim_workload::{TraceConfig, TraceGenerator};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const SITES: usize = 12;
+
+fn churn_plan(spec: &PlatformSpec, jobs: usize) -> FaultPlan {
+    let config = parse_fault_spec(
+        "outage:site=all,mttf=2h,mttr=20m;degrade:link=all,factor=0.3,mttf=4h,mttr=30m;kill:rate=2",
+    )
+    .expect("spec parses");
+    let platform = Platform::build(spec).expect("platform builds");
+    FaultPlan::generate(&config, &FaultTopology::for_platform(&platform, jobs), 7)
+}
+
+fn scale_exec() -> ExecutionConfig {
+    ExecutionConfig {
+        checkpoint: CheckpointConfig {
+            interval_s: 1_200.0,
+            base_bytes: 1_000_000_000,
+            bytes_per_core: 0,
+            target: CheckpointTarget::MainServer,
+            overlap: true,
+            delta_bytes_per_s: 10_000_000,
+        },
+        monitoring: MonitoringConfig {
+            enabled: true,
+            sample_stride: 100,
+            max_events: 10_000,
+            window_s: 3_600.0,
+            max_windows: 512,
+        },
+        ..ExecutionConfig::default()
+    }
+}
+
+fn run_streamed(spec: &PlatformSpec, jobs: usize, plan: &FaultPlan) -> f64 {
+    let generator = TraceGenerator::new(TraceConfig::with_jobs(jobs, 42));
+    let results = Simulation::builder()
+        .platform_spec(spec)
+        .expect("platform builds")
+        .trace_stream(generator.stream(spec))
+        .policy_name("least-loaded")
+        .execution(scale_exec())
+        .fault_plan(plan.clone())
+        .run()
+        .expect("simulation runs");
+    results.makespan_s
+}
+
+fn bench_scale(c: &mut Criterion) {
+    let spec = wlcg_platform(SITES, 42);
+
+    let mut group = c.benchmark_group("scale_churn_streamed");
+    // Full end-to-end runs: seconds to tens of seconds per iteration, so the
+    // sample counts stay minimal (the offline shim clamps to [1, 10]).
+    let plan_100k = churn_plan(&spec, 100_000);
+    group.sample_size(3);
+    group.bench_function("100k_jobs", |b| {
+        b.iter(|| run_streamed(&spec, 100_000, &plan_100k))
+    });
+    let plan_1m = churn_plan(&spec, 1_000_000);
+    group.sample_size(1);
+    group.bench_function("1m_jobs", |b| {
+        b.iter(|| run_streamed(&spec, 1_000_000, &plan_1m))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

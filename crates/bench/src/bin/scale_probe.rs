@@ -1,0 +1,132 @@
+//! Scale-campaign probe: one streamed churn scenario per **subprocess**,
+//! recording wall-clock and peak RSS. The rows land in `BENCH_scale.json`.
+//!
+//! Each case re-executes this binary with `--case <jobs>` so the peak-RSS
+//! reading (`VmHWM` in `/proc/self/status`, the kernel's high-water mark)
+//! belongs to that case alone — a shared process would report the maximum
+//! across cases. The scenario is the scale-campaign configuration the README
+//! documents: streamed generation (no materialised trace), site churn with
+//! WAN degradation and job kills, asynchronous incremental checkpoints, and
+//! bounded monitoring (`max_events` ring + windowed aggregator).
+//!
+//! Run all rows:  `cargo run --release -p cgsim-bench --bin scale_probe`
+//! Run one row:   `cargo run --release -p cgsim-bench --bin scale_probe -- --case 100000`
+
+use std::time::Instant;
+
+use cgsim_core::{CheckpointConfig, CheckpointTarget, ExecutionConfig, Simulation};
+use cgsim_faults::{parse_fault_spec, FaultPlan, FaultTopology};
+use cgsim_monitor::MonitoringConfig;
+use cgsim_platform::presets::wlcg_platform;
+use cgsim_platform::{Platform, PlatformSpec};
+use cgsim_workload::{TraceConfig, TraceGenerator};
+
+const SITES: usize = 12;
+const CASES: [usize; 2] = [100_000, 1_000_000];
+
+fn churn_plan(spec: &PlatformSpec, jobs: usize) -> FaultPlan {
+    let config = parse_fault_spec(
+        "outage:site=all,mttf=2h,mttr=20m;degrade:link=all,factor=0.3,mttf=4h,mttr=30m;kill:rate=2",
+    )
+    .expect("spec parses");
+    let platform = Platform::build(spec).expect("platform builds");
+    FaultPlan::generate(&config, &FaultTopology::for_platform(&platform, jobs), 7)
+}
+
+fn scale_exec() -> ExecutionConfig {
+    ExecutionConfig {
+        checkpoint: CheckpointConfig {
+            interval_s: 1_200.0,
+            base_bytes: 1_000_000_000,
+            bytes_per_core: 0,
+            target: CheckpointTarget::MainServer,
+            overlap: true,
+            delta_bytes_per_s: 10_000_000,
+        },
+        monitoring: MonitoringConfig {
+            enabled: true,
+            sample_stride: 100,
+            max_events: 10_000,
+            window_s: 3_600.0,
+            max_windows: 512,
+        },
+        ..ExecutionConfig::default()
+    }
+}
+
+/// Peak resident set of this process in MB (`VmHWM`), 0.0 when `/proc` is
+/// unavailable (non-Linux).
+fn peak_rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.split_whitespace().next())
+        .and_then(|kb| kb.parse::<f64>().ok())
+        .map(|kb| kb / 1024.0)
+        .unwrap_or(0.0)
+}
+
+/// Runs one case in-process and prints its row as a single JSON line.
+fn run_case(jobs: usize) {
+    let spec = wlcg_platform(SITES, 42);
+    let generator = TraceGenerator::new(TraceConfig::with_jobs(jobs, 42));
+    let plan = churn_plan(&spec, jobs);
+    let started = Instant::now();
+    let results = Simulation::builder()
+        .platform_spec(&spec)
+        .expect("platform builds")
+        .trace_stream(generator.stream(&spec))
+        .policy_name("least-loaded")
+        .execution(scale_exec())
+        .fault_plan(plan)
+        .run()
+        .expect("simulation runs");
+    let wall_s = started.elapsed().as_secs_f64();
+    assert_eq!(results.outcomes.len(), jobs, "every job must account");
+    let label = if jobs.is_multiple_of(1_000_000) {
+        format!("{}m", jobs / 1_000_000)
+    } else {
+        format!("{}k", jobs / 1_000)
+    };
+    println!(
+        "{{\"case\": \"{label}_jobs_churn_streamed\", \"jobs\": {}, \"wall_clock_s\": {:.3}, \
+         \"peak_rss_mb\": {:.1}, \"engine_events\": {}, \"makespan_s\": {:.1}}}",
+        jobs,
+        wall_s,
+        peak_rss_mb(),
+        results.engine_events,
+        results.makespan_s,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--case") {
+        let jobs: usize = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--case takes a job count");
+        run_case(jobs);
+        return;
+    }
+
+    // Orchestrator: one subprocess per case so each VmHWM is case-local.
+    let exe = std::env::current_exe().expect("own path");
+    let mut rows = Vec::new();
+    for jobs in CASES {
+        eprintln!("scale_probe: running {jobs} jobs…");
+        let out = std::process::Command::new(&exe)
+            .args(["--case", &jobs.to_string()])
+            .output()
+            .expect("subprocess runs");
+        assert!(out.status.success(), "case {jobs} failed");
+        let line = String::from_utf8(out.stdout).expect("utf-8 row");
+        let row = line.trim().to_string();
+        eprintln!("  {row}");
+        rows.push(row);
+    }
+    println!("[\n  {}\n]", rows.join(",\n  "));
+}

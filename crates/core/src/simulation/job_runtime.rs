@@ -133,13 +133,20 @@ pub(super) struct JobRuntime {
 impl JobRuntime {
     /// Fresh runtime state for one trace record.
     pub(super) fn new(record: &JobRecord) -> Self {
+        Self::from_record(record.clone())
+    }
+
+    /// Fresh runtime state taking ownership of the record (the streaming
+    /// ingest path: no `Trace` is materialised, so there is nothing to
+    /// borrow from and nothing to clone).
+    pub(super) fn from_record(record: JobRecord) -> Self {
         JobRuntime {
-            record: record.clone(),
+            submit_time: record.submit_time,
+            record,
             state: JobState::Pending,
             site: None,
             retries: 0,
             fault_retries: 0,
-            submit_time: record.submit_time,
             assign_time: 0.0,
             start_time: 0.0,
             end_time: 0.0,

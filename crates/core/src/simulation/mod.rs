@@ -42,7 +42,7 @@ use cgsim_platform::{GridAvailability, Platform, PlatformSpec};
 use cgsim_policies::{
     AllocationPolicy, DataMovementPolicy, DataPolicyRegistry, GridInfo, PolicyRegistry,
 };
-use cgsim_workload::Trace;
+use cgsim_workload::{JobRecord, Trace};
 
 use crate::config::ExecutionConfig;
 use crate::results::SimulationResults;
@@ -162,7 +162,7 @@ impl GridModel {
     #[allow(clippy::too_many_arguments)]
     fn new(
         platform: Platform,
-        trace: &Trace,
+        jobs: Vec<JobRuntime>,
         policy: Box<dyn AllocationPolicy>,
         data_policy: Box<dyn DataMovementPolicy>,
         execution: ExecutionConfig,
@@ -207,7 +207,6 @@ impl GridModel {
         let site_names = platform.sites().iter().map(|s| s.name.clone()).collect();
         let collector = MonitoringCollector::new(site_names, execution.monitoring.clone());
 
-        let jobs = trace.jobs.iter().map(JobRuntime::new).collect();
         let availability = GridAvailability::all_up(&platform);
         // One slot per site plus the main server (see `node_index`).
         let node_count = platform.sites().len() + 1;
@@ -281,10 +280,19 @@ impl GridModel {
     }
 }
 
+/// The job source a simulation ingests: a materialised trace shared between
+/// runs, or a streaming record source consumed incrementally (million-job
+/// campaigns never hold a `Vec<JobRecord>`; each record is moved straight
+/// into its per-job runtime slot).
+enum Workload {
+    Materialised(Arc<Trace>),
+    Stream(Box<dyn Iterator<Item = JobRecord>>),
+}
+
 /// Builder for [`Simulation`].
 pub struct SimulationBuilder {
     platform: Option<Platform>,
-    trace: Option<Arc<Trace>>,
+    trace: Option<Workload>,
     policy: Option<Box<dyn AllocationPolicy>>,
     policy_name: Option<String>,
     registry: PolicyRegistry,
@@ -336,7 +344,23 @@ impl SimulationBuilder {
     /// evaluation service) should be passed as `Arc` clones so every run
     /// reads the same immutable job records instead of deep-copying them.
     pub fn trace(mut self, trace: impl Into<Arc<Trace>>) -> Self {
-        self.trace = Some(trace.into());
+        self.trace = Some(Workload::Materialised(trace.into()));
+        self
+    }
+
+    /// Sets a **streaming** workload source consumed record by record (e.g.
+    /// [`TraceGenerator::stream`](cgsim_workload::TraceGenerator::stream)).
+    /// No trace is ever materialised: each record moves straight into its
+    /// runtime slot, so peak memory is one record-plus-runtime per job
+    /// instead of two.
+    ///
+    /// Submission events are scheduled in stream order. The engine still
+    /// fires them in `submit_time` order, but *simultaneous* submissions tie
+    /// break by stream position rather than by sorted-trace position, so a
+    /// streamed run is deterministic (same stream → byte-identical results)
+    /// yet not guaranteed byte-identical to the equivalent materialised run.
+    pub fn trace_stream(mut self, stream: impl Iterator<Item = JobRecord> + 'static) -> Self {
+        self.trace = Some(Workload::Stream(Box::new(stream)));
         self
     }
 
@@ -453,7 +477,7 @@ impl SimulationBuilder {
 /// A fully configured simulation, ready to run.
 pub struct Simulation {
     platform: Platform,
-    trace: Arc<Trace>,
+    trace: Workload,
     policy: Box<dyn AllocationPolicy>,
     data_policy: Box<dyn DataMovementPolicy>,
     execution: ExecutionConfig,
@@ -482,8 +506,18 @@ impl Simulation {
         if let Some(horizon) = self.execution.horizon_s {
             engine = engine.with_horizon(SimTime::from_secs(horizon));
         }
-        for (idx, job) in self.trace.jobs.iter().enumerate() {
-            engine.schedule_at(SimTime::from_secs(job.submit_time), GridEvent::Submit(idx));
+        // Ingest the workload: a materialised trace is borrowed record by
+        // record (the `Arc` may be shared with other runs), a stream is
+        // drained with each record moved into its runtime slot.
+        let jobs: Vec<JobRuntime> = match self.trace {
+            Workload::Materialised(trace) => trace.jobs.iter().map(JobRuntime::new).collect(),
+            Workload::Stream(stream) => stream.map(JobRuntime::from_record).collect(),
+        };
+        for (idx, job) in jobs.iter().enumerate() {
+            engine.schedule_at(
+                SimTime::from_secs(job.record.submit_time),
+                GridEvent::Submit(idx),
+            );
         }
 
         // Kick off the fault chain: only the first plan event is scheduled
@@ -493,7 +527,7 @@ impl Simulation {
         // ones.
         let fault_events = self.fault_plan.map(|plan| plan.events).unwrap_or_default();
         let fault_key = match fault_events.first() {
-            Some(first) if !self.trace.jobs.is_empty() => {
+            Some(first) if !jobs.is_empty() => {
                 Some(engine.schedule_at(SimTime::from_secs(first.time_s), GridEvent::Fault(0)))
             }
             _ => None,
@@ -504,7 +538,7 @@ impl Simulation {
 
         let mut model = GridModel::new(
             self.platform,
-            &self.trace,
+            jobs,
             self.policy,
             self.data_policy,
             self.execution,

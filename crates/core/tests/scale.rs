@@ -1,0 +1,100 @@
+//! Scale-path end-to-end tests: streaming ingestion at 100k jobs under
+//! churn, with checkpoints and bounded monitoring — the configuration the
+//! `scale_smoke` CI gate and the `BENCH_scale.json` campaign rows run in.
+//!
+//! The contract under test:
+//!
+//! * a streamed 100k-job faulted + checkpointed run is **double-run
+//!   byte-identical** (same stream → same `deterministic_json`),
+//! * streaming ingestion processes every job (the outcome count matches the
+//!   stream length even with kills and outages in play),
+//! * bounded monitoring (`max_events` ring + windowed aggregator) keeps the
+//!   retained event set capped while the run completes normally.
+
+use cgsim_core::{CheckpointConfig, CheckpointTarget, ExecutionConfig, Simulation};
+use cgsim_faults::{parse_fault_spec, FaultPlan, FaultTopology};
+use cgsim_monitor::MonitoringConfig;
+use cgsim_platform::presets::wlcg_platform;
+use cgsim_platform::{Platform, PlatformSpec};
+use cgsim_workload::{TraceConfig, TraceGenerator};
+
+const SITES: usize = 6;
+const JOBS: usize = 100_000;
+
+/// The site-churn plan the fault bench uses, scaled to the job count.
+fn churn_plan(spec: &PlatformSpec, jobs: usize) -> FaultPlan {
+    let config = parse_fault_spec(
+        "outage:site=all,mttf=2h,mttr=20m;degrade:link=all,factor=0.3,mttf=4h,mttr=30m;kill:rate=2",
+    )
+    .expect("spec parses");
+    let platform = Platform::build(spec).expect("platform builds");
+    FaultPlan::generate(&config, &FaultTopology::for_platform(&platform, jobs), 7)
+}
+
+/// Checkpoints on, monitoring bounded: the knobs every scale campaign must
+/// enable (documented in the README's "Scale campaigns" section).
+fn scale_exec() -> ExecutionConfig {
+    ExecutionConfig {
+        checkpoint: CheckpointConfig {
+            interval_s: 1_200.0,
+            base_bytes: 1_000_000_000,
+            bytes_per_core: 0,
+            target: CheckpointTarget::MainServer,
+            overlap: true,
+            delta_bytes_per_s: 10_000_000,
+        },
+        monitoring: MonitoringConfig {
+            enabled: true,
+            sample_stride: 100,
+            max_events: 10_000,
+            window_s: 3_600.0,
+            max_windows: 512,
+        },
+        ..ExecutionConfig::default()
+    }
+}
+
+fn run_streamed() -> cgsim_core::SimulationResults {
+    let spec = wlcg_platform(SITES, 42);
+    let generator = TraceGenerator::new(TraceConfig::with_jobs(JOBS, 42));
+    Simulation::builder()
+        .platform_spec(&spec)
+        .expect("platform builds")
+        .trace_stream(generator.stream(&spec))
+        .policy_name("least-loaded")
+        .execution(scale_exec())
+        .fault_plan(churn_plan(&spec, JOBS))
+        .run()
+        .expect("simulation runs")
+}
+
+#[test]
+fn streamed_faulted_checkpointed_run_is_double_run_identical() {
+    let first = run_streamed();
+    let second = run_streamed();
+    assert_eq!(
+        first.deterministic_json(),
+        second.deterministic_json(),
+        "streamed 100k-job faulted run must be byte-identical across runs"
+    );
+
+    // The same run also carries the accounting and bounded-monitoring
+    // checks (a third 100k run would only re-prove determinism).
+    assert_eq!(
+        first.outcomes.len(),
+        JOBS,
+        "every streamed job must reach a terminal outcome"
+    );
+    // The event ring drains lazily at twice its cap, so the retained tail
+    // is bounded by 2·max_events — never by the job count.
+    assert!(
+        first.events.len() <= 2 * 10_000,
+        "monitoring ring exceeded its cap: {} events",
+        first.events.len()
+    );
+    assert!(
+        !first.windows.is_empty(),
+        "windowed metrics must be on in the scale configuration"
+    );
+    assert!(first.makespan_s > 0.0);
+}

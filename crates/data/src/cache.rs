@@ -5,7 +5,7 @@
 //! wide-area transfers for site-local cache hits. The cache is a byte-bounded
 //! LRU keyed by dataset.
 
-use std::collections::VecDeque;
+use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -34,13 +34,38 @@ impl CacheStats {
     }
 }
 
+/// Sentinel for "no node" in the intrusive recency list.
+const NIL: usize = usize::MAX;
+
+/// One slab slot of the recency list.
+#[derive(Debug, Clone)]
+struct Node {
+    dataset: DatasetId,
+    bytes: u64,
+    prev: usize,
+    next: usize,
+}
+
 /// A byte-bounded LRU cache of datasets.
+///
+/// Implemented as a slab-backed intrusive doubly-linked recency list plus a
+/// `DatasetId → slot` index, so `contains`/`lookup`/`insert` are all O(1).
+/// (The first cut was a `VecDeque` scanned linearly per operation; the
+/// broker's `grid_view` probes every site cache on every dispatch, which at
+/// 10⁶ jobs with ~20k live datasets turned the whole simulation quadratic.)
+/// The index is used for point lookups only — never iterated — so the cache
+/// stays deterministic.
 #[derive(Debug, Clone)]
 pub struct LruCache {
     capacity_bytes: u64,
     used_bytes: u64,
-    /// Most recently used at the back.
-    entries: VecDeque<(DatasetId, u64)>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    index: HashMap<DatasetId, usize>,
+    /// Least recently used (eviction victim).
+    head: usize,
+    /// Most recently used.
+    tail: usize,
     stats: CacheStats,
 }
 
@@ -50,7 +75,11 @@ impl LruCache {
         LruCache {
             capacity_bytes,
             used_bytes: 0,
-            entries: VecDeque::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            head: NIL,
+            tail: NIL,
             stats: CacheStats::default(),
         }
     }
@@ -67,12 +96,12 @@ impl LruCache {
 
     /// Number of cached datasets.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
     }
 
     /// Statistics so far.
@@ -80,12 +109,41 @@ impl LruCache {
         self.stats
     }
 
+    /// Unlinks `slot` from the recency list (the slot itself stays allocated).
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next].prev = prev;
+        }
+    }
+
+    /// Links `slot` at the tail (most recently used).
+    fn link_tail(&mut self, slot: usize) {
+        self.nodes[slot].prev = self.tail;
+        self.nodes[slot].next = NIL;
+        if self.tail == NIL {
+            self.head = slot;
+        } else {
+            self.nodes[self.tail].next = slot;
+        }
+        self.tail = slot;
+    }
+
     /// Looks up a dataset, recording a hit or miss and refreshing recency on
     /// a hit.
     pub fn lookup(&mut self, dataset: DatasetId) -> bool {
-        if let Some(pos) = self.entries.iter().position(|&(d, _)| d == dataset) {
-            let entry = self.entries.remove(pos).expect("position is valid");
-            self.entries.push_back(entry);
+        if let Some(&slot) = self.index.get(&dataset) {
+            if self.tail != slot {
+                self.unlink(slot);
+                self.link_tail(slot);
+            }
             self.stats.hits += 1;
             true
         } else {
@@ -96,15 +154,19 @@ impl LruCache {
 
     /// True if the dataset is cached, without touching recency or statistics.
     pub fn contains(&self, dataset: DatasetId) -> bool {
-        self.entries.iter().any(|&(d, _)| d == dataset)
+        self.index.contains_key(&dataset)
     }
 
     /// Drops every cached dataset (a site outage wipes the site cache);
     /// statistics are preserved, evictions are not counted. Returns the
     /// number of datasets dropped.
     pub fn clear(&mut self) -> usize {
-        let dropped = self.entries.len();
-        self.entries.clear();
+        let dropped = self.index.len();
+        self.nodes.clear();
+        self.free.clear();
+        self.index.clear();
+        self.head = NIL;
+        self.tail = NIL;
         self.used_bytes = 0;
         dropped
     }
@@ -121,14 +183,40 @@ impl LruCache {
             return evicted;
         }
         while self.used_bytes + bytes > self.capacity_bytes {
-            let Some((victim, victim_bytes)) = self.entries.pop_front() else {
+            let victim = self.head;
+            if victim == NIL {
                 break;
-            };
-            self.used_bytes -= victim_bytes;
+            }
+            self.unlink(victim);
+            let node = &self.nodes[victim];
+            self.used_bytes -= node.bytes;
+            self.index.remove(&node.dataset);
             self.stats.evictions += 1;
-            evicted.push(victim);
+            evicted.push(node.dataset);
+            self.free.push(victim);
         }
-        self.entries.push_back((dataset, bytes));
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = Node {
+                    dataset,
+                    bytes,
+                    prev: NIL,
+                    next: NIL,
+                };
+                slot
+            }
+            None => {
+                self.nodes.push(Node {
+                    dataset,
+                    bytes,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.nodes.len() - 1
+            }
+        };
+        self.link_tail(slot);
+        self.index.insert(dataset, slot);
         self.used_bytes += bytes;
         evicted
     }

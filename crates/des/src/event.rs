@@ -20,16 +20,21 @@
 //!   internal layout.
 //! * **Status-table windowing.** Statuses are kept in a `VecDeque` starting
 //!   at sequence `base`; once the oldest events are all delivered or
-//!   cancelled, the front of the window is dropped. A key below the window
-//!   is by construction not pending, so `cancel` on it is a reported no-op —
-//!   exactly as before.
+//!   cancelled, the front of the window is dropped. When a long-lived
+//!   pending event pins the front (a far-future maintenance timer while
+//!   millions of job events retire behind it), the window is swept instead:
+//!   the still-pending sequence numbers move to a small `stragglers` set and
+//!   the window restarts at the next sequence, keeping resident state O(live)
+//!   rather than O(total scheduled). A key below the window is pending iff it
+//!   is in the straggler set; anything else retired long ago, so `cancel` on
+//!   it is a reported no-op — exactly as before.
 //!
 //! The queue additionally maintains the invariant that the heap top is never
 //! a tombstone (skimming happens inside `cancel`/`pop`, the only operations
 //! that can put a tombstone on top). That makes [`EventQueue::peek_time`] an
 //! honest `&self` accessor instead of a `&mut self` lazy skim.
 
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 use crate::time::SimTime;
 
@@ -103,10 +108,14 @@ impl<E> Ord for HeapEntry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<HeapEntry<E>>,
     /// Status window of recent events, indexed by `seq - base`. Events below
-    /// `base` are all retired (delivered or cancelled).
+    /// `base` are all retired (delivered or cancelled) unless they appear in
+    /// `stragglers`.
     status: VecDeque<EventStatus>,
     /// Sequence number of `status.front()`.
     base: u64,
+    /// Still-pending events swept out of the window when a long-lived
+    /// pending event would otherwise pin `base` (at most `live` entries).
+    stragglers: BTreeSet<u64>,
     /// Total number of events ever scheduled.
     scheduled_total: u64,
     /// Number of `Pending` events (the live count; never underflows because
@@ -128,6 +137,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             status: VecDeque::new(),
             base: 0,
+            stragglers: BTreeSet::new(),
             scheduled_total: 0,
             live: 0,
             cancelled_total: 0,
@@ -140,28 +150,38 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::with_capacity(cap),
             status: VecDeque::with_capacity(cap),
             base: 0,
+            stragglers: BTreeSet::new(),
             scheduled_total: 0,
             live: 0,
             cancelled_total: 0,
         }
     }
 
-    /// Status of `seq`, if it is still inside the window. A sequence below
-    /// the window is retired (delivered or cancelled) by construction.
-    fn status_of(&self, seq: u64) -> Option<EventStatus> {
-        let offset = seq.checked_sub(self.base)?;
-        self.status.get(offset as usize).copied()
-    }
-
     fn is_pending(&self, seq: u64) -> bool {
-        self.status_of(seq) == Some(EventStatus::Pending)
+        match seq.checked_sub(self.base) {
+            Some(offset) => self.status.get(offset as usize).copied() == Some(EventStatus::Pending),
+            None => self.stragglers.contains(&seq),
+        }
     }
 
-    /// Drops the retired prefix of the status window.
+    /// Drops the retired prefix of the status window; if a long-lived
+    /// pending event still pins the front while the window has outgrown the
+    /// live count, sweeps the remaining pending sequences into the straggler
+    /// set and restarts the window. Either way the resident status state is
+    /// O(live), never O(total scheduled).
     fn compact_status(&mut self) {
         while matches!(self.status.front(), Some(s) if *s != EventStatus::Pending) {
             self.status.pop_front();
             self.base += 1;
+        }
+        if self.status.len() > 2 * self.live + COMPACT_SLACK {
+            for (offset, status) in self.status.iter().enumerate() {
+                if *status == EventStatus::Pending {
+                    self.stragglers.insert(self.base + offset as u64);
+                }
+            }
+            self.status.clear();
+            self.base = self.scheduled_total;
         }
     }
 
@@ -202,7 +222,15 @@ impl<E> EventQueue<E> {
     /// must not leave a tombstone behind, or the live count would drift).
     pub fn cancel(&mut self, key: EventKey) -> bool {
         let Some(offset) = key.0.checked_sub(self.base) else {
-            return false; // below the window: retired long ago
+            // Below the window: pending only if it survived a sweep.
+            if !self.stragglers.remove(&key.0) {
+                return false; // retired long ago
+            }
+            self.live -= 1;
+            self.cancelled_total += 1;
+            self.skim();
+            self.maybe_compact_heap();
+            return true;
         };
         match self.status.get_mut(offset as usize) {
             Some(status @ EventStatus::Pending) => {
@@ -223,9 +251,14 @@ impl<E> EventQueue<E> {
         // The skim invariant guarantees the top entry (if any) is pending.
         let entry = self.heap.pop()?;
         debug_assert!(self.is_pending(entry.seq), "tombstone surfaced on top");
-        if let Some(offset) = entry.seq.checked_sub(self.base) {
-            if let Some(status) = self.status.get_mut(offset as usize) {
-                *status = EventStatus::Delivered;
+        match entry.seq.checked_sub(self.base) {
+            Some(offset) => {
+                if let Some(status) = self.status.get_mut(offset as usize) {
+                    *status = EventStatus::Delivered;
+                }
+            }
+            None => {
+                self.stragglers.remove(&entry.seq);
             }
         }
         self.live -= 1;
@@ -283,10 +316,11 @@ impl<E> EventQueue<E> {
         self.heap.len()
     }
 
-    /// Width of the status window (diagnostics: windowing keeps this bounded
-    /// by the span between the oldest pending event and the newest one).
+    /// Width of the status window plus swept stragglers (diagnostics: the
+    /// sweep keeps this within `2·len() + O(1)` even when one early event
+    /// stays pending while millions retire behind it).
     pub fn status_entries(&self) -> usize {
-        self.status.len()
+        self.status.len() + self.stragglers.len()
     }
 
     /// Removes every pending event (their keys then behave like cancelled
@@ -302,6 +336,7 @@ impl<E> EventQueue<E> {
                 *status = EventStatus::Cancelled;
             }
         }
+        self.stragglers.clear();
         self.live = 0;
         self.compact_status();
     }
@@ -457,6 +492,78 @@ mod tests {
         assert_eq!(q.heap_entries(), 0);
         assert_eq!(q.status_entries(), 0);
         assert_eq!(q.scheduled_total(), 10_000);
+    }
+
+    #[test]
+    fn pinned_base_does_not_grow_status_window() {
+        // Regression (PR 10): one far-future pending event used to pin
+        // `base`, so the status window grew to O(total events scheduled) —
+        // at 10⁶ job events behind a single maintenance timer that is a
+        // gigabyte-scale leak. The sweep must keep the resident status state
+        // O(live) throughout, and deliver everything in the right order.
+        let mut q = EventQueue::new();
+        let far = q.schedule(SimTime::from_secs(1e12), u64::MAX);
+
+        let mut next_expected = 0u64;
+        let total: u64 = 1_000_000;
+        let batch: u64 = 1_000;
+        for wave in 0..(total / batch) {
+            let mut keys = Vec::new();
+            for i in 0..batch {
+                let payload = wave * batch + i;
+                keys.push(q.schedule(SimTime::from_secs(payload as f64), payload));
+            }
+            // Cancel a few per wave so the straggler path sees cancellation.
+            for (n, key) in keys.iter().enumerate() {
+                if n % 250 == 0 {
+                    assert!(q.cancel(*key));
+                }
+            }
+            while q.len() > 1 {
+                let ev = q.pop().unwrap();
+                assert!(ev.event >= next_expected, "pop went backwards");
+                next_expected = ev.event + 1;
+            }
+            assert!(
+                q.status_entries() <= 2 * q.len() + 2 * 64 + 2,
+                "status state grew unboundedly: {} entries for {} live",
+                q.status_entries(),
+                q.len()
+            );
+        }
+
+        // The far-future straggler is still pending, cancellable, and the
+        // queue drains clean.
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(far));
+        assert!(!q.cancel(far), "double cancel reports false");
+        assert!(q.pop().is_none());
+        assert_eq!(q.status_entries(), 0);
+        assert_eq!(q.scheduled_total(), total + 1);
+    }
+
+    #[test]
+    fn swept_straggler_still_pops_in_order() {
+        // A swept-out pending event must still deliver (not just cancel):
+        // pop must find its status in the straggler set once `base` has
+        // moved past it.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1e9), "far");
+        for i in 0..10_000u64 {
+            q.schedule(SimTime::from_secs(i as f64), "near");
+            let ev = q.pop().unwrap();
+            assert_eq!(ev.event, "near");
+        }
+        assert!(
+            q.status_entries() <= 2 * q.len() + 2 * 64 + 2,
+            "window not swept: {} entries",
+            q.status_entries()
+        );
+        let ev = q.pop().unwrap();
+        assert_eq!(ev.event, "far");
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+        assert_eq!(q.status_entries(), 0);
     }
 
     #[test]

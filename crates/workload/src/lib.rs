@@ -31,4 +31,4 @@ pub mod job;
 pub mod trace;
 
 pub use job::{ideal_walltime, parallel_efficiency, JobId, JobKind, JobRecord, JobState, TaskId};
-pub use trace::{Trace, TraceConfig, TraceGenerator, TraceSummary};
+pub use trace::{Trace, TraceConfig, TraceGenerator, TraceStream, TraceSummary};

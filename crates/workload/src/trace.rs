@@ -301,17 +301,47 @@ impl TraceGenerator {
     /// Historical site assignments follow PanDA's capacity-proportional
     /// dispatching: the probability of a job landing on a site is
     /// proportional to that site's core count.
+    ///
+    /// This is the collecting wrapper around [`TraceGenerator::stream`]: it
+    /// materialises every record and sorts them by submission time (a stable
+    /// sort, so equal-time jobs keep generation order). For million-job
+    /// campaigns prefer `stream`, which holds only O(sites) state.
     pub fn generate(&self, platform: &PlatformSpec) -> Trace {
+        let stream = self.stream(platform);
+        let hidden = stream.hidden_site_multipliers();
+        let mut jobs: Vec<JobRecord> = stream.collect();
+        jobs.sort_by(|a, b| a.submit_time.partial_cmp(&b.submit_time).unwrap());
+
+        Trace {
+            jobs,
+            hidden_site_multipliers: hidden,
+        }
+    }
+
+    /// Streams job records one at a time, in **generation order** (not sorted
+    /// by submission time — [`TraceGenerator::generate`] adds the stable
+    /// sort). The iterator holds only O(sites) state, so a million-job
+    /// workload can be consumed without ever materialising a `Vec`.
+    ///
+    /// The draw order per job is identical to the historical materialised
+    /// path, so `stream(..).collect()` followed by a stable sort on
+    /// `submit_time` is bit-identical to `generate` (pinned by the golden
+    /// fingerprints in `tests/golden_trace.rs`).
+    pub fn stream(&self, platform: &PlatformSpec) -> TraceStream {
         assert!(!platform.sites.is_empty(), "platform has no sites");
-        let cfg = &self.config;
+        let cfg = self.config.clone();
         let mut rng = Rng::new(cfg.seed);
 
         // Hidden true multiplier per site: what the simulator would need to
-        // know to predict walltimes exactly (before noise).
-        let mut hidden = HashMap::new();
+        // know to predict walltimes exactly (before noise). Indexed by site
+        // position — the per-job lookup is a bounds-checked array read, not
+        // a `String`-keyed hash probe.
+        let mut sites = Vec::with_capacity(platform.sites.len());
+        let mut hidden = Vec::with_capacity(platform.sites.len());
         for site in &platform.sites {
             let (lo, hi) = cfg.hidden_multiplier_range;
-            hidden.insert(site.name.clone(), rng.uniform_range(lo, hi));
+            hidden.push(rng.uniform_range(lo, hi));
+            sites.push((site.name.clone(), site.hosts[0].speed_per_core));
         }
 
         let site_weights: Vec<f64> = platform
@@ -320,59 +350,112 @@ impl TraceGenerator {
             .map(|s| s.total_cores() as f64)
             .collect();
 
-        let mut jobs = Vec::with_capacity(cfg.job_count);
-        for i in 0..cfg.job_count {
-            let is_multi = rng.chance(cfg.multicore_fraction);
-            let (kind, cores, mean_work) = if is_multi {
-                (JobKind::MultiCore, cfg.multicore_cores, cfg.mean_work_multi)
-            } else {
-                (JobKind::SingleCore, 1, cfg.mean_work_single)
-            };
-            let work = rng.lognormal_mean_cv(mean_work, cfg.work_cv).max(1.0);
-            let input_files = (rng.poisson(cfg.mean_input_files) as u32).max(1);
-            let mut input_bytes = 0.0;
-            for _ in 0..input_files {
-                input_bytes += rng.pareto(cfg.mean_file_bytes * 0.4, 1.8);
-            }
-            let output_bytes = input_bytes * cfg.output_ratio;
-            let submit_time = if cfg.submission_window_s > 0.0 {
-                rng.uniform_range(0.0, cfg.submission_window_s)
-            } else {
-                0.0
-            };
-
-            let site_idx = rng.weighted_index(&site_weights);
-            let site = &platform.sites[site_idx];
-            let nominal_speed = site.hosts[0].speed_per_core;
-            let true_speed = nominal_speed * hidden[&site.name];
-            let noise = rng.lognormal_mean_cv(1.0, cfg.truth_noise_cv);
-            let hist_walltime = ideal_walltime(work, cores, true_speed) * noise;
-            let hist_queue_time = rng.exponential(1.0 / cfg.mean_queue_time_s);
-
-            jobs.push(JobRecord {
-                id: JobId(6_460_000_000 + i as u64),
-                task_id: TaskId((i / 50) as u64),
-                kind,
-                cores,
-                work_hs23: work,
-                memory_mb: 2_000.0 * cores as f64,
-                input_files,
-                input_bytes: input_bytes as u64,
-                output_bytes: output_bytes as u64,
-                submit_time,
-                hist_site: site.name.clone(),
-                hist_walltime: Some(hist_walltime),
-                hist_queue_time: Some(hist_queue_time),
-            });
-        }
-        jobs.sort_by(|a, b| a.submit_time.partial_cmp(&b.submit_time).unwrap());
-
-        Trace {
-            jobs,
-            hidden_site_multipliers: hidden,
+        TraceStream {
+            cfg,
+            rng,
+            sites,
+            site_weights,
+            hidden,
+            next: 0,
         }
     }
 }
+
+/// Streaming job-record source created by [`TraceGenerator::stream`].
+///
+/// Yields records in generation order with O(sites) resident state; the RNG
+/// draw sequence per job matches the materialised `generate` path exactly.
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    cfg: TraceConfig,
+    rng: Rng,
+    /// Per-site `(name, nominal speed-per-core)`, in platform order.
+    sites: Vec<(String, f64)>,
+    site_weights: Vec<f64>,
+    /// Hidden true-speed multiplier per site, indexed by site position.
+    hidden: Vec<f64>,
+    next: usize,
+}
+
+impl TraceStream {
+    /// The hidden per-site multipliers as a name-keyed map (the form stored
+    /// in [`Trace::hidden_site_multipliers`]).
+    pub fn hidden_site_multipliers(&self) -> HashMap<String, f64> {
+        self.sites
+            .iter()
+            .map(|(name, _)| name.clone())
+            .zip(self.hidden.iter().copied())
+            .collect()
+    }
+
+    /// Jobs remaining to be yielded.
+    pub fn remaining(&self) -> usize {
+        self.cfg.job_count - self.next
+    }
+}
+
+impl Iterator for TraceStream {
+    type Item = JobRecord;
+
+    fn next(&mut self) -> Option<JobRecord> {
+        if self.next >= self.cfg.job_count {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        let cfg = &self.cfg;
+        let rng = &mut self.rng;
+
+        let is_multi = rng.chance(cfg.multicore_fraction);
+        let (kind, cores, mean_work) = if is_multi {
+            (JobKind::MultiCore, cfg.multicore_cores, cfg.mean_work_multi)
+        } else {
+            (JobKind::SingleCore, 1, cfg.mean_work_single)
+        };
+        let work = rng.lognormal_mean_cv(mean_work, cfg.work_cv).max(1.0);
+        let input_files = (rng.poisson(cfg.mean_input_files) as u32).max(1);
+        let mut input_bytes = 0.0;
+        for _ in 0..input_files {
+            input_bytes += rng.pareto(cfg.mean_file_bytes * 0.4, 1.8);
+        }
+        let output_bytes = input_bytes * cfg.output_ratio;
+        let submit_time = if cfg.submission_window_s > 0.0 {
+            rng.uniform_range(0.0, cfg.submission_window_s)
+        } else {
+            0.0
+        };
+
+        let site_idx = rng.weighted_index(&self.site_weights);
+        let (site_name, nominal_speed) = &self.sites[site_idx];
+        let true_speed = nominal_speed * self.hidden[site_idx];
+        let noise = rng.lognormal_mean_cv(1.0, cfg.truth_noise_cv);
+        let hist_walltime = ideal_walltime(work, cores, true_speed) * noise;
+        let hist_queue_time = rng.exponential(1.0 / cfg.mean_queue_time_s);
+
+        Some(JobRecord {
+            id: JobId(6_460_000_000 + i as u64),
+            task_id: TaskId((i / 50) as u64),
+            kind,
+            cores,
+            work_hs23: work,
+            memory_mb: 2_000.0 * cores as f64,
+            input_files,
+            input_bytes: input_bytes as u64,
+            output_bytes: output_bytes as u64,
+            submit_time,
+            hist_site: site_name.clone(),
+            hist_walltime: Some(hist_walltime),
+            hist_queue_time: Some(hist_queue_time),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for TraceStream {}
 
 #[cfg(test)]
 mod tests {

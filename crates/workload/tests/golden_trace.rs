@@ -1,0 +1,55 @@
+//! Golden-trace regression pins for the synthetic generator.
+//!
+//! The hidden-multiplier refactor (PR 10: `String`-keyed `HashMap` lookup →
+//! `Vec<f64>` indexed by site position) and the streaming-iterator rewrite
+//! must leave every generated trace *byte-identical*. These fingerprints were
+//! captured from the pre-refactor materialised `generate` path; any change to
+//! the RNG draw order, the hidden-multiplier values, or the job fields breaks
+//! them.
+
+use cgsim_platform::presets::{example_platform, wlcg_platform};
+use cgsim_workload::{TraceConfig, TraceGenerator};
+
+/// FNV-1a over the full bit patterns of a trace: every job field (CSV render
+/// uses exact f64 `Display`, which is lossless round-trip in Rust) plus the
+/// hidden multipliers in sorted site order with their raw f64 bits.
+fn fingerprint(trace: &cgsim_workload::Trace) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    eat(trace.to_csv().as_bytes());
+    let mut sites: Vec<_> = trace.hidden_site_multipliers.iter().collect();
+    sites.sort_by(|a, b| a.0.cmp(b.0));
+    for (name, mult) in sites {
+        eat(name.as_bytes());
+        eat(&mult.to_bits().to_le_bytes());
+    }
+    h
+}
+
+#[test]
+fn default_config_fingerprint_is_stable() {
+    let trace = TraceGenerator::new(TraceConfig::with_jobs(500, 42)).generate(&example_platform());
+    assert_eq!(
+        fingerprint(&trace),
+        14121070993854794862,
+        "generate() output changed — the generator must stay byte-identical"
+    );
+}
+
+#[test]
+fn wlcg_config_fingerprint_is_stable() {
+    let mut cfg = TraceConfig::with_jobs(1_000, 9);
+    cfg.mean_file_bytes = 5e8;
+    cfg.submission_window_s = 0.0; // all ties at t=0: the sort must stay stable
+    let trace = TraceGenerator::new(cfg).generate(&wlcg_platform(10, 5));
+    assert_eq!(
+        fingerprint(&trace),
+        4165990636885134928,
+        "generate() output changed — the generator must stay byte-identical"
+    );
+}

@@ -176,4 +176,58 @@ proptest! {
             prop_assert_eq!(Some(mult.to_bits()), back.map(|m| m.to_bits()), "site {:?}", site);
         }
     }
+
+    /// The streaming iterator and the collecting `generate` are
+    /// bit-identical across random configurations: `stream(..).collect()`
+    /// plus the stable `submit_time` sort reproduces `generate` exactly
+    /// (every field compared on raw bits), and the hidden multipliers agree.
+    /// Zero `submission_window_s` puts every job at t = 0, so the sort is
+    /// all ties — the stable order itself is under test there.
+    #[test]
+    fn stream_collects_to_generate(
+        jobs in 0usize..300,
+        seed in any::<u64>(),
+        sites in 1usize..12,
+        window_zero in any::<bool>(),
+        multicore_fraction in 0.0f64..1.0,
+        mean_input_files in 0.0f64..8.0,
+    ) {
+        let mut cfg = TraceConfig::with_jobs(jobs, seed);
+        if window_zero {
+            cfg.submission_window_s = 0.0;
+        }
+        cfg.multicore_fraction = multicore_fraction;
+        cfg.mean_input_files = mean_input_files;
+        let platform = wlcg_platform(sites, seed % 31);
+        let generator = TraceGenerator::new(cfg);
+
+        let trace = generator.generate(&platform);
+        let stream = generator.stream(&platform);
+        prop_assert_eq!(stream.len(), jobs);
+        let hidden = stream.hidden_site_multipliers();
+        let mut streamed: Vec<JobRecord> = stream.collect();
+        streamed.sort_by(|a, b| a.submit_time.partial_cmp(&b.submit_time).unwrap());
+
+        prop_assert_eq!(streamed.len(), trace.jobs.len());
+        for (a, b) in trace.jobs.iter().zip(&streamed) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.task_id, b.task_id);
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert_eq!(a.cores, b.cores);
+            prop_assert_eq!(a.work_hs23.to_bits(), b.work_hs23.to_bits());
+            prop_assert_eq!(a.memory_mb.to_bits(), b.memory_mb.to_bits());
+            prop_assert_eq!(a.input_files, b.input_files);
+            prop_assert_eq!(a.input_bytes, b.input_bytes);
+            prop_assert_eq!(a.output_bytes, b.output_bytes);
+            prop_assert_eq!(a.submit_time.to_bits(), b.submit_time.to_bits());
+            prop_assert_eq!(&a.hist_site, &b.hist_site);
+            prop_assert_eq!(a.hist_walltime.map(f64::to_bits), b.hist_walltime.map(f64::to_bits));
+            prop_assert_eq!(a.hist_queue_time.map(f64::to_bits), b.hist_queue_time.map(f64::to_bits));
+        }
+        prop_assert_eq!(hidden.len(), trace.hidden_site_multipliers.len());
+        for (site, mult) in &trace.hidden_site_multipliers {
+            let got = hidden.get(site).map(|m| m.to_bits());
+            prop_assert_eq!(Some(mult.to_bits()), got, "site {:?}", site);
+        }
+    }
 }

@@ -65,8 +65,8 @@ USAGE:
                     [--faults SPEC] [--fault-seed N] [CHECKPOINT FLAGS]
                     [OBSERVABILITY FLAGS]
     cgsim demo      [--sites N] [--jobs N] [--policy NAME] [--seed N] [--output DIR]
-                    [--faults SPEC] [--fault-seed N] [CHECKPOINT FLAGS]
-                    [OBSERVABILITY FLAGS]
+                    [--faults SPEC] [--fault-seed N] [--stream] [CHECKPOINT FLAGS]
+                    [MONITORING FLAGS] [OBSERVABILITY FLAGS]
     cgsim serve     --platform <platform.json> --execution <execution.json>
                     --trace <trace.jsonl> [--listen HOST:PORT]
                     [--cache-capacity N] [--no-cache] [--serial]
@@ -104,6 +104,14 @@ FAULT SPECS (semicolon-separated clauses; durations take s/m/h/d suffixes):
     degrade:link=all,factor=0.3,mttf=6h,mttr=15m  (link=<i> is the i-th WAN link)
     kill:rate=1.5                                 job kills per simulated hour
     horizon=48h                                   fault-generation horizon
+
+MONITORING FLAGS (bound the monitoring state for scale campaigns; see README
+\"Scale campaigns\" — demo also takes --stream to feed the generator straight
+into the engine without materialising the trace):
+    --max-events <n>         cap retained event records (ring of the newest;
+                             0 = unbounded, the default)
+    --sample-stride <n>      keep one of every n event records
+    --window <dur>           windowed metrics of this width (e.g. 1h)
 
 CHECKPOINT FLAGS (override the execution config; interval 0 disables):
     --checkpoint-interval <dur>    checkpoint every <dur> of completed work
@@ -259,6 +267,30 @@ fn apply_checkpoint_flags(
     Ok(())
 }
 
+/// Applies the bounded-monitoring flag overrides (`--max-events`,
+/// `--sample-stride`, `--window`) to an execution config. Scale campaigns
+/// must bound the event ring: unbounded event records are the one per-job
+/// O(jobs) retention the simulator otherwise keeps.
+fn apply_monitoring_flags(
+    options: &HashMap<String, String>,
+    execution: &mut ExecutionConfig,
+) -> Result<(), String> {
+    if let Some(cap) = options.get("max-events") {
+        execution.monitoring.max_events = cap
+            .parse()
+            .map_err(|_| format!("--max-events '{cap}' is not a count"))?;
+    }
+    if let Some(stride) = options.get("sample-stride") {
+        execution.monitoring.sample_stride = stride
+            .parse()
+            .map_err(|_| format!("--sample-stride '{stride}' is not a count"))?;
+    }
+    if let Some(window) = options.get("window") {
+        execution.monitoring.window_s = cgsim::faults::parse_duration(window)?;
+    }
+    Ok(())
+}
+
 /// Applies the `--repair*` flag overrides to an execution config. Only the
 /// `--repair` switch enables the planner; the knob flags tune it without
 /// turning it on (so knobs passed alongside a disabled planner leave the
@@ -385,6 +417,7 @@ fn cmd_simulate(options: &HashMap<String, String>) -> Result<(), String> {
     }
     apply_checkpoint_flags(options, &mut execution)?;
     apply_repair_flags(options, &mut execution)?;
+    apply_monitoring_flags(options, &mut execution)?;
     println!(
         "simulating {} jobs on {} sites with policy '{}'",
         trace.len(),
@@ -416,18 +449,28 @@ fn cmd_demo(options: &HashMap<String, String>) -> Result<(), String> {
         .unwrap_or_else(|| "least-loaded".to_string());
 
     let platform = wlcg_platform(sites, seed);
-    let trace = TraceGenerator::new(TraceConfig::with_jobs(jobs, seed)).generate(&platform);
-    println!("simulating {jobs} jobs on {sites} sites with policy '{policy}'");
-    let fault_plan = build_fault_plan(options, &platform, trace.len())?;
+    let generator = TraceGenerator::new(TraceConfig::with_jobs(jobs, seed));
+    let streamed = options.contains_key("stream");
+    println!(
+        "simulating {jobs} jobs on {sites} sites with policy '{policy}'{}",
+        if streamed { " (streamed)" } else { "" }
+    );
+    let fault_plan = build_fault_plan(options, &platform, jobs)?;
     let mut execution = ExecutionConfig::with_policy(&policy);
     apply_checkpoint_flags(options, &mut execution)?;
     apply_repair_flags(options, &mut execution)?;
-    let mut builder = Simulation::builder()
+    apply_monitoring_flags(options, &mut execution)?;
+    let builder = Simulation::builder()
         .platform_spec(&platform)
-        .map_err(|e| e.to_string())?
-        .trace(trace)
-        .policy_name(&policy)
-        .execution(execution);
+        .map_err(|e| e.to_string())?;
+    // `--stream` feeds the generator's iterator straight into the engine:
+    // no trace is materialised, peak memory drops to one record per job.
+    let mut builder = if streamed {
+        builder.trace_stream(generator.stream(&platform))
+    } else {
+        builder.trace(generator.generate(&platform))
+    };
+    builder = builder.policy_name(&policy).execution(execution);
     if let Some(plan) = fault_plan {
         builder = builder.fault_plan(plan);
     }
